@@ -1,0 +1,34 @@
+"""Ablation: sampling-bias correction across sample sizes (extends Fig. 4).
+
+The Eq. (9)/(10) corrections are derived for "presumably small" errors;
+this sweep shows where they pay off (m >= ~5) and confirms the paper's
+Fig. 6(c) observation that load balance itself tolerates tiny samples.
+"""
+
+from repro.experiments.ablations import correction_ablation, replication_floor_ablation
+from repro.experiments.reporting import print_table
+
+
+def test_correction_across_sample_sizes(benchmark):
+    rows = benchmark.pedantic(correction_ablation, rounds=1, iterations=1)
+    print_table(
+        ["m", "AEP bias", "AEP std", "COR bias", "COR std"],
+        rows,
+        title="Ablation -- sampling-bias correction vs sample size (p=0.4, N=1000)",
+    )
+    by_m = {row[0]: row for row in rows}
+    # At the paper's m = 10 the correction must roughly cancel the bias.
+    assert abs(by_m[10][3]) < abs(by_m[10][1])
+    assert abs(by_m[25][3]) < abs(by_m[25][1])
+    # Bias decreases with sample size even without correction.
+    assert abs(by_m[50][1]) < abs(by_m[2][1])
+
+
+def test_replication_floor(benchmark):
+    rows = benchmark.pedantic(replication_floor_ablation, rounds=1, iterations=1)
+    print_table(
+        ["variant", "deviation", "min replicas/leaf"],
+        rows,
+        title="Ablation -- split policy variants on skewed data (P1.0, n=256)",
+    )
+    assert all(row[2] >= 1 for row in rows)

@@ -1,0 +1,23 @@
+"""Sec. 6: range query cost -- in-network trie vs uniform-hash DHT + PHT.
+
+Paper claim: layering an index over a uniform-hashing DHT "is
+considerably less efficient ... multiple overlay network queries are
+required to locate all the semantically close content."
+"""
+
+from repro.experiments.rangecost import range_cost_sweep
+from repro.experiments.reporting import print_table
+
+
+def test_range_query_trie_vs_pht(benchmark):
+    rows = benchmark.pedantic(range_cost_sweep, rounds=1, iterations=1)
+    print_table(
+        ["range width", "P-Grid msgs", "PHT hops", "PHT/P-Grid"],
+        rows,
+        title="Sec. 6 -- range query cost, data-oriented trie vs hash DHT + PHT",
+    )
+    # The trie must win at every width, and by a growing absolute margin
+    # for wider ranges (per-trie-node DHT lookups accumulate).
+    for _, pgrid, pht, ratio in rows:
+        assert ratio > 1.5, f"PHT should be costlier (got ratio {ratio:.2f})"
+    assert rows[-1][2] - rows[-1][1] > rows[0][2] - rows[0][1]

@@ -1,0 +1,25 @@
+"""Sec. 4.3: construction latency -- sequential joins vs parallel rounds.
+
+Paper claim: the parallel construction needs O(log^2 N) latency versus
+the standard maintenance model's O(N log N); total traffic stays in the
+same class.
+"""
+
+from repro.experiments.complexity import latency_sweep
+from repro.experiments.reporting import print_table
+
+
+def test_sequential_vs_parallel_latency(benchmark):
+    rows = benchmark.pedantic(latency_sweep, rounds=1, iterations=1)
+    print_table(
+        ["n", "seq msgs", "seq latency", "par rounds", "speedup", "log2(n)^2"],
+        rows,
+        title="Sec. 4.3 -- sequential vs parallel construction",
+    )
+    # The speedup must grow with n: O(N log N) vs O(log^2 N).
+    speedups = [row[4] for row in rows]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 10.0
+    # Parallel rounds stay within a small factor of log^2 n.
+    for n, _, _, rounds, _, log2sq in rows:
+        assert rounds < 6.0 * log2sq

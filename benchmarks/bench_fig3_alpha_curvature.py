@@ -1,0 +1,18 @@
+"""Figure 3: numerical solution for alpha''(p) over the alpha-regime."""
+
+from repro.experiments import fig3
+from repro.experiments.reporting import print_table
+
+
+def test_fig3_alpha_curvature(benchmark):
+    curve = benchmark.pedantic(fig3.alpha_curvature_curve, rounds=1, iterations=1)
+    print_table(
+        ["p", "alpha(p)", "alpha''(p)"],
+        curve,
+        title="Figure 3 -- curvature of the balanced-split probability",
+    )
+    # Shape assertions: positive curvature, rising steeply toward the
+    # regime boundary p* = 1 - ln 2.
+    values = [c for _, _, c in curve]
+    assert all(v > 0 for v in values)
+    assert values[-1] > 3 * values[0]

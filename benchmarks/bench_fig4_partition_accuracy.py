@@ -1,0 +1,24 @@
+"""Figure 4: mean deviation of the side-0 count from N*p, five models.
+
+Paper shape: SAM and AEP drift systematically (sampling bias), COR
+removes the drift almost completely, MVA and AUT stay near zero.
+"""
+
+from repro._util import mean
+from repro.experiments.fig45 import MODELS, run_sweep
+from repro.experiments.reporting import print_table
+
+
+def test_fig4_partition_accuracy(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        ["p", *MODELS],
+        sweep.fig4_rows(),
+        title=f"Figure 4 -- mean(n0 - N p), N={sweep.n}, m={sweep.m}, "
+        f"{sweep.reps} repetitions",
+    )
+    bias = {name: mean(abs(v) for v in sweep.deviation[name]) for name in MODELS}
+    # The headline claims of Sec. 3.3:
+    assert bias["SAM"] > 2 * bias["COR"], "correction must remove the drift"
+    assert bias["AEP"] > bias["COR"]
+    assert bias["MVA"] < 2.0, "exact-p mean-value model is unbiased"

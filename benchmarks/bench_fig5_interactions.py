@@ -1,0 +1,35 @@
+"""Figure 5: mean total interactions vs p for the five models.
+
+Paper shape: AEP-family cost is flat at N ln 2 in the beta-regime and
+rises as p -> 0; AUT is ~2x costlier at p = 1/2 but *cheaper* below the
+crossover at p ~ 0.15.
+"""
+
+import math
+
+from repro.experiments.fig45 import MODELS, P_GRID, run_sweep
+from repro.experiments.reporting import print_table
+
+
+def test_fig5_interactions(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        ["p", *MODELS],
+        sweep.fig5_rows(),
+        title=f"Figure 5 -- mean total interactions, N={sweep.n}",
+    )
+    idx_half = P_GRID.index(0.5)
+    idx_low = P_GRID.index(0.05)
+    n = sweep.n
+    # Eager cost at p = 1/2 is N ln 2; AUT's is 2 N ln 2.
+    assert abs(sweep.interactions["MVA"][idx_half] - n * math.log(2)) < 0.05 * n
+    assert sweep.interactions["AUT"][idx_half] > 1.6 * sweep.interactions["AEP"][idx_half]
+    # The crossover: AUT wins for strongly skewed splits (the paper states
+    # it for the exact-knowledge family; sampling shifts the AEP curve,
+    # see EXPERIMENTS.md).
+    assert sweep.interactions["AUT"][idx_low] < sweep.interactions["MVA"][idx_low]
+    # t* is p-independent across the beta-regime (Eq. 1).
+    beta_regime = [
+        sweep.interactions["MVA"][P_GRID.index(p)] for p in (0.35, 0.4, 0.45, 0.5)
+    ]
+    assert max(beta_regime) - min(beta_regime) < 0.02 * n

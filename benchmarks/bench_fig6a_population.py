@@ -1,0 +1,29 @@
+"""Figure 6(a): load-balance deviation vs population size.
+
+Paper shape: deviation stays practically stable across n = 256/512/1024
+and sits roughly in the 0.1-0.5 band, with skewed distributions higher
+than uniform.
+"""
+
+from repro.experiments.fig6 import DISTRIBUTION_LABELS, panel_a
+from repro.experiments.reporting import print_table
+
+POPULATIONS = (256, 512, 1024)
+
+
+def test_fig6a_deviation_vs_population(benchmark):
+    rows = benchmark.pedantic(panel_a, args=(POPULATIONS,), rounds=1, iterations=1)
+    print_table(
+        ["distribution", *(f"n={n}" for n in POPULATIONS)],
+        rows,
+        title="Figure 6(a) -- deviation for various peer populations "
+        "(n_min=5, d_max=10*n_min)",
+    )
+    by_label = {row[0]: row[1:] for row in rows}
+    # Stability across population sizes (the paper's main observation).
+    for label in DISTRIBUTION_LABELS:
+        devs = by_label[label]
+        assert max(devs) < 1.2
+        assert max(devs) - min(devs) < 0.6
+    # Uniform data balances at least as well as the most skewed Pareto.
+    assert min(by_label["U"]) <= max(by_label["P1.5"]) + 0.2

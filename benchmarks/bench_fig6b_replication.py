@@ -1,0 +1,27 @@
+"""Figure 6(b): load-balance deviation vs required replication n_min.
+
+Paper shape: roughly unaffected for mildly skewed distributions, some
+degradation for the strongly skewed ones at high n_min (fewer, larger
+partitions magnify each misplaced peer).
+"""
+
+from repro.experiments.fig6 import panel_b
+from repro.experiments.reporting import print_table
+
+N_MINS = (5, 10, 15, 20, 25)
+
+
+def test_fig6b_deviation_vs_n_min(benchmark):
+    rows = benchmark.pedantic(
+        panel_b, kwargs={"n": 256, "n_mins": N_MINS}, rounds=1, iterations=1
+    )
+    print_table(
+        ["distribution", *(f"n_min={m}" for m in N_MINS)],
+        rows,
+        title="Figure 6(b) -- deviation for various replication factors (n=256)",
+    )
+    for row in rows:
+        devs = row[1:]
+        assert all(d < 1.6 for d in devs)
+    uniform = dict((row[0], row[1:]) for row in rows)["U"]
+    assert max(uniform) - min(uniform) < 0.8

@@ -1,0 +1,27 @@
+"""Figure 6(c): load-balance deviation vs storage bound d_max.
+
+Paper shape: "no such influence exists" -- the deviation does not improve
+with larger per-partition samples, which is what allows the protocol to
+run with very small samples.
+"""
+
+from repro._util import mean
+from repro.experiments.fig6 import panel_c
+from repro.experiments.reporting import print_table
+
+FACTORS = (10.0, 20.0, 30.0)
+
+
+def test_fig6c_deviation_vs_d_max(benchmark):
+    rows = benchmark.pedantic(
+        panel_c, kwargs={"n": 256, "factors": FACTORS}, rounds=1, iterations=1
+    )
+    print_table(
+        ["distribution", *(f"d_max={int(f)}*n_min" for f in FACTORS)],
+        rows,
+        title="Figure 6(c) -- deviation for various data sample sizes (n=256)",
+    )
+    # No systematic improvement with the sample size: the column means
+    # must stay within a narrow band of each other.
+    col_means = [mean(row[1 + i] for row in rows) for i in range(len(FACTORS))]
+    assert max(col_means) - min(col_means) < 0.35

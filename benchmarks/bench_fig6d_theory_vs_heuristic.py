@@ -1,0 +1,25 @@
+"""Figure 6(d): theoretically derived probability functions vs heuristics.
+
+Paper conclusion: "Even a minor change to the theoretically correct
+functions degrades the quality of load balancing substantially."
+"""
+
+from repro._util import mean
+from repro.experiments.fig6 import panel_d
+from repro.experiments.reporting import print_table
+
+
+def test_fig6d_theory_vs_heuristic(benchmark):
+    rows = benchmark.pedantic(panel_d, kwargs={"n": 256}, rounds=1, iterations=1)
+    print_table(
+        ["workload", "theory", "heuristic"],
+        rows,
+        title="Figure 6(d) -- deviation, theoretical vs heuristic functions "
+        "(n=256, n_min=5,10)",
+    )
+    theory = mean(row[1] for row in rows)
+    heuristic = mean(row[2] for row in rows)
+    assert heuristic > 1.2 * theory, (
+        f"heuristic ({heuristic:.3f}) must degrade balance vs theory "
+        f"({theory:.3f})"
+    )

@@ -1,0 +1,26 @@
+"""Figure 6(e): bilateral interactions per peer during construction.
+
+Paper shape: grows gracefully (logarithmically) with the network size;
+skewed distributions cost more because their tries are deeper and their
+splits more lopsided (smaller alpha => more attempts, priced by Eq. 3).
+"""
+
+from repro.experiments.fig6 import panel_e
+from repro.experiments.reporting import print_table
+
+POPULATIONS = (256, 512, 1024)
+
+
+def test_fig6e_interactions_per_peer(benchmark):
+    rows = benchmark.pedantic(panel_e, args=(POPULATIONS,), rounds=1, iterations=1)
+    print_table(
+        ["distribution", *(f"n={n}" for n in POPULATIONS)],
+        rows,
+        title="Figure 6(e) -- interactions per peer for overlay construction",
+    )
+    by_label = {row[0]: row[1:] for row in rows}
+    for label, costs in by_label.items():
+        # Graceful growth: far sublinear in n (n quadruples, cost must not).
+        assert costs[-1] < 3.0 * costs[0] + 5.0
+    # Skewed data costs more than uniform.
+    assert max(by_label["P1.5"]) > min(by_label["U"])

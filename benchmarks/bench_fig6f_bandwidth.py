@@ -1,0 +1,27 @@
+"""Figure 6(f): total data keys moved per peer (bandwidth consumption).
+
+Paper shape: grows gracefully with network size; data skew increases
+bandwidth significantly (deeper tries move keys more often).
+"""
+
+from repro.experiments.fig6 import panel_f
+from repro.experiments.reporting import print_table
+
+POPULATIONS = (256, 512, 1024)
+
+
+def test_fig6f_keys_moved_per_peer(benchmark):
+    rows = benchmark.pedantic(panel_f, args=(POPULATIONS,), rounds=1, iterations=1)
+    print_table(
+        ["distribution", *(f"n={n}" for n in POPULATIONS)],
+        rows,
+        title="Figure 6(f) -- total data keys moved per peer "
+        "(construction bandwidth)",
+    )
+    by_label = {row[0]: row[1:] for row in rows}
+    for label, costs in by_label.items():
+        assert costs[0] > 50, "construction must move real volume"
+        assert costs[-1] < 6.0 * costs[0], "growth must stay graceful"
+    # Skew costs bandwidth (paper: "skew ... can significantly increase
+    # the bandwidth consumption").
+    assert max(by_label["P1.0"]) > 0.8 * min(by_label["U"])

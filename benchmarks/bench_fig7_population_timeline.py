@@ -1,0 +1,29 @@
+"""Figure 7: number of participating peers over the experiment timeline.
+
+Paper shape: ramp-up during the join phase, a stable plateau (~296
+peers) through construction and queries, and a visible dip once churn
+begins.
+"""
+
+from repro.experiments import fig789
+from repro.experiments.reporting import print_table
+
+
+def test_fig7_population_timeline(benchmark):
+    report = benchmark.pedantic(fig789.system_report, rounds=1, iterations=1)
+    print_table(
+        ["minute", "peers online"],
+        fig789.fig7_rows(),
+        title="Figure 7 -- participating peers over time",
+    )
+    pop = dict(report.population)
+    config = report.config
+    plateau_t = (config.construct_start + config.query_start) / 2
+    plateau = max(c for m, c in pop.items() if abs(m - plateau_t) < 30)
+    early = min(c for m, c in pop.items() if m <= config.join_end / 4)
+    churn_min = min(
+        c for m, c in pop.items() if m > config.churn_start + 2
+    )
+    assert plateau == config.peers, "every peer joins by the plateau"
+    assert early < plateau, "ramp-up visible"
+    assert churn_min < plateau, "churn dip visible"

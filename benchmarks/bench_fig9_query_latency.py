@@ -1,0 +1,39 @@
+"""Figure 9: query latency (average and standard deviation) over time.
+
+Paper shape: roughly constant during the static query phase, slightly
+higher average with a larger deviation during churn (offline peers force
+retries).  Absolute values differ from PlanetLab's heavily loaded nodes;
+shapes are what we compare.
+"""
+
+from repro._util import mean
+from repro.experiments import fig789
+from repro.experiments.reporting import print_table
+
+
+def test_fig9_query_latency(benchmark):
+    report = benchmark.pedantic(fig789.system_report, rounds=1, iterations=1)
+    print_table(
+        ["minute", "avg latency s", "stddev s"],
+        fig789.fig9_rows(),
+        title="Figure 9 -- query latency",
+    )
+    config = report.config
+    static = [
+        (avg, sd)
+        for m, avg, sd in report.latency
+        if config.query_start < m <= config.churn_start
+    ]
+    churn = [
+        (avg, sd) for m, avg, sd in report.latency if m > config.churn_start + 3
+    ]
+    assert static and churn, "both phases must produce latency samples"
+    static_avg = mean(a for a, _ in static)
+    churn_avg = mean(a for a, _ in churn)
+    assert churn_avg >= 0.8 * static_avg, (
+        "churn must not make queries faster"
+    )
+    # The retry tail under churn inflates the spread.
+    static_sd = mean(s for _, s in static)
+    churn_sd = mean(s for _, s in churn)
+    assert churn_sd >= 0.8 * static_sd

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the hot core primitives.
+
+These use pytest-benchmark's statistical timing (many rounds) rather
+than the one-shot harness runs: they guard against performance
+regressions in the inner loops every experiment depends on.
+"""
+
+import random
+
+from repro.core.bisection import simulate_aep
+from repro.core.probabilities import alpha_of_p, beta_of_p, decision_probabilities
+from repro.pgrid.keyspace import float_to_key
+from repro.pgrid.network import PGridNetwork
+
+
+def test_micro_beta_inversion(benchmark):
+    result = benchmark(lambda: beta_of_p(0.42))
+    assert 0.0 < result < 1.0
+
+
+def test_micro_alpha_inversion(benchmark):
+    result = benchmark(lambda: alpha_of_p(0.17))
+    assert 0.0 < result < 1.0
+
+
+def test_micro_decision_probabilities_corrected(benchmark):
+    probs = benchmark(lambda: decision_probabilities(0.2, m=10))
+    assert 0.0 <= probs.alpha <= 1.0
+
+
+def test_micro_aep_bisection_small(benchmark):
+    counter = iter(range(10**9))
+
+    def run():
+        return simulate_aep(200, 0.4, m=10, rng=next(counter))
+
+    out = benchmark(run)
+    assert out.n0 + out.n1 == 200
+
+
+def test_micro_lookup(benchmark):
+    rand = random.Random(5)
+    keys = [float_to_key(rand.random()) for _ in range(1000)]
+    net = PGridNetwork.ideal(keys, 128, d_max=40, n_min=3, rng=1)
+    query_keys = rand.sample(keys, 64)
+    idx = iter(range(10**9))
+
+    def run():
+        return net.lookup(query_keys[next(idx) % 64], rng=rand)
+
+    res = benchmark(run)
+    assert res.found
+
+
+def test_micro_range_query(benchmark):
+    rand = random.Random(6)
+    keys = [float_to_key(rand.random()) for _ in range(1000)]
+    net = PGridNetwork.ideal(keys, 128, d_max=40, n_min=3, rng=2)
+    lo, hi = float_to_key(0.4), float_to_key(0.6)
+
+    def run():
+        return net.range_query(lo, hi, rng=rand)
+
+    res = benchmark(run)
+    assert len(res.keys) > 0

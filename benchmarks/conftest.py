@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures;
+the pytest-benchmark fixture times the regeneration and the printed
+tables carry the actual series (run with ``-s`` to see them inline).
+"""
+
+import pytest
+
+collect_ignore_glob: list = []
+
+
+def pytest_configure(config):
+    # Benchmarks print paper-style tables; keep them visible in CI logs.
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,42 @@
+"""Quickstart: build a data-oriented overlay from scratch and query it.
+
+Runs the paper's parallel construction over 64 peers holding uniform
+keys, then performs exact-match and range queries through the trie.
+"""
+
+from repro import ConstructionConfig, build_overlay, uniform_keys
+
+
+def main() -> None:
+    # 64 peers, 10 keys each, drawn uniformly from [0, 1).
+    peer_keys = uniform_keys(peers=64, keys_per_peer=10, seed=7)
+
+    # Decentralized, parallel construction (AEP bisections, Sec. 3) with
+    # replication factor n_min = 5 and storage bound d_max = 50.
+    net = build_overlay(
+        peer_keys, config=ConstructionConfig(n_min=5, d_max=50), rng=42
+    )
+    print(f"overlay: {len(net)} peers, {len(net.partitions())} partitions")
+    print(f"mean path length: {net.mean_path_length():.2f}")
+    print(f"replication factor: {net.replication_factor():.2f}")
+
+    # Exact-match query for one of the stored keys.
+    some_key = next(iter(net.all_keys()))
+    res = net.lookup(some_key, rng=1)
+    print(
+        f"lookup({some_key}): found={res.found} hops={res.hops} "
+        f"stored={res.value_present}"
+    )
+
+    # Range query over the middle half of the key space -- the
+    # operation uniform-hashing DHTs cannot serve in-network.
+    rng_res = net.range_query(0.25, 0.75, rng=2)
+    print(
+        f"range [0.25, 0.75): {len(rng_res.keys)} keys from "
+        f"{len(rng_res.partitions)} partitions in {rng_res.messages} messages"
+    )
+    assert res.found and rng_res.complete
+
+
+if __name__ == "__main__":
+    main()

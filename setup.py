@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work on older
+setuptools/pip stacks without the ``wheel`` package (offline
+environments): ``python setup.py develop`` or ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""Internal helpers shared across the package.
+
+Seeded random-number handling and environment-variable based scaling of
+experiment sizes live here so that every experiment is reproducible and
+cheap by default, yet can be scaled back up to paper-size runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Optional, Union
+
+RngLike = Union[random.Random, int, None]
+
+
+def make_rng(rng: RngLike = None) -> random.Random:
+    """Return a :class:`random.Random` from a seed, an existing RNG or ``None``.
+
+    Passing an existing ``random.Random`` returns it unchanged, so nested
+    components can share one stream.  An ``int`` seeds a fresh generator and
+    ``None`` draws the seed from :func:`env_seed` (default 20050830, the
+    VLDB'05 conference date) for deterministic-by-default experiments.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if rng is None:
+        return random.Random(env_seed())
+    return random.Random(rng)
+
+
+def env_seed() -> int:
+    """Global experiment seed, overridable through ``REPRO_SEED``."""
+    return int(os.environ.get("REPRO_SEED", "20050830"))
+
+
+def env_reps(default: int) -> int:
+    """Number of experiment repetitions, overridable through ``REPRO_REPS``."""
+    value = os.environ.get("REPRO_REPS")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Population-size multiplier, overridable through ``REPRO_SCALE``."""
+    value = os.environ.get("REPRO_SCALE")
+    if value is None:
+        return default
+    return float(value)
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale an experiment size ``n`` by the ``REPRO_SCALE`` multiplier."""
+    return max(minimum, int(round(n * env_scale())))
+
+
+def check_probability(value: float, name: str = "p") -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
+    from .exceptions import DomainError
+
+    if not 0.0 <= value <= 1.0:
+        raise DomainError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    from .exceptions import DomainError
+
+    if value <= 0:
+        raise DomainError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def weighted_mean(values, weights) -> float:
+    """Weighted arithmetic mean of ``values`` (plain Python, no numpy)."""
+    total_weight = float(sum(weights))
+    if total_weight == 0.0:
+        raise ZeroDivisionError("weights sum to zero")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def mean(values) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def std(values) -> float:
+    """Population standard deviation of a sequence (0.0 for len < 2)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return (sum((v - mu) ** 2 for v in values) / len(values)) ** 0.5

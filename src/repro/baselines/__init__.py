@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+``sequential``
+    Standard maintenance-model construction: peers join one at a time
+    (Secs. 1, 4.3) -- the latency/bandwidth baseline for the parallel
+    construction.
+``hashdht``
+    A uniform-hashing DHT with a Prefix-Hash-Tree-style index layered on
+    top (the Sec. 6 strawman): correct range queries, but every index
+    node traversal costs a full DHT lookup, so range processing is far
+    costlier than the in-network trie.
+"""
+
+from . import hashdht, sequential  # noqa: F401

@@ -1,0 +1,302 @@
+"""Discrete simulation of one decentralized key-space bisection (Sec. 3.3).
+
+While :mod:`repro.core.mva` integrates the *expected* dynamics, this module
+simulates the actual randomized process peer by peer: every step one
+undecided (AEP) or unsatisfied (AUT) peer initiates an interaction with a
+uniformly random peer and the protocol rules fire with real coin flips.
+
+The paper's five models map onto this package as:
+
+===  ==========================================================
+MVA  :func:`repro.core.mva.run_mva` (mean value, exact ``p``)
+SAM  :func:`repro.core.mva.run_sam` (mean value, sampled ``p``)
+AEP  :func:`simulate_aep` with ``m`` set, ``corrected=False``
+COR  :func:`simulate_aep` with ``m`` set, ``corrected=True``
+AUT  :func:`simulate_aut`
+===  ==========================================================
+
+Every simulated peer derives its own estimate ``p_hat`` from ``m``
+Bernoulli samples of the load distribution, so the systematic sampling
+bias of Sec. 3.2 -- and its removal by the corrected probabilities -- is
+visible in the discrete results exactly as in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .._util import RngLike, check_probability, make_rng
+from ..exceptions import ConstructionError, DomainError
+from .probabilities import (
+    DecisionProbabilities,
+    decision_probabilities,
+    heuristic_probabilities,
+)
+
+__all__ = ["BisectionOutcome", "simulate_aep", "simulate_aut"]
+
+#: Undecided marker for the per-peer side array.
+UNDECIDED = -1
+
+#: Safety factor (interactions per peer) before declaring non-termination.
+_MAX_COST_PER_PEER = 500.0
+
+
+@dataclass
+class BisectionOutcome:
+    """Result of one simulated bisection round.
+
+    ``n0``/``n1`` are the final peer counts per side, ``interactions``
+    the total number of initiated interactions (including "wasted" ones),
+    and ``referential_integrity`` records whether every decided peer ended
+    up holding a reference to a peer of the opposite partition -- the
+    invariant the paper highlights as AEP's practical advantage.
+    """
+
+    n: int
+    p: float
+    n0: int
+    n1: int
+    interactions: int
+    referential_integrity: bool
+
+    @property
+    def deviation(self) -> float:
+        """Signed deviation of the side-0 count from the target ``N p``."""
+        return self.n0 - self.n * self.p
+
+    @property
+    def achieved_fraction(self) -> float:
+        """Fraction of peers that decided for side 0."""
+        return self.n0 / self.n
+
+    @property
+    def per_peer_cost(self) -> float:
+        """Initiated interactions per peer."""
+        return self.interactions / self.n
+
+
+def _sample_estimates(
+    n: int, p: float, m: Optional[int], rand
+) -> Optional[List[float]]:
+    """Per-peer estimates ``p_hat ~ Binomial(m, p)/m`` (or ``None`` if the
+    exact ``p`` is globally known)."""
+    if m is None:
+        return None
+    if m < 1:
+        raise DomainError(f"sample size m must be >= 1, got {m}")
+    estimates = []
+    for _ in range(n):
+        hits = sum(1 for _ in range(m) if rand.random() < p)
+        estimates.append(hits / m)
+    return estimates
+
+
+def _policy_for(
+    p_hat: float,
+    m: Optional[int],
+    corrected: bool,
+    heuristic: bool,
+) -> tuple[DecisionProbabilities, int]:
+    """Decision probabilities plus the peer's *minority-side* orientation.
+
+    A peer whose estimate exceeds ``1/2`` mirrors the roles of the two
+    sides -- the symmetric treatment that keeps the process unbiased at
+    ``p = 1/2`` (clamping instead would truncate upward noise and drag
+    the balance down).  An estimate of exactly 0 is nudged inward
+    because a split ratio of 0 is meaningless.
+    """
+    minority = 0 if p_hat <= 0.5 else 1
+    q = min(p_hat, 1.0 - p_hat)
+    floor = 1.0 / (4.0 * m) if m is not None else 1e-6
+    q = min(max(q, floor), 0.5)
+    if heuristic:
+        probs = heuristic_probabilities(q)
+    else:
+        probs = decision_probabilities(q, m=m if corrected else None)
+    return probs, minority
+
+
+def simulate_aep(
+    n: int,
+    p: float,
+    *,
+    m: Optional[int] = None,
+    corrected: bool = False,
+    heuristic: bool = False,
+    rng: RngLike = None,
+) -> BisectionOutcome:
+    """Simulate one AEP bisection of ``n`` peers at load fraction ``p``.
+
+    Parameters
+    ----------
+    n, p:
+        Population size and the true load fraction of side 0
+        (``0 < p <= 1/2``; use the mirrored value for heavier-left
+        splits).
+    m:
+        If given, each peer estimates ``p`` from ``m`` Bernoulli samples
+        (models AEP/COR); if ``None`` all peers know ``p`` exactly.
+    corrected:
+        Apply the Eq. (9)/(10) bias corrections (model COR).
+    heuristic:
+        Use the Fig. 6(d) straw-man probability functions.
+    rng:
+        Seed or ``random.Random`` for reproducibility.
+    """
+    check_probability(p, "p")
+    if not 0.0 < p <= 0.5:
+        raise DomainError(f"simulate_aep expects p in (0, 1/2], got {p}")
+    if n < 2:
+        raise DomainError(f"need at least 2 peers, got {n}")
+    rand = make_rng(rng)
+    estimates = _sample_estimates(n, p, m, rand)
+
+    side = [UNDECIDED] * n
+    ref = [-1] * n  # a known peer on the opposite side, -1 if none yet
+    undecided = list(range(n))
+    pos = list(range(n))  # peer -> index in `undecided` for O(1) removal
+
+    def decide(peer: int, s: int, reference: int) -> None:
+        side[peer] = s
+        ref[peer] = reference
+        i = pos[peer]
+        last = undecided[-1]
+        undecided[i] = last
+        pos[last] = i
+        undecided.pop()
+
+    interactions = 0
+    max_interactions = int(_MAX_COST_PER_PEER * n)
+    while undecided:
+        if interactions > max_interactions:
+            raise ConstructionError(
+                f"AEP bisection failed to terminate after {interactions} interactions"
+            )
+        initiator = undecided[rand.randrange(len(undecided))]
+        contacted = rand.randrange(n - 1)
+        if contacted >= initiator:
+            contacted += 1
+        interactions += 1
+
+        p_hat = p if estimates is None else estimates[initiator]
+        probs, minority = _policy_for(p_hat, m, corrected, heuristic)
+        majority = 1 - minority
+
+        if side[contacted] == UNDECIDED:
+            if rand.random() < probs.alpha:
+                # Balanced split: one peer per side, assigned uniformly.
+                if rand.random() < 0.5:
+                    first, second = initiator, contacted
+                else:
+                    first, second = contacted, initiator
+                decide(first, 0, second)
+                decide(second, 1, first)
+            # else: wasted interaction, both stay undecided
+        elif side[contacted] == minority:
+            # Rule 3: join the majority, reference the contacted minority peer.
+            decide(initiator, majority, contacted)
+        else:
+            # Rule 4: contacted sits on the majority side.
+            if rand.random() < probs.beta:
+                decide(initiator, minority, contacted)
+            else:
+                # Join the majority; obtain an opposite-side reference from
+                # the contacted peer (guaranteed to exist -- the invariant).
+                shared = ref[contacted]
+                if shared < 0:
+                    raise ConstructionError(
+                        "invariant violation: decided peer without opposite reference"
+                    )
+                decide(initiator, majority, shared)
+
+    integrity = all(
+        ref[i] >= 0 and side[ref[i]] == 1 - side[i] for i in range(n)
+    )
+    n0 = sum(1 for s in side if s == 0)
+    return BisectionOutcome(
+        n=n,
+        p=p,
+        n0=n0,
+        n1=n - n0,
+        interactions=interactions,
+        referential_integrity=integrity,
+    )
+
+
+def simulate_aut(
+    n: int,
+    p: float,
+    *,
+    m: Optional[int] = None,
+    rng: RngLike = None,
+) -> BisectionOutcome:
+    """Simulate one AUT (autonomous partitioning) bisection.
+
+    Every peer pre-decides (side 0 with probability given by its own
+    estimate of ``p``) and then initiates interactions until it holds a
+    reference to an opposite-side peer -- obtained either directly from
+    an opposite-side contact or shared by an already-satisfied same-side
+    contact.  The contacted peer's state never changes.
+    """
+    check_probability(p, "p")
+    if not 0.0 < p <= 0.5:
+        raise DomainError(f"simulate_aut expects p in (0, 1/2], got {p}")
+    if n < 2:
+        raise DomainError(f"need at least 2 peers, got {n}")
+    rand = make_rng(rng)
+    estimates = _sample_estimates(n, p, m, rand)
+
+    side = [0] * n
+    for i in range(n):
+        p_i = p if estimates is None else estimates[i]
+        side[i] = 0 if rand.random() < p_i else 1
+    # Degenerate draws (all peers on one side) cannot satisfy referential
+    # integrity; re-balance by flipping one random peer, which is what a
+    # real deployment's timeout-and-retry would effectively do.
+    if all(s == side[0] for s in side):
+        side[rand.randrange(n)] ^= 1
+
+    ref = [-1] * n
+    unsatisfied = list(range(n))
+    pos = list(range(n))
+
+    def satisfy(peer: int, reference: int) -> None:
+        ref[peer] = reference
+        i = pos[peer]
+        last = unsatisfied[-1]
+        unsatisfied[i] = last
+        pos[last] = i
+        unsatisfied.pop()
+
+    interactions = 0
+    max_interactions = int(_MAX_COST_PER_PEER * n)
+    while unsatisfied:
+        if interactions > max_interactions:
+            raise ConstructionError(
+                f"AUT bisection failed to terminate after {interactions} interactions"
+            )
+        initiator = unsatisfied[rand.randrange(len(unsatisfied))]
+        contacted = rand.randrange(n - 1)
+        if contacted >= initiator:
+            contacted += 1
+        interactions += 1
+        if side[contacted] != side[initiator]:
+            satisfy(initiator, contacted)
+        elif ref[contacted] >= 0:
+            satisfy(initiator, ref[contacted])
+        # else: wasted interaction
+
+    integrity = all(
+        ref[i] >= 0 and side[ref[i]] == 1 - side[i] for i in range(n)
+    )
+    n0 = sum(1 for s in side if s == 0)
+    return BisectionOutcome(
+        n=n,
+        p=p,
+        n0=n0,
+        n1=n - n0,
+        interactions=interactions,
+        referential_integrity=integrity,
+    )

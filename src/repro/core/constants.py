@@ -1,0 +1,28 @@
+"""Model constants shared across the partitioning algorithms."""
+
+from __future__ import annotations
+
+import math
+
+#: Regime boundary ``p* = 1 - ln 2``: for load fractions ``p >= P_STAR``
+#: adaptive eager partitioning runs with ``alpha = 1`` and adapts ``beta``;
+#: below it, ``beta = 0`` and ``alpha`` is reduced (Sec. 3.1).
+P_STAR: float = 1.0 - math.log(2.0)
+
+#: Asymptotic interactions per peer for eager partitioning at ``p = 1/2``
+#: (``t* / N -> ln 2``, Sec. 3).
+EAGER_COST_PER_PEER: float = math.log(2.0)
+
+#: Asymptotic interactions per peer for autonomous partitioning at
+#: ``p = 1/2`` (``2 ln 2``, Sec. 3).
+AUT_COST_PER_PEER: float = 2.0 * math.log(2.0)
+
+#: Default replication factor used throughout the paper's evaluation.
+DEFAULT_N_MIN: int = 5
+
+#: Default number of data keys initially held by each peer (Secs. 4.4, 5.1).
+DEFAULT_KEYS_PER_PEER: int = 10
+
+#: Default storage-load bound as a multiple of ``n_min`` (figure captions:
+#: ``d_max = 10 * n_min``).
+DEFAULT_D_MAX_FACTOR: float = 10.0

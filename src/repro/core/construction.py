@@ -1,0 +1,761 @@
+"""Decentralized, parallel construction of the overlay from scratch.
+
+This module implements the complete indexing process of Secs. 2.2 and 4:
+starting from ``N`` peers that each hold a handful of data keys and know
+nothing about each other's data, it produces a trie-structured overlay in
+which
+
+* every peer has a *path* (its key-space partition),
+* storage load is balanced against the skew of the key distribution,
+* every partition is replicated by roughly ``n_min``..``2 n_min`` peers,
+* routing tables hold references to the complementary subtree at every
+  level of a peer's path.
+
+The process is round-based: in every round each *active* peer initiates
+one interaction with a (uniformly sampled) random peer, and the
+Fig. 2 interaction rules fire:
+
+``split``
+    both peers share a partition that is overloaded -> balanced split
+    with probability ``alpha(p_hat)``, exchanging the keys that now fall
+    outside each peer's refined path;
+``decide``
+    the contacted peer has already refined its path below the
+    initiator's -> AEP rules 3/4 with probability ``beta(p_hat)``;
+``replicate``
+    both peers share a partition that is *not* overloaded -> they become
+    replicas and reconcile their key sets (anti-entropy);
+``refer``
+    the peers' partitions diverge -> the initiator gains a routing entry
+    and is referred to a peer with a longer matching prefix, which it
+    contacts next (prefix routing during construction).
+
+Synchronization and termination follow Sec. 4.2: peers that cannot find a
+useful interaction stop initiating after ``max_idle_attempts`` attempts
+and only react to incoming contacts; the process ends when every peer is
+passive.  Overload decisions use only *local* estimates (Sec. 4.2's
+overlap estimators), and split ratios use the corrected decision
+probabilities by default (strategy ``"theory"``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import RngLike, make_rng
+from ..exceptions import ConstructionError, DomainError
+from ..pgrid.bits import Path, ROOT
+from ..pgrid.keyspace import KEY_BITS, bit_at
+from .constants import DEFAULT_D_MAX_FACTOR, DEFAULT_N_MIN
+from .estimators import (
+    estimate_partition_keys,
+    estimate_replica_count,
+    estimate_split_fraction,
+)
+from .probabilities import (
+    DecisionProbabilities,
+    decision_probabilities,
+    heuristic_probabilities,
+)
+
+__all__ = [
+    "ConstructionConfig",
+    "ConstructionPeer",
+    "ConstructionResult",
+    "construct_overlay",
+]
+
+#: Strategies for choosing the split probabilities (Fig. 6(d) ablation).
+STRATEGIES = ("theory", "uncorrected", "heuristic")
+
+
+@dataclass
+class ConstructionConfig:
+    """Tunable parameters of the decentralized construction.
+
+    ``n_min``
+        minimal replication factor (Sec. 2.2, criterion 2);
+    ``d_max``
+        maximal storage load per partition; ``None`` derives the paper's
+        default ``d_max_factor * n_min`` (figure captions use factors
+        10/20/30);
+    ``d_max_factor``
+        multiplier used when ``d_max`` is ``None``;
+    ``strategy``
+        ``"theory"`` = corrected probabilities of Eqs. (9)/(10) (COR),
+        ``"uncorrected"`` = plain ``alpha``/``beta`` (AEP),
+        ``"heuristic"`` = the Fig. 6(d) straw-man functions;
+    ``sample_size``
+        number of local keys sampled for the ``p`` estimate (``None`` =
+        use every locally stored key);
+    ``max_idle_attempts``
+        consecutive useless interactions before a peer stops initiating
+        (the paper uses 2);
+    ``max_rounds``
+        hard safety bound on rounds;
+    ``refer_hops``
+        maximum directed follow-up contacts after a refer interaction
+        (prefix-routing during construction).
+    """
+
+    n_min: int = DEFAULT_N_MIN
+    d_max: Optional[float] = None
+    d_max_factor: float = DEFAULT_D_MAX_FACTOR
+    strategy: str = "theory"
+    sample_size: Optional[int] = None
+    max_idle_attempts: int = 2
+    max_rounds: int = 400
+    refer_hops: int = 8
+    seed: Optional[int] = None
+
+    def resolved_d_max(self) -> float:
+        """The storage-load bound actually used."""
+        if self.d_max is not None:
+            return float(self.d_max)
+        return self.d_max_factor * self.n_min
+
+    def validate(self) -> None:
+        """Raise :class:`DomainError` on out-of-range parameters."""
+        if self.n_min < 1:
+            raise DomainError(f"n_min must be >= 1, got {self.n_min}")
+        if self.resolved_d_max() <= 0:
+            raise DomainError("d_max must be positive")
+        if self.strategy not in STRATEGIES:
+            raise DomainError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+        if self.sample_size is not None and self.sample_size < 1:
+            raise DomainError(f"sample_size must be >= 1, got {self.sample_size}")
+        if self.max_idle_attempts < 1:
+            raise DomainError("max_idle_attempts must be >= 1")
+
+
+@dataclass
+class ConstructionPeer:
+    """State of one peer during and after construction.
+
+    ``keys`` is the set of data keys the peer currently stores (all lie
+    inside its ``path`` partition); ``routing`` maps each level of the
+    path to peer ids whose paths have the complementary bit at that
+    level; ``replicas`` are same-partition peers discovered so far.
+    """
+
+    peer_id: int
+    path: Path = ROOT
+    keys: set = field(default_factory=set)
+    outbox: set = field(default_factory=set)
+    routing: Dict[int, List[int]] = field(default_factory=dict)
+    replicas: set = field(default_factory=set)
+    idle_strikes: int = 0
+    active: bool = True
+    interactions_initiated: int = 0
+
+    def add_route(self, level: int, other: int, limit: int = 4) -> None:
+        """Record ``other`` as a routing reference at ``level`` (bounded)."""
+        refs = self.routing.setdefault(level, [])
+        if other not in refs:
+            refs.append(other)
+            del refs[:-limit]
+
+    def route_candidates(self, level: int) -> List[int]:
+        """Known peers in the complementary subtree at ``level``."""
+        return self.routing.get(level, [])
+
+
+@dataclass
+class ConstructionResult:
+    """Outcome of a full decentralized construction run.
+
+    Cost counters follow the paper's Fig. 6 metrics: ``interactions``
+    counts every initiated contact (including refer hops and wasted
+    meetings), ``keys_moved`` every data key shipped between peers
+    (replication, splits, reconciliation) -- the bandwidth proxy of
+    Fig. 6(f) -- and ``rounds`` is the parallel latency proxy.
+    """
+
+    peers: List[ConstructionPeer]
+    rounds: int
+    interactions: int
+    keys_moved: int
+    replication_keys_moved: int
+    splits: int
+    replicate_meetings: int
+    refer_meetings: int
+    undeliverable_keys: int = 0
+    bilateral_interactions: int = 0
+    bandwidth_keys: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of peers."""
+        return len(self.peers)
+
+    @property
+    def interactions_per_peer(self) -> float:
+        """All initiated contacts per peer, including refer routing hops."""
+        return self.interactions / self.n
+
+    @property
+    def bilateral_interactions_per_peer(self) -> float:
+        """Fig. 6(e) metric: split/replicate/decide meetings per peer
+        (routing hops to *locate* partners are accounted separately,
+        as in Sec. 4.3's complexity split)."""
+        return self.bilateral_interactions / self.n
+
+    @property
+    def keys_moved_per_peer(self) -> float:
+        """Net data keys shipped per peer (construction traffic only)."""
+        return self.keys_moved / self.n
+
+    @property
+    def bandwidth_keys_per_peer(self) -> float:
+        """Fig. 6(f) metric: total keys transmitted per peer, counting the
+        key lists exchanged for comparison in every bilateral meeting as
+        well as actual movements and the initial replication copies."""
+        return self.bandwidth_keys / self.n
+
+    @property
+    def paths(self) -> List[Path]:
+        """All peer paths (input to the deviation metric)."""
+        return [peer.path for peer in self.peers]
+
+    def distinct_keys(self) -> set:
+        """Union of all stored keys."""
+        out: set = set()
+        for peer in self.peers:
+            out |= peer.keys
+        return out
+
+    def replication_factor(self) -> float:
+        """Mean number of peers per distinct leaf path."""
+        by_path: Dict[Path, int] = {}
+        for peer in self.peers:
+            by_path[peer.path] = by_path.get(peer.path, 0) + 1
+        if not by_path:
+            return 0.0
+        return len(self.peers) / len(by_path)
+
+    def mean_path_length(self) -> float:
+        """Average peer path length (trie depth actually reached)."""
+        return sum(p.path.length for p in self.peers) / len(self.peers)
+
+    def routing_is_consistent(self) -> bool:
+        """Every routing entry must point into the complementary subtree."""
+        peers_by_id = {p.peer_id: p for p in self.peers}
+        for peer in self.peers:
+            for level, refs in peer.routing.items():
+                if level >= peer.path.length:
+                    return False
+                want_prefix = peer.path.prefix(level).extend(1 - peer.path.bit(level))
+                for ref in refs:
+                    other = peers_by_id[ref]
+                    if not want_prefix.is_prefix_of(other.path):
+                        return False
+        return True
+
+    def storage_is_consistent(self) -> bool:
+        """Every stored key must fall inside its peer's partition."""
+        return all(
+            peer.path.contains_key(key, KEY_BITS)
+            for peer in self.peers
+            for key in peer.keys
+        )
+
+
+def construct_overlay(
+    peer_keys: Sequence[Sequence[int]],
+    config: ConstructionConfig | None = None,
+    *,
+    rng: RngLike = None,
+) -> ConstructionResult:
+    """Run the full decentralized construction (Secs. 2.2, 4.2, 4.4).
+
+    Parameters
+    ----------
+    peer_keys:
+        One integer-key sequence per peer -- the data each peer initially
+        holds (e.g. 10 keys each, as in the paper's experiments).
+    config:
+        See :class:`ConstructionConfig`; ``None`` uses paper defaults.
+    rng:
+        Seed or generator; construction is deterministic given a seed.
+
+    Returns
+    -------
+    ConstructionResult
+        Final peer states (paths, keys, routing tables) plus the cost
+        counters for Figs. 6(e)/6(f).
+    """
+    config = config or ConstructionConfig()
+    config.validate()
+    rand = make_rng(rng if rng is not None else config.seed)
+    n = len(peer_keys)
+    if n < 2 * config.n_min:
+        raise ConstructionError(
+            f"population {n} cannot sustain replication n_min={config.n_min}"
+        )
+
+    peers = [
+        ConstructionPeer(peer_id=i, keys=set(map(int, keys)))
+        for i, keys in enumerate(peer_keys)
+    ]
+    state = _Construction(peers, config, rand)
+    state.replication_phase()
+    state.run_rounds()
+    state.flush_outboxes()
+    return state.result()
+
+
+class _Construction:
+    """Mutable engine behind :func:`construct_overlay`."""
+
+    def __init__(self, peers: List[ConstructionPeer], config: ConstructionConfig, rand):
+        self.peers = peers
+        self.config = config
+        self.rand = rand
+        self.d_max = config.resolved_d_max()
+        self.interactions = 0
+        self.keys_moved = 0
+        self.replication_keys_moved = 0
+        self.splits = 0
+        self.replicate_meetings = 0
+        self.refer_meetings = 0
+        self.rounds = 0
+        self.undeliverable_keys = 0
+        self.bilateral_interactions = 0
+        self.bandwidth_keys = 0
+
+    # -- phase 1: initial replication (Sec. 4.2) -------------------------
+
+    def replication_phase(self) -> None:
+        """Copy every peer's keys to ``n_min - 1`` random other peers so
+        each key starts with ``n_min`` replicas -- the calibration the
+        replica-count estimator relies on."""
+        n = len(self.peers)
+        copies = self.config.n_min - 1
+        if copies <= 0:
+            return
+        snapshots = [list(peer.keys) for peer in self.peers]
+        for i, keys in enumerate(snapshots):
+            if not keys:
+                continue
+            others = self.rand.sample(range(n - 1), min(copies, n - 1))
+            for j in others:
+                target = j + 1 if j >= i else j
+                self.peers[target].keys.update(keys)
+                self.replication_keys_moved += len(keys)
+
+    # -- phase 2: rounds of random interactions ---------------------------
+
+    def run_rounds(self) -> None:
+        """Round-based concurrent process with Sec. 4.2 termination."""
+        n = len(self.peers)
+        while self.rounds < self.config.max_rounds:
+            active_ids = [p.peer_id for p in self.peers if p.active]
+            if not active_ids:
+                break
+            self.rounds += 1
+            self.rand.shuffle(active_ids)
+            for pid in active_ids:
+                peer = self.peers[pid]
+                if not peer.active:
+                    continue  # deactivated earlier in this round
+                partner_id = self.rand.randrange(n - 1)
+                if partner_id >= pid:
+                    partner_id += 1
+                self._interact(peer, self.peers[partner_id])
+        else:
+            raise ConstructionError(
+                f"construction did not settle within {self.config.max_rounds} rounds"
+            )
+
+    # -- interaction dispatch (Fig. 2) -------------------------------------
+
+    def _interact(self, initiator: ConstructionPeer, partner: ConstructionPeer) -> None:
+        """One initiated interaction, following referrals up to a bound."""
+        hops = 0
+        while True:
+            initiator.interactions_initiated += 1
+            self.interactions += 1
+            delivered = self._exchange_outbox(initiator, partner)
+            relation = self._relation(initiator, partner)
+            if relation != "diverged":
+                # Bilateral meeting: the initiator ships its key list so
+                # the pair can compare content and estimate the partition
+                # population -- the dominant bandwidth term of Fig. 6(f).
+                self.bilateral_interactions += 1
+                self.bandwidth_keys += len(initiator.keys)
+            if relation == "same":
+                useful = self._meet_same_partition(initiator, partner)
+                self._strike(initiator, useful or delivered)
+                return
+            if relation == "initiator_undecided":
+                useful = self._decide_against(initiator, partner)
+                self._strike(initiator, useful or delivered)
+                return
+            if relation == "partner_undecided":
+                # The partner lags behind; from its perspective the
+                # initiator has decided, so the partner applies rules 3/4.
+                useful = self._decide_against(partner, initiator)
+                self._strike(initiator, useful or delivered)
+                return
+            # Diverging paths: refer.  The initiator learns a routing entry
+            # and is handed a better-matching peer to contact next.
+            self.refer_meetings += 1
+            next_partner = self._refer(initiator, partner)
+            hops += 1
+            if next_partner is None or hops >= self.config.refer_hops:
+                self._strike(initiator, useful=delivered)
+                return
+            partner = next_partner
+
+    def _exchange_outbox(self, a: ConstructionPeer, b: ConstructionPeer) -> bool:
+        """Deliver in-flight keys that fall into the other peer's partition.
+
+        Keys displaced by path refinements travel piggy-backed on ordinary
+        interactions until they meet a peer responsible for them -- the
+        decentralized analogue of forwarding displaced data along the
+        growing routing structure.
+        """
+        moved = 0
+        for src, dst in ((a, b), (b, a)):
+            if not src.outbox:
+                continue
+            deliverable = {
+                k for k in src.outbox if dst.path.contains_key(k, KEY_BITS)
+            }
+            if deliverable:
+                src.outbox -= deliverable
+                dst.keys.update(deliverable)
+                moved += len(deliverable)
+        self.keys_moved += moved
+        return moved > 0
+
+    def _strike(self, peer: ConstructionPeer, useful: bool) -> None:
+        """Track useless interactions; passive peers stop initiating."""
+        if useful:
+            peer.idle_strikes = 0
+        else:
+            peer.idle_strikes += 1
+            if peer.idle_strikes >= self.config.max_idle_attempts:
+                peer.active = False
+
+    @staticmethod
+    def _relation(a: ConstructionPeer, b: ConstructionPeer) -> str:
+        """Classify the pair per Fig. 2."""
+        if a.path == b.path:
+            return "same"
+        if a.path.is_prefix_of(b.path):
+            return "initiator_undecided"
+        if b.path.is_prefix_of(a.path):
+            return "partner_undecided"
+        return "diverged"
+
+    # -- same-partition meeting: split or replicate -------------------------
+
+    def _meet_same_partition(
+        self, a: ConstructionPeer, b: ConstructionPeer
+    ) -> bool:
+        """Possibility 1/2 of Fig. 2.  Returns whether the initiator should
+        stay active.
+
+        While the shared partition is overloaded the bisection is *in
+        progress*: even a failed balanced-split coin flip keeps the peer
+        active, because AEP's undecided peers initiate interactions until
+        a decision is reached (Sec. 3.1) -- the expected number of
+        attempts is exactly what Eq. (3) prices in.
+        """
+        level = a.path.length
+        union = a.keys | b.keys
+        if self._overloaded(a, b, union, level):
+            self._try_split(a, b, union, level)
+            return True
+        return self._replicate(a, b, union)
+
+    def _overloaded(
+        self, a: ConstructionPeer, b: ConstructionPeer, union, level: int
+    ) -> bool:
+        """Local overload test: the partition justifies a further split.
+
+        Uses the Sec. 4.2 overlap estimators; disjoint samples estimate
+        "unbounded", i.e. definitely overloaded -- correct early in the
+        process when each peer has seen only a sliver of the partition.
+        """
+        if level >= KEY_BITS - 1 or not a.keys or not b.keys:
+            return False
+        if len(union) <= self.d_max / 2.0:
+            # Capture-recapture can report "unbounded" from two disjoint
+            # slivers; require direct evidence of real volume before
+            # declaring overload, so near-empty deep partitions settle.
+            return False
+        d_hat = estimate_partition_keys(a.keys, b.keys)
+        if d_hat <= self.d_max:
+            return False
+        return self._replica_evidence(a.keys, b.keys, a, b) >= 2 * self.config.n_min
+
+    def _replica_evidence(self, keys_a, keys_b, a=None, b=None) -> float:
+        """Best local estimate of the partition's peer count.
+
+        Combines the key-overlap estimator of Sec. 4.2 with the direct
+        evidence of the replica lists accumulated through reconciliation
+        (once replicas have fully synchronized, the overlap estimator
+        reports exactly ``n_min`` by design, so the discovered replica
+        population takes over)."""
+        r_hat = estimate_replica_count(keys_a, keys_b, self.config.n_min)
+        known = 0.0
+        if a is not None and b is not None:
+            known = float(len((a.replicas | b.replicas | {a.peer_id, b.peer_id})))
+        return max(r_hat, known) if math.isfinite(r_hat) else r_hat
+
+    def _split_policy(
+        self, union: set, level: int, r_hat: float
+    ) -> Tuple[DecisionProbabilities, int]:
+        """Decision probabilities for splitting at ``level``.
+
+        The estimated minority fraction is floored at ``n_min / r_hat``
+        (the decentralized analogue of Algorithm 1's lines 6-10: never
+        aim fewer than ``n_min`` peers at a side) and the probability
+        functions follow the configured strategy.
+        """
+        sample = union
+        if self.config.sample_size is not None and len(union) > self.config.sample_size:
+            sample = set(self.rand.sample(list(union), self.config.sample_size))
+        p_hat = estimate_split_fraction(sample, level)
+        minority = 0 if p_hat <= 0.5 else 1
+        q = min(p_hat, 1.0 - p_hat)
+        m_eff = max(len(sample), 1)
+        if math.isfinite(r_hat) and r_hat >= 2 * self.config.n_min:
+            q = max(q, self.config.n_min / r_hat)
+        q = min(max(q, 1.0 / (4.0 * m_eff)), 0.5)
+        if self.config.strategy == "heuristic":
+            probs = heuristic_probabilities(q)
+        elif self.config.strategy == "uncorrected":
+            probs = decision_probabilities(q)
+        else:
+            probs = decision_probabilities(q, m=m_eff)
+        return probs, minority
+
+    def _try_split(
+        self, a: ConstructionPeer, b: ConstructionPeer, union: set, level: int
+    ) -> bool:
+        """Balanced split of two same-path peers with probability alpha."""
+        r_hat = self._replica_evidence(a.keys, b.keys, a, b)
+        probs, _minority = self._split_policy(union, level, r_hat)
+        if self.rand.random() >= probs.alpha:
+            return False
+        lower, upper = (a, b) if self.rand.random() < 0.5 else (b, a)
+        self._assign_side(lower, 0, counterpart=upper)
+        self._assign_side(upper, 1, counterpart=lower)
+        self.splits += 1
+        return True
+
+    def _assign_side(
+        self, peer: ConstructionPeer, side: int, counterpart: ConstructionPeer
+    ) -> None:
+        """Extend ``peer``'s path by ``side``; ship foreign keys across.
+
+        Keys that fall outside the counterpart's (possibly deeper)
+        partition enter the counterpart's outbox and travel on until a
+        responsible peer is met.
+        """
+        level = peer.path.length
+        peer.path = peer.path.extend(side)
+        peer.add_route(level, counterpart.peer_id)
+        stay, leave = set(), set()
+        for key in peer.keys:
+            (stay if bit_at(key, level) == side else leave).add(key)
+        peer.keys = stay
+        # Displaced outbox keys that no longer belong anywhere near this
+        # peer keep travelling through its outbox regardless of the split.
+        if leave:
+            direct = {k for k in leave if counterpart.path.contains_key(k, KEY_BITS)}
+            counterpart.keys.update(direct)
+            counterpart.outbox.update(leave - direct)
+            self.keys_moved += len(leave)
+        # Replica lists refer to the old, coarser partition; they are
+        # re-discovered lazily through replicate meetings.
+        peer.replicas.clear()
+        peer.active = True
+        peer.idle_strikes = 0
+
+    # -- rules 3/4 against an already-decided peer ---------------------------
+
+    def _decide_against(
+        self, undecided: ConstructionPeer, decided: ConstructionPeer
+    ) -> bool:
+        """AEP rules 3/4: ``undecided``'s path is a proper prefix of
+        ``decided``'s, so the decided peer's next bit reveals its side.
+        Returns whether the interaction made progress."""
+        level = undecided.path.length
+        union = undecided.keys | decided.keys
+        if not self._overloaded(undecided, decided, union, level):
+            # Not enough load to justify refining; reconcile instead so the
+            # lagging peer catches up with the partition content it missed.
+            return self._pull_keys(undecided, decided)
+        r_hat = self._replica_evidence(undecided.keys, decided.keys, undecided, decided)
+        probs, minority = self._split_policy(union, level, r_hat)
+        partner_side = decided.path.bit(level)
+        if partner_side == minority:
+            side = 1 - minority  # rule 3: join the majority
+            reference = decided
+        else:
+            if self.rand.random() < probs.beta:
+                side = minority  # rule 4, first case
+                reference = decided
+            else:
+                side = partner_side  # rule 4, second case: same side,
+                reference = None  # reference obtained from partner's table
+        if reference is not None:
+            self._assign_side(undecided, side, counterpart=reference)
+        else:
+            shared = self._shared_reference(decided, level)
+            if shared is None:
+                # The partner cannot hand over an opposite-side contact
+                # (can only happen transiently); fall back to joining the
+                # opposite side of the partner to keep integrity.
+                side = 1 - partner_side
+                self._assign_side(undecided, side, counterpart=decided)
+            else:
+                self._assign_side(undecided, side, counterpart=shared)
+                # Keys shipped to `shared` (opposite side) -- correct
+                # destination; also learn the partner as a replica-side
+                # contact at deeper levels via future meetings.
+        return True
+
+    def _shared_reference(
+        self, peer: ConstructionPeer, level: int
+    ) -> Optional[ConstructionPeer]:
+        """A peer from ``peer``'s routing table on the opposite side of
+        ``level`` (rule 4's "obtains a reference from the contacted peer")."""
+        for ref in peer.route_candidates(level):
+            other = self.peers[ref]
+            if other.path.length > level and other.path.bit(level) != peer.path.bit(level):
+                return other
+        return None
+
+    # -- replicate / reconcile (possibility 2) --------------------------------
+
+    def _replicate(self, a: ConstructionPeer, b: ConstructionPeer, union: set) -> bool:
+        """Anti-entropy reconciliation of two same-partition replicas."""
+        moved = len(union - a.keys) + len(union - b.keys)
+        self.replicate_meetings += 1
+        if moved == 0 and b.peer_id in a.replicas and a.peer_id in b.replicas:
+            return False  # fully synchronized copies: a useless interaction
+        self.keys_moved += moved
+        a.keys = set(union)
+        b.keys = set(union)
+        a.replicas.add(b.peer_id)
+        b.replicas.add(a.peer_id)
+        a.replicas.update(b.replicas - {a.peer_id})
+        b.replicas.update(a.replicas - {b.peer_id})
+        b.active = True
+        b.idle_strikes = 0
+        return True
+
+    def _pull_keys(self, behind: ConstructionPeer, ahead: ConstructionPeer) -> bool:
+        """A lagging peer catches up on the partition content it missed
+        (without refining its path).  Returns whether keys moved."""
+        incoming = {k for k in ahead.keys if behind.path.contains_key(k, KEY_BITS)}
+        moved = len(incoming - behind.keys)
+        if moved:
+            behind.keys.update(incoming)
+            self.keys_moved += moved
+            behind.active = True
+            behind.idle_strikes = 0
+        return moved > 0
+
+    # -- refer (possibility 3) -------------------------------------------------
+
+    def _refer(
+        self, initiator: ConstructionPeer, partner: ConstructionPeer
+    ) -> Optional[ConstructionPeer]:
+        """Diverging-path meeting: exchange routing entries, get referred.
+
+        Both peers add each other at the divergence level (if it lies
+        inside their paths).  The partner then recommends, from its own
+        routing table, a peer whose path shares a longer prefix with the
+        initiator -- one step of prefix routing toward the initiator's
+        partition.
+        """
+        cpl = initiator.path.common_prefix_length(partner.path)
+        if cpl < initiator.path.length:
+            initiator.add_route(cpl, partner.peer_id)
+        if cpl < partner.path.length:
+            partner.add_route(cpl, initiator.peer_id)
+        # Partner recommends its best-matching contact.
+        best: Optional[ConstructionPeer] = None
+        best_cpl = cpl
+        for refs in partner.routing.values():
+            for ref in refs:
+                if ref == initiator.peer_id:
+                    continue
+                candidate = self.peers[ref]
+                c = candidate.path.common_prefix_length(initiator.path)
+                if c > best_cpl or (
+                    best is not None
+                    and c == best_cpl
+                    and candidate.path.length < best.path.length
+                ):
+                    best, best_cpl = candidate, c
+        return best
+
+    # -- final outbox flush ---------------------------------------------------
+
+    def flush_outboxes(self) -> None:
+        """Deliver keys still in flight when the process settles.
+
+        Every sibling subtree created by a split is populated, so a
+        responsible peer exists for (almost) every key; the rare
+        leftovers are counted as ``undeliverable_keys`` instead of being
+        silently dropped.
+        """
+        pending = []
+        for peer in self.peers:
+            for key in peer.outbox:
+                pending.append(key)
+            peer.outbox = set()
+        if not pending:
+            return
+        # Index peers by path for O(path-length) delivery per key.
+        by_path: Dict[Path, List[ConstructionPeer]] = {}
+        max_len = 0
+        for peer in self.peers:
+            by_path.setdefault(peer.path, []).append(peer)
+            max_len = max(max_len, peer.path.length)
+        for key in pending:
+            delivered = False
+            for length in range(max_len, -1, -1):
+                prefix = Path(key >> (KEY_BITS - length) if length else 0, length)
+                group = by_path.get(prefix)
+                if group:
+                    target = min(group, key=lambda p: len(p.keys))
+                    if target.path.contains_key(key, KEY_BITS):
+                        target.keys.add(key)
+                        self.keys_moved += 1
+                        delivered = True
+                    break
+            if not delivered:
+                self.undeliverable_keys += 1
+
+    # -- result ------------------------------------------------------------------
+
+    def result(self) -> ConstructionResult:
+        return ConstructionResult(
+            peers=self.peers,
+            rounds=self.rounds,
+            interactions=self.interactions,
+            keys_moved=self.keys_moved,
+            replication_keys_moved=self.replication_keys_moved,
+            splits=self.splits,
+            replicate_meetings=self.replicate_meetings,
+            refer_meetings=self.refer_meetings,
+            undeliverable_keys=self.undeliverable_keys,
+            bilateral_interactions=self.bilateral_interactions,
+            # Total keys on the wire: comparison lists + movements + the
+            # initial replication copies.
+            bandwidth_keys=self.bandwidth_keys
+            + self.keys_moved
+            + self.replication_keys_moved,
+        )

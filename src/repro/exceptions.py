@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DomainError(ReproError, ValueError):
+    """A numeric argument lies outside the mathematically valid domain.
+
+    Raised, for example, when asking for ``beta(p)`` with ``p`` outside
+    ``[1 - ln 2, 1/2]`` or for a load fraction outside ``(0, 1)``.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge."""
+
+
+class PartitionError(ReproError):
+    """The reference partitioner was given an infeasible configuration."""
+
+
+class RoutingError(ReproError):
+    """A query could not be routed to a responsible peer."""
+
+
+class ConstructionError(ReproError):
+    """The decentralized construction process entered an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""

@@ -1,0 +1,53 @@
+"""Plain-text tables for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> None:
+    """Print :func:`format_table` output (flushes so pytest -s shows it)."""
+    print("\n" + format_table(headers, rows, title=title), flush=True)
+
+
+def format_series(series: Sequence[tuple], *, every: int = 1) -> str:
+    """Compact one-line rendering of a (x, y, ...) series."""
+    points = [series[i] for i in range(0, len(series), max(every, 1))]
+    return " ".join(
+        "(" + ", ".join(_fmt(v) for v in point) + ")" for point in points
+    )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

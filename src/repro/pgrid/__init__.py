@@ -1,0 +1,25 @@
+"""P-Grid trie-structured overlay substrate (Sec. 2.1).
+
+Sub-modules
+-----------
+``bits``
+    Binary paths over the recursively bisected key space.
+``keyspace``
+    Order-preserving key encodings (floats, strings) to integer keys.
+``routing``
+    Per-level routing tables referencing the complementary subtree.
+``peer``
+    Peer state: path, stored keys, replicas, routing table.
+``network``
+    The assembled overlay: construction adapters, lookup entry points.
+``search``
+    Prefix routing for exact queries and the "shower" algorithm for
+    range queries over the trie.
+``maintenance``
+    The standard *sequential* maintenance model (joins/leaves) used as
+    the construction baseline, plus failure repair.
+``replication``
+    Anti-entropy reconciliation between replicas.
+"""
+
+from . import bits, keyspace, maintenance, network, peer, replication, routing, search  # noqa: F401

@@ -1,0 +1,204 @@
+"""Binary paths over the recursively bisected key space (Sec. 2.1).
+
+A P-Grid peer's *path* is the bit sequence identifying its key-space
+partition: bit ``0`` selects the lower half of the current interval, bit
+``1`` the upper half.  Paths therefore double as trie node labels and as
+dyadic sub-intervals of ``[0, 1)``.
+
+:class:`Path` is immutable, hashable and cheap (two ints), so it can be
+used freely as a dict key and copied by reference across thousands of
+simulated peers.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Tuple
+
+__all__ = ["Path", "ROOT"]
+
+
+@total_ordering
+class Path:
+    """An immutable, most-significant-bit-first binary path.
+
+    ``bits`` holds the path's bits as an integer (first bit = most
+    significant of the ``length`` low bits); ``length`` is the number of
+    bits.  The empty path (``length == 0``) denotes the whole key space.
+    """
+
+    __slots__ = ("bits", "length")
+
+    def __init__(self, bits: int = 0, length: int = 0):
+        if length < 0:
+            raise ValueError(f"path length must be >= 0, got {length}")
+        if bits < 0 or bits >> length:
+            raise ValueError(f"bits {bits:#x} do not fit in {length} bit(s)")
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "length", length)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Path is immutable")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Path":
+        """Parse a path from a string of ``'0'``/``'1'`` characters."""
+        bits = 0
+        for ch in text:
+            if ch not in "01":
+                raise ValueError(f"invalid path character {ch!r} in {text!r}")
+            bits = (bits << 1) | (ch == "1")
+        return cls(bits, len(text))
+
+    @classmethod
+    def from_bits(cls, sequence) -> "Path":
+        """Build a path from an iterable of 0/1 integers."""
+        bits = 0
+        length = 0
+        for b in sequence:
+            if b not in (0, 1):
+                raise ValueError(f"invalid bit {b!r}")
+            bits = (bits << 1) | b
+            length += 1
+        return cls(bits, length)
+
+    # -- basic accessors -------------------------------------------------
+
+    def bit(self, index: int) -> int:
+        """The bit at position ``index`` (0 = first / most significant)."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"bit index {index} out of range for length {self.length}")
+        return (self.bits >> (self.length - 1 - index)) & 1
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self.length):
+            yield self.bit(i)
+
+    def __str__(self) -> str:
+        return "".join("1" if b else "0" for b in self) if self.length else "<root>"
+
+    def __repr__(self) -> str:
+        return f"Path('{self}')" if self.length else "Path(<root>)"
+
+    # -- equality / ordering ----------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Path)
+            and self.length == other.length
+            and self.bits == other.bits
+        )
+
+    def __lt__(self, other: "Path") -> bool:
+        """Lexicographic / left-to-right key-space order.
+
+        A path sorts before another iff its interval starts earlier, with
+        a prefix sorting before its extensions by ``1`` and after its
+        extensions by ``0``-then-content (standard bit-string order).
+        """
+        if not isinstance(other, Path):
+            return NotImplemented
+        n = min(self.length, other.length)
+        a = self.bits >> (self.length - n) if n else 0
+        b = other.bits >> (other.length - n) if n else 0
+        if a != b:
+            return a < b
+        return self.length < other.length
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.length))
+
+    # -- structural operations ---------------------------------------------
+
+    def extend(self, bit: int) -> "Path":
+        """The child path obtained by appending one bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"invalid bit {bit!r}")
+        return Path((self.bits << 1) | bit, self.length + 1)
+
+    def prefix(self, n: int) -> "Path":
+        """The prefix consisting of the first ``n`` bits."""
+        if not 0 <= n <= self.length:
+            raise ValueError(f"prefix length {n} out of range for length {self.length}")
+        return Path(self.bits >> (self.length - n), n)
+
+    def parent(self) -> "Path":
+        """The path with the last bit removed."""
+        if self.length == 0:
+            raise ValueError("the root path has no parent")
+        return Path(self.bits >> 1, self.length - 1)
+
+    def sibling(self) -> "Path":
+        """The path differing only in its last bit."""
+        if self.length == 0:
+            raise ValueError("the root path has no sibling")
+        return Path(self.bits ^ 1, self.length)
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        """True iff ``self``'s interval contains ``other``'s."""
+        if self.length > other.length:
+            return False
+        return other.bits >> (other.length - self.length) == self.bits if self.length else True
+
+    def common_prefix_length(self, other: "Path") -> int:
+        """Number of leading bits shared with ``other``."""
+        n = min(self.length, other.length)
+        a = self.bits >> (self.length - n) if n else 0
+        b = other.bits >> (other.length - n) if n else 0
+        diff = a ^ b
+        if diff == 0:
+            return n
+        return n - diff.bit_length()
+
+    def diverges_from(self, other: "Path") -> bool:
+        """True iff neither path is a prefix of the other (disjoint intervals)."""
+        cpl = self.common_prefix_length(other)
+        return cpl < self.length and cpl < other.length
+
+    # -- key-space geometry --------------------------------------------------
+
+    def interval(self) -> Tuple[float, float]:
+        """The dyadic sub-interval ``[lo, hi)`` of ``[0, 1)`` this path covers."""
+        width = 2.0 ** (-self.length)
+        return self.bits * width, (self.bits + 1) * width
+
+    def width(self) -> float:
+        """Interval width ``2^-length``."""
+        return 2.0 ** (-self.length)
+
+    def overlap_fraction(self, other: "Path") -> float:
+        """``|I(self) ∩ I(other)| / |I(self)|`` -- the share of this path's
+        interval covered by ``other``.
+
+        Used by the deviation metric to attribute a decentralized peer to
+        the reference partitions it spans.
+        """
+        cpl = self.common_prefix_length(other)
+        if cpl < min(self.length, other.length):
+            return 0.0
+        if other.length <= self.length:
+            return 1.0  # other contains self
+        return 2.0 ** (self.length - other.length)
+
+    def key_range(self, key_bits: int) -> Tuple[int, int]:
+        """Integer key range ``[lo, hi)`` for keys of ``key_bits`` precision."""
+        if self.length > key_bits:
+            raise ValueError(
+                f"path of length {self.length} exceeds key precision {key_bits}"
+            )
+        lo = self.bits << (key_bits - self.length)
+        return lo, lo + (1 << (key_bits - self.length))
+
+    def contains_key(self, key: int, key_bits: int) -> bool:
+        """True iff the integer ``key`` (of ``key_bits`` precision) falls
+        inside this path's partition."""
+        return key >> (key_bits - self.length) == self.bits if self.length else True
+
+
+#: The empty path: the whole (un-partitioned) key space.
+ROOT = Path()

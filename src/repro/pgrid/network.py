@@ -1,0 +1,296 @@
+"""The assembled P-Grid overlay network.
+
+:class:`PGridNetwork` is the user-facing object tying peers, routing and
+query processing together.  Overlays can be obtained three ways:
+
+* :func:`build_overlay` -- run the paper's decentralized parallel
+  construction over per-peer key sets (the headline contribution);
+* :meth:`PGridNetwork.from_construction` -- wrap an existing
+  :class:`~repro.core.construction.ConstructionResult`;
+* :meth:`PGridNetwork.ideal` -- materialize the reference partitioning
+  of Algorithm 1 directly (globally coordinated; used as ground truth in
+  tests and baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .._util import RngLike, make_rng, mean
+from ..exceptions import PartitionError, RoutingError
+from .bits import Path
+from .keyspace import KEY_BITS, float_to_key, string_to_key
+from .peer import PGridPeer
+from .routing import RoutingTable
+from .search import LookupResult, RangeResult, lookup, range_query
+
+__all__ = ["PGridNetwork", "build_overlay"]
+
+KeyLike = Union[int, float, str]
+
+
+def _to_key(value: KeyLike) -> int:
+    """Coerce a float in [0,1), a string, or an integer key to an integer key."""
+    if isinstance(value, bool):
+        raise PartitionError("booleans are not valid keys")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return float_to_key(value)
+    if isinstance(value, str):
+        return string_to_key(value)
+    raise PartitionError(f"unsupported key type {type(value).__name__}")
+
+
+@dataclass
+class PGridNetwork:
+    """A routable collection of P-Grid peers."""
+
+    peers: Dict[int, PGridPeer] = field(default_factory=dict)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_construction(cls, result, *, max_refs: int = 4) -> "PGridNetwork":
+        """Adopt the outcome of the decentralized construction.
+
+        Copies paths, keys and the routing references accumulated during
+        construction into full :class:`PGridPeer` objects.
+        """
+        net = cls()
+        for cpeer in result.peers:
+            peer = PGridPeer(
+                peer_id=cpeer.peer_id,
+                path=cpeer.path,
+                keys=set(cpeer.keys),
+                replicas=set(cpeer.replicas),
+                routing=RoutingTable(max_refs_per_level=max_refs),
+            )
+            for level, refs in cpeer.routing.items():
+                for ref in refs:
+                    peer.routing.add(level, ref)
+            net.peers[peer.peer_id] = peer
+        net._prune_dangling_routes()
+        return net
+
+    @classmethod
+    def ideal(
+        cls,
+        keys: Sequence[int],
+        n_peers: int,
+        *,
+        d_max: float,
+        n_min: int,
+        max_refs: int = 4,
+        rng: RngLike = None,
+    ) -> "PGridNetwork":
+        """Materialize Algorithm 1's reference partitioning directly.
+
+        Peers are dealt to leaves (integral counts), each leaf's peers
+        store the leaf's keys, and routing tables are filled with random
+        references into every complementary subtree -- the overlay a
+        perfect, globally coordinated construction would produce.
+        """
+        from ..core.reference import reference_partition
+
+        rand = make_rng(rng)
+        reference = reference_partition(
+            keys, n_peers, d_max=d_max, n_min=n_min, integer_peers=True
+        )
+        net = cls()
+        leaf_keys: List[List[int]] = [[] for _ in reference.leaves]
+        sorted_keys = sorted(set(keys))
+        for key in sorted_keys:
+            for i, leaf in enumerate(reference.leaves):
+                if leaf.path.contains_key(key, KEY_BITS):
+                    leaf_keys[i].append(key)
+                    break
+        peer_id = 0
+        peers_per_leaf: List[List[int]] = []
+        for leaf, lkeys in zip(reference.leaves, leaf_keys):
+            ids = []
+            for _ in range(int(round(leaf.n_peers))):
+                peer = PGridPeer(
+                    peer_id=peer_id,
+                    path=leaf.path,
+                    keys=set(lkeys),
+                    routing=RoutingTable(max_refs_per_level=max_refs),
+                )
+                net.peers[peer_id] = peer
+                ids.append(peer_id)
+                peer_id += 1
+            peers_per_leaf.append(ids)
+        for ids in peers_per_leaf:
+            for pid in ids:
+                peer = net.peers[pid]
+                peer.replicas = set(ids) - {pid}
+        net.rebuild_routing(rng=rand, max_refs=max_refs)
+        return net
+
+    # -- routing bookkeeping ----------------------------------------------
+
+    def rebuild_routing(self, *, rng: RngLike = None, max_refs: int = 4) -> None:
+        """(Re)fill every peer's routing table with random references.
+
+        For each level of each peer's path, up to ``max_refs`` peers are
+        sampled uniformly from the complementary subtree, implementing
+        the paper's randomized reference selection.
+        """
+        rand = make_rng(rng)
+        by_prefix: Dict[Path, List[int]] = {}
+        for peer in self.peers.values():
+            for length in range(peer.path.length + 1):
+                by_prefix.setdefault(peer.path.prefix(length), []).append(peer.peer_id)
+        for peer in self.peers.values():
+            peer.routing = RoutingTable(max_refs_per_level=max_refs)
+            for level in range(peer.path.length):
+                comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
+                candidates = by_prefix.get(comp, [])
+                if not candidates:
+                    continue
+                chosen = rand.sample(candidates, min(max_refs, len(candidates)))
+                for ref in chosen:
+                    peer.routing.add(level, ref)
+
+    def _prune_dangling_routes(self) -> None:
+        """Remove references to unknown peer ids (defensive)."""
+        for peer in self.peers.values():
+            for level in list(peer.routing.levels):
+                peer.routing.levels[level] = [
+                    r for r in peer.routing.levels[level] if r in self.peers
+                ]
+
+    # -- peer access ---------------------------------------------------------
+
+    def peer(self, peer_id: int) -> PGridPeer:
+        """The peer with the given id."""
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise RoutingError(f"unknown peer id {peer_id}") from None
+
+    def random_online_peer(self, rng: RngLike = None) -> Optional[PGridPeer]:
+        """A uniformly random online peer, or ``None`` if all are offline."""
+        rand = make_rng(rng)
+        online = [p for p in self.peers.values() if p.online]
+        if not online:
+            return None
+        return online[rand.randrange(len(online))]
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(
+        self, value: KeyLike, *, start: Optional[int] = None, rng: RngLike = None
+    ) -> LookupResult:
+        """Exact-match query for a float, string or integer key."""
+        return lookup(self, _to_key(value), start=start, rng=rng)
+
+    def range_query(
+        self,
+        lo: KeyLike,
+        hi: KeyLike,
+        *,
+        start: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> RangeResult:
+        """Range query over ``[lo, hi)`` in key order."""
+        return range_query(self, _to_key(lo), _to_key(hi), start=start, rng=rng)
+
+    def insert(self, value: KeyLike, *, rng: RngLike = None) -> LookupResult:
+        """Insert a key: route to the responsible partition, store on the
+        responsible peer and all of its reachable replicas."""
+        key = _to_key(value)
+        res = lookup(self, key, rng=rng)
+        if res.found and res.responsible is not None:
+            target = self.peers[res.responsible]
+            target.store(key)
+            for rid in target.replicas:
+                replica = self.peers.get(rid)
+                if replica is not None and replica.online and replica.responsible_for(key):
+                    replica.store(key)
+        return res
+
+    # -- statistics ---------------------------------------------------------------
+
+    def mean_path_length(self) -> float:
+        """Average peer path length (the paper reports ~6 for 296 peers)."""
+        if not self.peers:
+            return 0.0
+        return mean(p.path.length for p in self.peers.values())
+
+    def partitions(self) -> Dict[Path, List[int]]:
+        """Peers grouped by identical path (structural replica groups)."""
+        groups: Dict[Path, List[int]] = {}
+        for peer in self.peers.values():
+            groups.setdefault(peer.path, []).append(peer.peer_id)
+        return groups
+
+    def replication_factor(self) -> float:
+        """Mean structural replicas per partition."""
+        groups = self.partitions()
+        if not groups:
+            return 0.0
+        return len(self.peers) / len(groups)
+
+    def paths(self) -> List[Path]:
+        """All peer paths."""
+        return [p.path for p in self.peers.values()]
+
+    def all_keys(self) -> set:
+        """Union of stored keys across peers."""
+        out: set = set()
+        for peer in self.peers.values():
+            out |= peer.keys
+        return out
+
+    def is_consistent(self) -> bool:
+        """Structural sanity: keys inside partitions, routes complementary."""
+        for peer in self.peers.values():
+            for key in peer.keys:
+                if not peer.responsible_for(key):
+                    return False
+            for level, refs in peer.routing.levels.items():
+                if level >= peer.path.length:
+                    if refs:
+                        return False
+                    continue
+                comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
+                for ref in refs:
+                    other = self.peers.get(ref)
+                    if other is None or not comp.is_prefix_of(other.path):
+                        return False
+        return True
+
+
+def build_overlay(
+    peer_keys: Sequence[Sequence[KeyLike]],
+    *,
+    config=None,
+    rng: RngLike = None,
+    max_refs: int = 4,
+    reconcile_rounds: int = 4,
+) -> PGridNetwork:
+    """Build an overlay from scratch with the paper's parallel algorithm.
+
+    ``peer_keys`` holds each peer's initial data (floats in ``[0, 1)``,
+    strings, or integer keys).  After construction a few anti-entropy
+    sweeps converge the structural replicas (the paper's end state:
+    "all peers discovered all their replicas" and content is fully
+    reconciled); pass ``reconcile_rounds=0`` to inspect the raw state.
+    The raw construction metrics are available through
+    :func:`repro.core.construction.construct_overlay` when needed.
+    """
+    from ..core.construction import construct_overlay
+    from .replication import anti_entropy_sweep, reconcile_down
+
+    int_keys = [[_to_key(v) for v in keys] for keys in peer_keys]
+    result = construct_overlay(int_keys, config, rng=rng)
+    net = PGridNetwork.from_construction(result, max_refs=max_refs)
+    if reconcile_rounds > 0:
+        anti_entropy_sweep(net, rounds=reconcile_rounds, rng=rng)
+        reconcile_down(net)
+    return net

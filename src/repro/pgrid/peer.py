@@ -1,0 +1,63 @@
+"""P-Grid peer state (Sec. 2.1).
+
+A peer is responsible for the key-space partition identified by its
+``path``; it stores the data keys of that partition, knows its structural
+replicas (other peers with the same path) and keeps a per-level routing
+table into the complementary subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from ..exceptions import DomainError
+from .bits import Path, ROOT
+from .keyspace import KEY_BITS
+from .routing import RoutingTable
+
+__all__ = ["PGridPeer"]
+
+
+@dataclass
+class PGridPeer:
+    """One overlay node.
+
+    ``online`` models churn: offline peers drop every message addressed
+    to them (queries retry through alternative references).
+    """
+
+    peer_id: int
+    path: Path = ROOT
+    keys: Set[int] = field(default_factory=set)
+    replicas: Set[int] = field(default_factory=set)
+    routing: RoutingTable = field(default_factory=RoutingTable)
+    online: bool = True
+
+    def responsible_for(self, key: int) -> bool:
+        """True iff ``key`` falls inside this peer's partition."""
+        return self.path.contains_key(key, KEY_BITS)
+
+    def store(self, key: int) -> None:
+        """Store a data key; rejects keys outside the partition."""
+        if not self.responsible_for(key):
+            raise DomainError(
+                f"key {key} outside partition {self.path} of peer {self.peer_id}"
+            )
+        self.keys.add(key)
+
+    def resolves(self, key: int) -> int:
+        """Number of leading path bits of this peer matching ``key``.
+
+        Routing forwards a query at the first unresolved bit; a peer that
+        resolves its whole path is responsible for the key.
+        """
+        for level in range(self.path.length):
+            key_bit = (key >> (KEY_BITS - 1 - level)) & 1
+            if key_bit != self.path.bit(level):
+                return level
+        return self.path.length
+
+    def matching_keys(self, lo: int, hi: int) -> Set[int]:
+        """Stored keys inside the half-open integer range ``[lo, hi)``."""
+        return {k for k in self.keys if lo <= k < hi}

@@ -1,0 +1,136 @@
+"""Replica reconciliation (anti-entropy) between same-partition peers.
+
+Structural replication -- several peers per key-space partition -- is the
+paper's availability mechanism (Sec. 2.1).  Replicas converge on the same
+key set through pairwise reconciliation, "using, e.g. [an] anti-entropy
+algorithm" (Fig. 2, possibility 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from .._util import RngLike, make_rng
+from ..exceptions import DomainError
+from .network import PGridNetwork
+from .peer import PGridPeer
+
+__all__ = ["ReconcileStats", "reconcile", "anti_entropy_sweep", "replica_divergence"]
+
+
+@dataclass
+class ReconcileStats:
+    """Keys exchanged during one pairwise reconciliation."""
+
+    a_received: int
+    b_received: int
+
+    @property
+    def keys_moved(self) -> int:
+        """Total transferred keys (the bandwidth cost of the exchange)."""
+        return self.a_received + self.b_received
+
+
+def reconcile(a: PGridPeer, b: PGridPeer) -> ReconcileStats:
+    """Pairwise anti-entropy: both peers end with the union of their keys.
+
+    Only valid between peers of the same partition (same path); raises
+    :class:`DomainError` otherwise, because merging across partitions
+    would violate storage consistency.
+    """
+    if a.path != b.path:
+        raise DomainError(
+            f"cannot reconcile peers of different partitions {a.path} vs {b.path}"
+        )
+    a_missing = b.keys - a.keys
+    b_missing = a.keys - b.keys
+    a.keys |= a_missing
+    b.keys |= b_missing
+    a.replicas.add(b.peer_id)
+    b.replicas.add(a.peer_id)
+    return ReconcileStats(a_received=len(a_missing), b_received=len(b_missing))
+
+
+def anti_entropy_sweep(
+    network: PGridNetwork, *, rounds: int = 1, rng: RngLike = None
+) -> int:
+    """Run ``rounds`` of randomized pairwise reconciliation per partition.
+
+    Each round pairs every online peer with a random online replica of the
+    same partition.  Returns total keys moved.  Convergence is geometric:
+    a partition of ``r`` replicas converges in ``O(log r)`` expected
+    rounds.
+    """
+    if rounds < 1:
+        raise DomainError(f"rounds must be >= 1, got {rounds}")
+    rand = make_rng(rng)
+    moved = 0
+    for _ in range(rounds):
+        for group in network.partitions().values():
+            online = [network.peers[g] for g in group if network.peers[g].online]
+            if len(online) < 2:
+                continue
+            for peer in online:
+                partner = online[rand.randrange(len(online))]
+                if partner is peer:
+                    continue
+                moved += reconcile(peer, partner).keys_moved
+    return moved
+
+
+def reconcile_down(network: PGridNetwork) -> int:
+    """Flow keys down prefix chains: a peer whose partition *contains*
+    another peer's partition pushes the matching keys to it.
+
+    During construction, peers that stayed at a coarse path legitimately
+    hold keys that also belong to the refined partitions below them; in
+    the operational system those keys reach the deeper replicas through
+    ordinary replicate interactions.  This helper performs that
+    convergence step in one pass and returns the number of keys copied.
+    Keys held by *nobody* covering a region remain missing -- real
+    construction failures are not papered over.
+    """
+    from .keyspace import KEY_BITS
+
+    groups = network.partitions()
+    paths = sorted(groups, key=lambda p: p.length)
+    moved = 0
+    for coarse in paths:
+        coarse_peers = [network.peers[pid] for pid in groups[coarse]]
+        coarse_keys = set()
+        for peer in coarse_peers:
+            coarse_keys |= peer.keys
+        if not coarse_keys:
+            continue
+        for deep in paths:
+            if deep.length <= coarse.length or not coarse.is_prefix_of(deep):
+                continue
+            lo, hi = deep.key_range(KEY_BITS)
+            matching = {k for k in coarse_keys if lo <= k < hi}
+            if not matching:
+                continue
+            for pid in groups[deep]:
+                peer = network.peers[pid]
+                missing = matching - peer.keys
+                peer.keys |= missing
+                moved += len(missing)
+    return moved
+
+
+def replica_divergence(network: PGridNetwork) -> float:
+    """Mean, over partitions, of the fraction of partition keys missing
+    from an average replica (0.0 = perfectly synchronized)."""
+    divergences: List[float] = []
+    for group in network.partitions().values():
+        peers = [network.peers[g] for g in group]
+        union = set()
+        for p in peers:
+            union |= p.keys
+        if not union:
+            continue
+        for p in peers:
+            divergences.append(1.0 - len(p.keys) / len(union))
+    if not divergences:
+        return 0.0
+    return sum(divergences) / len(divergences)

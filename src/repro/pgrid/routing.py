@@ -1,0 +1,76 @@
+"""Per-level routing tables for prefix routing (Sec. 2.1).
+
+For each bit position of its path a peer keeps one or more randomly
+selected references to peers whose paths carry the *opposite* bit at that
+position.  Multiple references per level provide the alternative access
+paths that make the overlay resilient to failures and churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .._util import RngLike, make_rng
+
+__all__ = ["RoutingTable"]
+
+
+@dataclass
+class RoutingTable:
+    """Routing references per path level, bounded per level.
+
+    ``max_refs_per_level`` bounds memory and keeps the table's failure
+    redundancy explicit (the paper keeps "one or more" references; our
+    experiments default to 4, enough that churn rarely exhausts a level).
+    """
+
+    max_refs_per_level: int = 4
+    levels: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add(self, level: int, peer_id: int) -> bool:
+        """Insert a reference; evict the oldest beyond the bound.
+
+        Returns True if the reference was new at this level.
+        """
+        refs = self.levels.setdefault(level, [])
+        if peer_id in refs:
+            return False
+        refs.append(peer_id)
+        if len(refs) > self.max_refs_per_level:
+            refs.pop(0)
+        return True
+
+    def remove(self, peer_id: int) -> None:
+        """Drop a (failed) peer from every level."""
+        for refs in self.levels.values():
+            while peer_id in refs:
+                refs.remove(peer_id)
+
+    def refs(self, level: int) -> List[int]:
+        """All references at ``level`` (possibly empty)."""
+        return list(self.levels.get(level, ()))
+
+    def choose(self, level: int, rng: RngLike = None, exclude: Iterable[int] = ()) -> Optional[int]:
+        """A random reference at ``level``, avoiding ``exclude`` if possible."""
+        refs = self.levels.get(level)
+        if not refs:
+            return None
+        rand = make_rng(rng)
+        excluded = set(exclude)
+        candidates = [r for r in refs if r not in excluded] or refs
+        return candidates[rand.randrange(len(candidates))]
+
+    def all_refs(self) -> List[int]:
+        """Every referenced peer id (duplicates removed, order arbitrary)."""
+        seen = set()
+        for refs in self.levels.values():
+            seen.update(refs)
+        return list(seen)
+
+    def depth(self) -> int:
+        """Number of populated levels."""
+        return len([lvl for lvl, refs in self.levels.items() if refs])
+
+    def __contains__(self, peer_id: int) -> bool:
+        return any(peer_id in refs for refs in self.levels.values())

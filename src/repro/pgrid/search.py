@@ -1,0 +1,193 @@
+"""Query processing over the trie overlay: prefix routing and range shower.
+
+Exact-match search resolves the requested key bit by bit (Sec. 2.1):
+whenever the current peer cannot resolve the next bit locally it forwards
+the query to a randomly chosen routing reference for that level.  The
+expected cost is ``O(log K)`` messages for ``K`` leaf partitions
+*irrespective of the trie's shape*, because every hop resolves at least
+one bit and the references are random within the complementary subtree.
+
+Range queries use the recursive *shower* strategy enabled by in-network
+key order (the very property uniform-hashing DHTs destroy, Sec. 6): the
+initiating peer answers its own slice of the range and forwards the
+disjoint remainders into the complementary subtrees that intersect the
+range.  Message cost is ``O(log K + K_range)`` where ``K_range`` is the
+number of partitions the range spans -- no per-key lookups, no
+fragmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from .._util import RngLike, make_rng
+from ..exceptions import RoutingError
+from .keyspace import KEY_BITS
+from .peer import PGridPeer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import PGridNetwork
+
+__all__ = ["LookupResult", "RangeResult", "lookup", "range_query"]
+
+#: Bound on routing hops before a lookup is declared failed (a correct
+#: overlay of K partitions needs at most ~log2 K + retries).
+MAX_HOPS = 4 * KEY_BITS
+
+
+@dataclass
+class LookupResult:
+    """Outcome of an exact-match query.
+
+    ``hops`` counts forwarded messages (0 if the start peer was already
+    responsible), matching the paper's "query hops" measure.
+    """
+
+    key: int
+    found: bool
+    responsible: Optional[int]
+    hops: int
+    visited: List[int]
+    value_present: bool = False
+
+    @property
+    def success(self) -> bool:
+        """True iff a responsible, online peer was reached."""
+        return self.found
+
+
+@dataclass
+class RangeResult:
+    """Outcome of a range query.
+
+    ``keys`` are all data keys found in the half-open integer range;
+    ``messages`` counts every inter-peer forward; ``partitions`` the
+    distinct peer paths that contributed results.
+    """
+
+    lo: int
+    hi: int
+    keys: Set[int] = field(default_factory=set)
+    messages: int = 0
+    partitions: Set[str] = field(default_factory=set)
+    failures: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True iff no sub-range had to be abandoned due to failures."""
+        return self.failures == 0
+
+
+def _alive_ref(
+    network: "PGridNetwork", peer: PGridPeer, level: int, rand
+) -> Optional[PGridPeer]:
+    """A random online routing reference of ``peer`` at ``level``."""
+    refs = peer.routing.refs(level)
+    rand.shuffle(refs)
+    for ref in refs:
+        other = network.peers.get(ref)
+        if other is not None and other.online:
+            return other
+    return None
+
+
+def lookup(
+    network: "PGridNetwork",
+    key: int,
+    *,
+    start: Optional[int] = None,
+    rng: RngLike = None,
+) -> LookupResult:
+    """Route an exact-match query for ``key`` through the overlay.
+
+    ``start`` selects the issuing peer (random online peer by default).
+    The lookup retries alternative references when a next-hop candidate
+    is offline; it fails (``found=False``) only when every reference for
+    the required level is dead or the hop bound is exceeded.
+    """
+    rand = make_rng(rng)
+    current = network.peer(start) if start is not None else network.random_online_peer(rand)
+    if current is None:
+        raise RoutingError("no online peer available to issue the query")
+    visited = [current.peer_id]
+    hops = 0
+    while hops <= MAX_HOPS:
+        level = current.resolves(key)
+        if level >= current.path.length:
+            return LookupResult(
+                key=key,
+                found=True,
+                responsible=current.peer_id,
+                hops=hops,
+                visited=visited,
+                value_present=key in current.keys,
+            )
+        nxt = _alive_ref(network, current, level, rand)
+        if nxt is None:
+            return LookupResult(
+                key=key, found=False, responsible=None, hops=hops, visited=visited
+            )
+        current = nxt
+        hops += 1
+        visited.append(current.peer_id)
+    return LookupResult(key=key, found=False, responsible=None, hops=hops, visited=visited)
+
+
+def range_query(
+    network: "PGridNetwork",
+    lo: int,
+    hi: int,
+    *,
+    start: Optional[int] = None,
+    rng: RngLike = None,
+) -> RangeResult:
+    """Answer a range query ``[lo, hi)`` with the shower strategy.
+
+    The initiating peer collects its local matches, then splits the
+    remainder of the range along its own path: the complementary subtree
+    at every level covers a disjoint slice of the key space, and each
+    slice intersecting the range receives one forwarded sub-query.  The
+    recursion bottoms out at peers whose partitions lie inside the range.
+    """
+    if not 0 <= lo <= hi <= (1 << KEY_BITS):
+        raise RoutingError(f"invalid key range [{lo}, {hi})")
+    rand = make_rng(rng)
+    result = RangeResult(lo=lo, hi=hi)
+    first = network.peer(start) if start is not None else network.random_online_peer(rand)
+    if first is None:
+        raise RoutingError("no online peer available to issue the query")
+    _shower(network, first, lo, hi, result, rand)
+    return result
+
+
+def _shower(
+    network: "PGridNetwork",
+    peer: PGridPeer,
+    lo: int,
+    hi: int,
+    result: RangeResult,
+    rand,
+) -> None:
+    """Recursive step of the shower range algorithm."""
+    if lo >= hi:
+        return
+    # Local contribution.
+    own_lo, own_hi = peer.path.key_range(KEY_BITS)
+    if own_lo < hi and lo < own_hi:
+        found = peer.matching_keys(max(lo, own_lo), min(hi, own_hi))
+        result.partitions.add(str(peer.path))
+        result.keys.update(found)
+    # Forward into every complementary subtree intersecting the range.
+    for level in range(peer.path.length):
+        comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
+        c_lo, c_hi = comp.key_range(KEY_BITS)
+        sub_lo, sub_hi = max(lo, c_lo), min(hi, c_hi)
+        if sub_lo >= sub_hi:
+            continue
+        nxt = _alive_ref(network, peer, level, rand)
+        result.messages += 1
+        if nxt is None:
+            result.failures += 1
+            continue
+        _shower(network, nxt, sub_lo, sub_hi, result, rand)

@@ -1,0 +1,94 @@
+"""Churn: peers leave and rejoin on a renewal process (Sec. 5.1).
+
+The paper's final experiment phase has "each peer independently decide to
+go offline 1-5 minutes every 5-10 minutes", producing considerable churn
+the overlay must absorb.  :class:`ChurnProcess` reproduces exactly that
+schedule on the simulator clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .._util import RngLike, make_rng
+from ..exceptions import SimulationError
+from .engine import Simulator
+
+__all__ = ["ChurnProcess"]
+
+
+@dataclass
+class ChurnConfig:
+    """Churn timing parameters, in seconds (paper defaults in minutes)."""
+
+    min_offline: float = 60.0
+    max_offline: float = 300.0
+    min_online: float = 300.0
+    max_online: float = 600.0
+
+    def validate(self) -> None:
+        if not 0 < self.min_offline <= self.max_offline:
+            raise SimulationError("invalid offline interval")
+        if not 0 < self.min_online <= self.max_online:
+            raise SimulationError("invalid online interval")
+
+
+class ChurnProcess:
+    """Drives one node's on/off availability.
+
+    ``set_online`` is called with True/False at each transition; the
+    process starts in the online state and alternates uniformly sampled
+    online/offline periods until ``stop()`` or ``until`` is reached.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        set_online: Callable[[bool], None],
+        *,
+        config: Optional[ChurnConfig] = None,
+        until: Optional[float] = None,
+        rng: RngLike = None,
+    ):
+        self.sim = sim
+        self.set_online = set_online
+        self.config = config or ChurnConfig()
+        self.config.validate()
+        self.until = until
+        self.rng = make_rng(rng)
+        self.active = False
+        self.transitions = 0
+
+    def start(self) -> None:
+        """Begin alternating periods (first transition after one online
+        period)."""
+        self.active = True
+        self._schedule_offline()
+
+    def stop(self) -> None:
+        """Stop scheduling further transitions (node stays as-is)."""
+        self.active = False
+
+    def _expired(self) -> bool:
+        return self.until is not None and self.sim.now >= self.until
+
+    def _schedule_offline(self) -> None:
+        delay = self.rng.uniform(self.config.min_online, self.config.max_online)
+        self.sim.schedule(delay, self._go_offline)
+
+    def _go_offline(self) -> None:
+        if not self.active or self._expired():
+            return
+        self.set_online(False)
+        self.transitions += 1
+        delay = self.rng.uniform(self.config.min_offline, self.config.max_offline)
+        self.sim.schedule(delay, self._go_online)
+
+    def _go_online(self) -> None:
+        if not self.active:
+            return
+        self.set_online(True)
+        self.transitions += 1
+        if not self._expired():
+            self._schedule_offline()

@@ -1,0 +1,122 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: events are ``(time, seq, callback)`` triples
+in a binary heap; ``seq`` breaks ties deterministically so simulations
+are exactly reproducible given a seed.  Time is a float in *seconds* of
+simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+__all__ = ["Simulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """The simulated clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("five seconds in"))
+        sim.run_until(60.0)
+    """
+
+    def __init__(self):
+        self._queue: List[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled placeholders)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns a handle whose ``cancelled`` attribute can be set through
+        :meth:`cancel`.  Negative delays are rejected -- the simulator
+        never travels back in time.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a scheduled event (it stays in the heap but is skipped)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, *, max_events: Optional[int] = None) -> None:
+        """Run events in order until the clock passes ``end_time``.
+
+        ``max_events`` guards against runaway event storms in tests.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._queue and budget > 0:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+            budget -= 1
+        if budget <= 0:
+            raise SimulationError(
+                f"event budget exhausted at t={self._now:.1f}s "
+                f"({self._processed} events processed)"
+            )
+        self._now = max(self._now, end_time)
+
+    def run_all(self, *, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        budget = max_events
+        while self.step():
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError("event budget exhausted in run_all")

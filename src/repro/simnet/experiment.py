@@ -1,0 +1,276 @@
+"""The full Sec. 5 experiment: join, replicate, construct, query, churn.
+
+Reproduces the paper's PlanetLab timeline on the simulated network:
+
+===============  ==========================  ==========================
+phase            paper schedule              driver default (minutes)
+===============  ==========================  ==========================
+join             t .. t+100 min              0 .. 100
+replicate        t+75 .. t+100 min           75 .. 100
+construct        t+100 .. t+300 min          100 .. 300
+query            t+300 .. t+475 min          300 .. 475
+churn (+query)   t+475 .. t+525 min          475 .. 525
+===============  ==========================  ==========================
+
+The driver collects exactly the series of Figs. 7/8/9 plus the Sec. 5.2
+summary statistics (load-balance deviation vs. the Algorithm-1 reference,
+mean path length, query hops, replication factor, success rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .._util import RngLike, make_rng, mean
+from ..core.deviation import load_balance_deviation
+from ..core.reference import reference_partition
+from ..exceptions import SimulationError
+from ..workloads.datasets import workload_keys
+from . import protocol as P
+from .churn import ChurnConfig, ChurnProcess
+from .engine import Simulator
+from .node import NodeConfig, PGridNode
+from .stats import StatsCollector
+from .topology import UnstructuredOverlay
+from .transport import LogNormalLatency, Network
+
+__all__ = ["ExperimentConfig", "ExperimentReport", "run_experiment"]
+
+_MIN = 60.0  # seconds per simulated minute
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs of the full-system experiment (times in minutes)."""
+
+    peers: int = 296
+    keys_per_peer: int = 10
+    distribution: str = "A"
+    n_min: int = 5
+    d_max: Optional[float] = None  # default: 10 * n_min (figure captions)
+    join_end: float = 75.0
+    replicate_start: float = 75.0
+    construct_start: float = 100.0
+    query_start: float = 300.0
+    churn_start: float = 475.0
+    end: float = 525.0
+    query_interval: Tuple[float, float] = (1.0, 2.0)  # minutes between queries
+    interaction_interval: float = 20.0  # seconds
+    loss_rate: float = 0.01
+    latency_median: float = 0.12
+    seed: int = 20050830
+
+    def resolved_d_max(self) -> float:
+        return self.d_max if self.d_max is not None else 10.0 * self.n_min
+
+    def validate(self) -> None:
+        if self.peers < 10:
+            raise SimulationError("experiment needs at least 10 peers")
+        timeline = [
+            0.0,
+            self.join_end,
+            self.replicate_start,
+            self.construct_start,
+            self.query_start,
+            self.churn_start,
+            self.end,
+        ]
+        if any(b < a for a, b in zip(timeline, timeline[1:])):
+            raise SimulationError(f"phases out of order: {timeline}")
+
+
+@dataclass
+class ExperimentReport:
+    """Everything the Sec. 5 evaluation reports."""
+
+    config: ExperimentConfig
+    population: List[Tuple[float, int]]  # Fig. 7
+    maintenance_bandwidth: List[Tuple[float, float]]  # Fig. 8 (Bps)
+    query_bandwidth: List[Tuple[float, float]]  # Fig. 8 (Bps)
+    latency: List[Tuple[float, float, float]]  # Fig. 9 (min, avg, std)
+    deviation: float  # Sec. 5.2: 0.39 on PlanetLab
+    mean_path_length: float  # ~6
+    mean_query_hops: float  # ~3
+    replication_factor: float  # ~5
+    success_rate_static: float  # before churn
+    success_rate_churn: float  # 95-100% during churn
+    messages_sent: int
+    messages_dropped: int
+    peak_construction_bandwidth_per_peer: float  # ~250 Bps in the paper
+
+    def summary_rows(self) -> List[Tuple[str, float]]:
+        """The in-text statistics as printable rows."""
+        return [
+            ("load-balance deviation", self.deviation),
+            ("mean path length", self.mean_path_length),
+            ("mean query hops", self.mean_query_hops),
+            ("replication factor", self.replication_factor),
+            ("query success (static)", self.success_rate_static),
+            ("query success (churn)", self.success_rate_churn),
+            ("peak construction Bps/peer", self.peak_construction_bandwidth_per_peer),
+        ]
+
+
+def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """Run the five-phase experiment and return the report."""
+    config = config or ExperimentConfig()
+    config.validate()
+    rand = make_rng(config.seed)
+    sim = Simulator()
+    stats = StatsCollector(bin_seconds=_MIN)
+    network = Network(
+        sim,
+        latency=LogNormalLatency(median=config.latency_median),
+        loss_rate=config.loss_rate,
+        rng=rand,
+        stats=stats,
+    )
+    overlay = UnstructuredOverlay()
+    node_config = NodeConfig(
+        n_min=config.n_min,
+        d_max=config.resolved_d_max(),
+        interaction_interval=config.interaction_interval,
+    )
+
+    peer_keys = workload_keys(
+        config.distribution, config.peers, config.keys_per_peer, seed=rand
+    )
+    nodes: Dict[int, PGridNode] = {}
+    for i in range(config.peers):
+        node = PGridNode(
+            i, sim, network, config=node_config, rng=make_rng(rand.randrange(2**31))
+        )
+        node.original_keys = set(peer_keys[i])
+        node.keys = set(peer_keys[i])
+        nodes[i] = node
+
+    # -- phase 1: staggered joins via the bootstrap node -------------------
+    overlay.join(0, rng=rand)
+    nodes[0].overlay = overlay
+    nodes[0].joined = True
+    def make_join(node):
+        def do_join():
+            if node.joined:
+                return
+            node.send(0, P.JOIN, {"overlay": overlay})
+            sim.schedule(45.0, do_join)  # retry until the join sticks
+
+        return do_join
+
+    for i in range(1, config.peers):
+        join_at = rand.uniform(0.0, config.join_end * _MIN)
+        sim.schedule(join_at, make_join(nodes[i]))
+
+    # -- phase 2: replication (after every peer has joined) -----------------
+    copies = max(config.n_min - 1, 0)
+    rep_lo = max(config.replicate_start, config.join_end) * _MIN + 30.0
+    rep_hi = max(config.construct_start * _MIN - 30.0, rep_lo + 1.0)
+    for node in nodes.values():
+        at = rand.uniform(rep_lo, rep_hi)
+
+        def do_replicate(node=node):
+            node.replicate_keys(copies)
+
+        sim.schedule(at, do_replicate)
+
+    # -- phase 3: construction ---------------------------------------------------
+    for node in nodes.values():
+        at = config.construct_start * _MIN + rand.uniform(0.0, 60.0)
+        sim.schedule(at, node.start_constructing)
+
+    def stop_constructing():
+        for node in nodes.values():
+            node.constructing = False
+
+    sim.schedule(config.query_start * _MIN, stop_constructing)
+
+    # -- phase 4: queries -----------------------------------------------------------
+    lo_q, hi_q = config.query_interval
+
+    def schedule_query(node: PGridNode):
+        delay = rand.uniform(lo_q * _MIN, hi_q * _MIN)
+
+        def fire():
+            if sim.now >= config.end * _MIN:
+                return
+            if node.online and node.original_keys:
+                keys = list(node.original_keys)
+                node.issue_query(keys[rand.randrange(len(keys))])
+            schedule_query(node)
+
+        sim.schedule(delay, fire)
+
+    def start_queries():
+        for node in nodes.values():
+            schedule_query(node)
+
+    sim.schedule(config.query_start * _MIN, start_queries)
+
+    # -- phase 5: churn ----------------------------------------------------------------
+    churners: List[ChurnProcess] = []
+
+    def start_churn():
+        for node in nodes.values():
+            proc = ChurnProcess(
+                sim,
+                node.set_online,
+                config=ChurnConfig(),
+                until=config.end * _MIN,
+                rng=make_rng(rand.randrange(2**31)),
+            )
+            churners.append(proc)
+            proc.start()
+
+    sim.schedule(config.churn_start * _MIN, start_churn)
+
+    # -- population sampling -----------------------------------------------------------
+
+    def sample_population():
+        # A peer "participates" once it has joined the overlay and is online.
+        count = sum(1 for node in nodes.values() if node.joined and node.online)
+        stats.record_population(sim.now, count)
+        if sim.now < config.end * _MIN:
+            sim.schedule(_MIN, sample_population)
+
+    sim.schedule(0.0, sample_population)
+
+    # -- run --------------------------------------------------------------------------------
+    sim.run_until(config.end * _MIN, max_events=50_000_000)
+
+    # -- harvest query stats into the collector -----------------------------------------------
+    for node in nodes.values():
+        for issued_at, latency, hops, success in node.query_results:
+            stats.record_query(issued_at, latency, hops, success)
+
+    # -- final structural measurements ----------------------------------------------------------
+    all_keys = sorted({k for keys in peer_keys for k in keys})
+    reference = reference_partition(
+        all_keys, config.peers, d_max=config.resolved_d_max(), n_min=config.n_min
+    )
+    paths = [node.path for node in nodes.values()]
+    deviation = load_balance_deviation(paths, reference)
+    by_path: Dict[str, int] = {}
+    for node in nodes.values():
+        by_path[str(node.path)] = by_path.get(str(node.path), 0) + 1
+    replication = len(nodes) / max(len(by_path), 1)
+
+    churn_start_s = config.churn_start * _MIN
+    peak_bps = stats.peak_bandwidth(P.MAINTENANCE)
+
+    return ExperimentReport(
+        config=config,
+        population=stats.population_series(),
+        maintenance_bandwidth=stats.bandwidth_series(P.MAINTENANCE),
+        query_bandwidth=stats.bandwidth_series(P.QUERY_TRAFFIC),
+        latency=stats.latency_series(),
+        deviation=deviation,
+        mean_path_length=mean([p.length for p in paths]),
+        mean_query_hops=stats.mean_hops(),
+        replication_factor=replication,
+        success_rate_static=stats.success_rate(0.0, churn_start_s),
+        success_rate_churn=stats.success_rate(churn_start_s, config.end * _MIN),
+        messages_sent=network.messages_sent,
+        messages_dropped=network.messages_dropped,
+        peak_construction_bandwidth_per_peer=peak_bps / config.peers,
+    )

@@ -1,0 +1,756 @@
+"""A P-Grid peer as an asynchronous protocol node.
+
+This is the message-passing counterpart of the round-based simulator in
+:mod:`repro.core.construction`: the same Fig. 2 interaction rules
+(split / replicate / refer) and Sec. 4.2 estimators, but driven by
+timers, subject to latency, loss and churn, and with every byte
+accounted.  Optimistic concurrency handles in-flight races: an exchange
+response that no longer matches the initiator's state is discarded, just
+as a real implementation would abort a stale handshake.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .._util import RngLike, make_rng
+from ..core.estimators import (
+    estimate_partition_keys,
+    estimate_replica_count,
+    estimate_split_fraction,
+)
+from ..core.probabilities import decision_probabilities
+from ..pgrid.bits import Path, ROOT
+from ..pgrid.keyspace import KEY_BITS, bit_at
+from . import protocol as P
+from .engine import Simulator
+from .transport import Message, Network
+
+__all__ = ["PGridNode", "NodeConfig"]
+
+
+@dataclass
+class NodeConfig:
+    """Per-node protocol parameters (times in simulated seconds)."""
+
+    n_min: int = 5
+    d_max: float = 50.0
+    interaction_interval: float = 20.0
+    walk_length: int = 6
+    max_idle_attempts: int = 4
+    query_timeout: float = 30.0
+    query_retries: int = 4
+    max_refs_per_level: int = 4
+
+
+@dataclass
+class _PendingQuery:
+    key: int
+    issued_at: float
+    attempts: int = 0
+    done: bool = False
+    hops: int = 0
+
+
+class PGridNode:
+    """One simulated peer: state plus message handlers."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        *,
+        config: Optional[NodeConfig] = None,
+        rng: RngLike = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.config = config or NodeConfig()
+        self.rng = make_rng(rng)
+        self.online = True
+        # P-Grid state
+        self.path: Path = ROOT
+        self.keys: Set[int] = set()
+        self.original_keys: Set[int] = set()
+        self.outbox: Set[int] = set()
+        self.routing: Dict[int, List[int]] = {}
+        self.replicas: Set[int] = set()
+        # The live unstructured overlay (set when joining); neighbor lists
+        # are read from it dynamically because the bootstrap keeps wiring
+        # newcomers to existing nodes after our own join completed.
+        self.overlay = None
+        self.joined = False
+        # construction activity control
+        self.constructing = False
+        self.idle_strikes = 0
+        self._exchange_nonce = 0
+        self._inflight_exchange: Optional[tuple[int, str]] = None
+        # query bookkeeping
+        self._queries: Dict[int, _PendingQuery] = {}
+        self._query_seq = 0
+        self.query_results: List[tuple[float, float, int, bool]] = []
+        network.register(self)
+
+    # -- helpers -----------------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: dict, *, n_keys: int = 0,
+             category: str = P.MAINTENANCE) -> None:
+        """Transmit a message through the network (byte-accounted)."""
+        self.network.send(
+            self.node_id, dst, kind, payload, n_keys=n_keys, category=category
+        )
+
+    def set_online(self, online: bool) -> None:
+        """Churn hook: toggling availability clears in-flight handshakes."""
+        self.online = online
+        if not online:
+            self._inflight_exchange = None
+
+    def add_route(self, level: int, other: int) -> None:
+        """Record a complementary-subtree reference at ``level``."""
+        if other == self.node_id:
+            return
+        refs = self.routing.setdefault(level, [])
+        if other not in refs:
+            refs.append(other)
+            del refs[: -self.config.max_refs_per_level]
+
+    def route_for_key(self, key: int) -> Optional[int]:
+        """Next hop for ``key``: a random live-believed reference at the
+        first unresolved level (``None`` when responsible or stuck)."""
+        for level in range(self.path.length):
+            if bit_at(key, level) != self.path.bit(level):
+                refs = self.routing.get(level)
+                if not refs:
+                    return None
+                return refs[self.rng.randrange(len(refs))]
+        return None  # responsible
+
+    def responsible_for(self, key: int) -> bool:
+        """True iff ``key`` lies in this node's partition."""
+        return self.path.contains_key(key, KEY_BITS)
+
+    # -- message dispatch ----------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Network entry point."""
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            return  # unknown kinds are ignored (forward compatibility)
+        handler(message)
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def _on_join(self, msg: Message) -> None:
+        """Bootstrap role: wire the newcomer into the unstructured overlay.
+
+        Idempotent: a retried join (lost reply) re-sends the current
+        neighbor list instead of re-wiring.
+        """
+        overlay = msg.payload["overlay"]
+        if msg.src in overlay.neighbors:
+            neighbors = overlay.neighbors_of(msg.src)
+        else:
+            neighbors = overlay.join(msg.src, rng=self.rng)
+        self.send(msg.src, P.NEIGHBORS, {"neighbors": neighbors, "overlay": overlay})
+
+    def _on_neighbors(self, msg: Message) -> None:
+        self.overlay = msg.payload["overlay"]
+        self.joined = True
+
+    @property
+    def neighbors(self) -> List[int]:
+        """Current unstructured-overlay neighbors (live view)."""
+        if self.overlay is None:
+            return []
+        return self.overlay.neighbors_of(self.node_id)
+
+    # -- random walks -----------------------------------------------------------
+
+    def start_walk(self, purpose: str) -> None:
+        """Launch a uniform-sampling random walk (Sec. 3: "a variant of
+        random walks")."""
+        if not self.neighbors:
+            return
+        first = self.neighbors[self.rng.randrange(len(self.neighbors))]
+        self.send(
+            first,
+            P.WALK,
+            {
+                "origin": self.node_id,
+                "steps": self.config.walk_length - 1,
+                "purpose": purpose,
+            },
+        )
+
+    def _on_walk(self, msg: Message) -> None:
+        steps = msg.payload["steps"]
+        if steps <= 0 or not self.neighbors:
+            self.send(
+                msg.payload["origin"],
+                P.WALK_RESULT,
+                {"sampled": self.node_id, "purpose": msg.payload["purpose"]},
+            )
+            return
+        nxt = self.neighbors[self.rng.randrange(len(self.neighbors))]
+        self.send(
+            nxt,
+            P.WALK,
+            {
+                "origin": msg.payload["origin"],
+                "steps": steps - 1,
+                "purpose": msg.payload["purpose"],
+            },
+        )
+
+    def _on_walk_result(self, msg: Message) -> None:
+        sampled = msg.payload["sampled"]
+        purpose = msg.payload["purpose"]
+        if purpose == "replicate":
+            if self.original_keys:
+                self.send(
+                    sampled,
+                    P.STORE,
+                    {"keys": list(self.original_keys)},
+                    n_keys=len(self.original_keys),
+                )
+        elif purpose == "exchange" and sampled != self.node_id:
+            self._begin_exchange(sampled)
+
+    # -- replication phase --------------------------------------------------------
+
+    def replicate_keys(self, copies: int, *, _retries: int = 10) -> None:
+        """Kick off ``copies`` replication walks for the local key set.
+
+        A node that has not finished joining yet (no overlay neighbors)
+        retries shortly -- replication must not be lost to a slow join.
+        """
+        if not self.neighbors and _retries > 0:
+            self.sim.schedule(
+                30.0, lambda: self.replicate_keys(copies, _retries=_retries - 1)
+            )
+            return
+        for _ in range(copies):
+            self.start_walk("replicate")
+
+    def _on_store(self, msg: Message) -> None:
+        incoming = set(msg.payload["keys"])
+        mine = {k for k in incoming if self.responsible_for(k)}
+        self.keys |= mine
+        self.outbox |= incoming - mine
+
+    # -- construction phase ----------------------------------------------------------
+
+    def start_constructing(self) -> None:
+        """Enable the periodic interaction timer."""
+        self.constructing = True
+        self.idle_strikes = 0
+        self._schedule_interaction(initial=True)
+
+    def _schedule_interaction(self, initial: bool = False) -> None:
+        spread = self.config.interaction_interval
+        delay = self.rng.uniform(0.2 * spread, 1.8 * spread)
+        if initial:
+            delay = self.rng.uniform(0.0, spread)
+        self.sim.schedule(delay, self._interaction_tick)
+
+    def _interaction_tick(self) -> None:
+        if not self.constructing:
+            return
+        if not self.online:
+            # Keep the timer chain alive through offline periods.
+            self._schedule_interaction()
+            return
+        passive = self.idle_strikes >= self.config.max_idle_attempts
+        if not passive:
+            self.start_walk("exchange")
+        elif self.rng.random() < 0.15:
+            # Passive peers mostly wait to be contacted (Sec. 4.2) but
+            # keep a slow heartbeat so isolated stragglers cannot
+            # deadlock the whole group.
+            self.start_walk("exchange")
+        self._schedule_interaction()
+
+    def wake(self) -> None:
+        """Re-activate after being contacted with fresh information."""
+        self.idle_strikes = 0
+
+    def _begin_exchange(self, partner: int) -> None:
+        self._exchange_nonce += 1
+        self._inflight_exchange = (self._exchange_nonce, str(self.path))
+        # One routing reference per level travels with the request so the
+        # contacted peer can satisfy rule 4's reference hand-over even
+        # when it is the one deciding (lagging-peer case).
+        routes = {
+            level: refs[0] for level, refs in self.routing.items() if refs
+        }
+        self.send(
+            partner,
+            P.EXCHANGE_REQ,
+            {
+                "path": str(self.path) if self.path.length else "",
+                "keys": list(self.keys),
+                "replicas": list(self.replicas),
+                "routes": routes,
+                "nonce": self._exchange_nonce,
+            },
+            n_keys=len(self.keys),
+        )
+
+    # The partner evaluates the interaction against its own state and
+    # replies with a directive for the initiator.
+
+    def _on_exchange_req(self, msg: Message) -> None:
+        their_path = Path.from_string(msg.payload["path"])
+        their_keys = set(msg.payload["keys"])
+        their_replicas = set(msg.payload["replicas"])
+        their_routes = msg.payload.get("routes", {})
+        nonce = msg.payload["nonce"]
+        reply = self._evaluate_exchange(
+            msg.src, their_path, their_keys, their_replicas, their_routes
+        )
+        reply["nonce"] = nonce
+        reply["expected_path"] = msg.payload["path"]
+        self.send(
+            msg.src,
+            P.EXCHANGE_RESP,
+            reply,
+            n_keys=len(reply.get("keys", ())),
+        )
+
+    def _evaluate_exchange(
+        self,
+        initiator: int,
+        their_path: Path,
+        their_keys: Set[int],
+        their_replicas: Set[int],
+        their_routes: dict,
+    ) -> dict:
+        """Apply the Fig. 2 rules from the contacted side.
+
+        Returns the directive sent back to the initiator.  The contacted
+        node applies its own half of the interaction immediately.
+        """
+        # Outbox delivery piggy-backs on every exchange.
+        deliver = {k for k in self.outbox if their_path.contains_key(k, KEY_BITS)}
+        self.outbox -= deliver
+
+        cpl = self.path.common_prefix_length(their_path)
+        if cpl < self.path.length and cpl < their_path.length:
+            # Diverged: refer.  Learn each other; recommend a better match.
+            self.add_route(cpl, initiator)
+            recommendation = self._best_match(their_path, exclude=initiator)
+            return {
+                "action": "refer",
+                "level": cpl,
+                "partner_path": str(self.path),
+                "recommend": recommendation,
+                "keys": list(deliver),
+            }
+        if self.path == their_path:
+            return self._evaluate_same_partition(
+                initiator, their_keys, their_replicas, deliver
+            )
+        if their_path.length < self.path.length:
+            # Initiator lags: it decides against us (rules 3/4).
+            return self._evaluate_decide(initiator, their_keys, deliver, their_path)
+        # We lag behind the initiator: apply rules 3/4 ourselves, using the
+        # initiator as the already-decided peer (its deeper path reveals
+        # its side at our level).
+        return self._lagging_decide(
+            initiator, their_path, their_keys, their_replicas, their_routes, deliver
+        )
+
+    def _lagging_decide(
+        self,
+        initiator: int,
+        their_path: Path,
+        their_keys: Set[int],
+        their_replicas: Set[int],
+        their_routes: dict,
+        deliver: Set[int],
+    ) -> dict:
+        """The contacted peer lags behind the initiator and refines its own
+        path against it (the message-passing mirror of the round-based
+        simulator's "partner undecided" case)."""
+        level = self.path.length
+        union = self.keys | their_keys
+        useful = False
+        if self._overloaded(their_keys, their_replicas, union, level):
+            probs, minority = self._split_policy(their_keys, their_replicas, union, level)
+            partner_side = their_path.bit(level)
+            if partner_side == minority:
+                side, via = 1 - minority, initiator
+            elif self.rng.random() < probs.beta:
+                side, via = minority, initiator
+            else:
+                side = partner_side
+                via = their_routes.get(level)
+                if via is None:
+                    side, via = 1 - partner_side, initiator
+            keys_back = self._self_apply_side(side, level, via, their_path)
+            deliver |= keys_back
+            useful = True
+            self.wake()
+        else:
+            # Catch up on partition content we are missing.
+            gained = {
+                k
+                for k in their_keys
+                if self.responsible_for(k) and k not in self.keys
+            }
+            if gained:
+                self.keys |= gained
+                useful = True
+                self.wake()
+        return {
+            "action": "noop",
+            "partner_path": str(self.path),
+            "keys": list(deliver),
+            "useful": useful,
+        }
+
+    def _self_apply_side(
+        self, side: int, level: int, via: Optional[int], their_path: Path
+    ) -> Set[int]:
+        """Extend own path by ``side``; return displaced keys belonging to
+        the initiator's partition (shipped back in the reply), queue the
+        rest in the outbox."""
+        self.path = self.path.extend(side)
+        if via is not None:
+            self.add_route(level, via)
+        stay = {k for k in self.keys if bit_at(k, level) == side}
+        leaving = self.keys - stay
+        self.keys = stay
+        self.replicas = set()
+        back = {k for k in leaving if their_path.contains_key(k, KEY_BITS)}
+        self.outbox |= leaving - back
+        return back
+
+    def _evaluate_same_partition(
+        self,
+        initiator: int,
+        their_keys: Set[int],
+        their_replicas: Set[int],
+        deliver: Set[int],
+    ) -> dict:
+        level = self.path.length
+        union = self.keys | their_keys
+        if self._overloaded(their_keys, their_replicas, union, level):
+            probs, minority = self._split_policy(their_keys, their_replicas, union, level)
+            if self.rng.random() < probs.alpha:
+                # Balanced split: the contacted node takes one side now and
+                # instructs the initiator to take the other.
+                my_side = self.rng.randrange(2)
+                keys_for_them = self._take_side(my_side, initiator)
+                self.wake()
+                return {
+                    "action": "split",
+                    "your_side": 1 - my_side,
+                    "level": level,
+                    "partner_path": str(self.path),
+                    "keys": list(deliver | keys_for_them),
+                }
+            return {
+                "action": "again",  # bisection in progress; stay active
+                "partner_path": str(self.path),
+                "keys": list(deliver),
+            }
+        # Replicate: reconcile content (anti-entropy).
+        missing_here = their_keys - self.keys
+        keys_for_them = self.keys - their_keys
+        self.keys |= missing_here
+        self.replicas.add(initiator)
+        self.replicas |= their_replicas - {self.node_id}
+        if missing_here or keys_for_them:
+            self.wake()
+        return {
+            "action": "replicate",
+            "partner_path": str(self.path),
+            "replicas": list(self.replicas | {self.node_id}),
+            "keys": list(deliver | keys_for_them),
+            "useful": bool(missing_here or keys_for_them),
+        }
+
+    def _evaluate_decide(
+        self, initiator: int, their_keys: Set[int], deliver: Set[int], their_path: Path
+    ) -> dict:
+        """Initiator's path is a proper prefix of ours: rules 3/4."""
+        level = their_path.length
+        union = self.keys | their_keys
+        if not self._overloaded(their_keys, set(), union, level):
+            # Not splittable: help the lagging peer catch up instead.
+            catch_up = {
+                k for k in self.keys if their_path.contains_key(k, KEY_BITS)
+            } - their_keys
+            return {
+                "action": "catch_up",
+                "partner_path": str(self.path),
+                "keys": list(deliver | catch_up),
+            }
+        probs, minority = self._split_policy(their_keys, set(), union, level)
+        my_side = self.path.bit(level)
+        if my_side == minority:
+            side = 1 - minority  # rule 3
+            via = self.node_id
+        elif self.rng.random() < probs.beta:
+            side = minority  # rule 4, join the minority
+            via = self.node_id
+        else:
+            side = my_side  # rule 4, same side: share an opposite ref
+            via = self._opposite_ref(level)
+            if via is None:
+                side = 1 - my_side
+                via = self.node_id
+        return {
+            "action": "decide",
+            "your_side": side,
+            "level": level,
+            "counterpart": via,
+            "partner_path": str(self.path),
+            "keys": list(deliver),
+        }
+
+    def _opposite_ref(self, level: int) -> Optional[int]:
+        for ref in self.routing.get(level, ()):
+            return ref
+        return None
+
+    def _best_match(self, target: Path, exclude: int) -> Optional[int]:
+        """Prefix-route one step toward ``target``: the reference at our
+        divergence level with the target sits in the complementary
+        subtree that contains the target's partition."""
+        cpl = self.path.common_prefix_length(target)
+        if cpl < self.path.length and cpl < target.length:
+            refs = [r for r in self.routing.get(cpl, ()) if r != exclude]
+            if refs:
+                return refs[self.rng.randrange(len(refs))]
+        return None
+
+    # -- initiator side: apply the directive ------------------------------------
+
+    def _on_exchange_resp(self, msg: Message) -> None:
+        payload = msg.payload
+        inflight = self._inflight_exchange
+        self._inflight_exchange = None
+        # Optimistic concurrency: drop stale responses.
+        if inflight is None or inflight[0] != payload.get("nonce"):
+            return
+        if str(self.path) != payload.get("expected_path", str(self.path)) and (
+            self.path.length or payload.get("expected_path")
+        ):
+            return
+        incoming = set(payload.get("keys", ()))
+        action = payload["action"]
+        if action == "split":
+            self._apply_side(payload["your_side"], payload["level"], msg.src, incoming)
+            self.idle_strikes = 0
+        elif action == "decide":
+            self._apply_side(
+                payload["your_side"], payload["level"], payload["counterpart"], incoming
+            )
+            self.idle_strikes = 0
+        elif action == "replicate":
+            mine = {k for k in incoming if self.responsible_for(k)}
+            self.keys |= mine
+            self.outbox |= incoming - mine
+            self.replicas |= set(payload.get("replicas", ())) - {self.node_id}
+            if payload.get("useful"):
+                self.idle_strikes = 0
+            else:
+                self.idle_strikes += 1
+        elif action == "catch_up":
+            mine = {k for k in incoming if self.responsible_for(k)}
+            grew = bool(mine - self.keys)
+            self.keys |= mine
+            self.outbox |= incoming - mine
+            self.idle_strikes = 0 if grew else self.idle_strikes + 1
+        elif action == "again":
+            self._accept_keys(incoming)
+            self.idle_strikes = 0  # overloaded partition: keep trying
+        elif action == "refer":
+            self._accept_keys(incoming)
+            level = payload["level"]
+            if level < self.path.length:
+                self.add_route(level, msg.src)
+            recommend = payload.get("recommend")
+            if recommend is not None and recommend != self.node_id:
+                self._begin_exchange(recommend)
+                return
+            self.idle_strikes += 1
+        else:  # noop (possibly a lagging-peer decision on the other side)
+            self._accept_keys(incoming)
+            if payload.get("useful"):
+                self.idle_strikes = 0
+            else:
+                self.idle_strikes += 1
+
+    def _accept_keys(self, incoming: Set[int]) -> None:
+        mine = {k for k in incoming if self.responsible_for(k)}
+        self.keys |= mine
+        self.outbox |= incoming - mine
+
+    def _apply_side(
+        self, side: int, level: int, counterpart: Optional[int], incoming: Set[int]
+    ) -> None:
+        """Extend the path by ``side`` at ``level`` (split or rules 3/4)."""
+        if level != self.path.length:
+            return  # stale directive
+        self.path = self.path.extend(side)
+        if counterpart is not None:
+            self.add_route(level, counterpart)
+        stay = {k for k in self.keys if bit_at(k, level) == side}
+        leaving = self.keys - stay
+        self.keys = stay
+        self.outbox |= leaving
+        self.replicas = set()
+        self._accept_keys(incoming)
+
+    def _take_side(self, side: int, counterpart: int) -> Set[int]:
+        """Contacted half of a balanced split: extend own path, return the
+        keys that belong to the other side (shipped to the initiator)."""
+        level = self.path.length
+        self.path = self.path.extend(side)
+        self.add_route(level, counterpart)
+        stay = {k for k in self.keys if bit_at(k, level) == side}
+        leaving = self.keys - stay
+        self.keys = stay
+        self.replicas = set()
+        return leaving
+
+    # -- overload estimation (Sec. 4.2) -----------------------------------------
+
+    def _overloaded(
+        self, their_keys: Set[int], their_replicas: Set[int], union: Set[int], level: int
+    ) -> bool:
+        if level >= KEY_BITS - 1 or not self.keys or not their_keys:
+            return False
+        if len(union) <= self.config.d_max / 2.0:
+            return False
+        d_hat = estimate_partition_keys(self.keys, their_keys)
+        if d_hat <= self.config.d_max:
+            return False
+        r_hat = estimate_replica_count(self.keys, their_keys, self.config.n_min)
+        known = float(len(self.replicas | their_replicas | {self.node_id}) + 1)
+        evidence = max(r_hat, known) if math.isfinite(r_hat) else r_hat
+        return evidence >= 2 * self.config.n_min
+
+    def _split_policy(
+        self, their_keys: Set[int], their_replicas: Set[int], union: Set[int], level: int
+    ):
+        p_hat = estimate_split_fraction(union, level)
+        minority = 0 if p_hat <= 0.5 else 1
+        q = min(p_hat, 1.0 - p_hat)
+        r_hat = estimate_replica_count(self.keys, their_keys, self.config.n_min)
+        if math.isfinite(r_hat) and r_hat >= 2 * self.config.n_min:
+            q = max(q, self.config.n_min / r_hat)
+        m_eff = max(len(union), 1)
+        q = min(max(q, 1.0 / (4.0 * m_eff)), 0.5)
+        return decision_probabilities(q, m=m_eff), minority
+
+    # -- queries --------------------------------------------------------------------
+
+    def issue_query(self, key: int) -> None:
+        """Originate an exact-match query for ``key``."""
+        self._query_seq += 1
+        qid = (self.node_id << 20) | self._query_seq
+        pending = _PendingQuery(key=key, issued_at=self.sim.now)
+        self._queries[qid] = pending
+        self._send_query_attempt(qid)
+
+    def _send_query_attempt(self, qid: int) -> None:
+        pending = self._queries.get(qid)
+        if pending is None or pending.done:
+            return
+        pending.attempts += 1
+        self._route_query(
+            {
+                "key": pending.key,
+                "origin": self.node_id,
+                "qid": qid,
+                "hops": 0,
+            }
+        )
+        self.sim.schedule(
+            self.config.query_timeout, lambda: self._query_timeout(qid)
+        )
+
+    def _query_timeout(self, qid: int) -> None:
+        pending = self._queries.get(qid)
+        if pending is None or pending.done:
+            return
+        if not self.online:
+            # The origin itself went offline: the query is moot, not a
+            # failure of the overlay (it could never receive the reply).
+            pending.done = True
+            del self._queries[qid]
+            return
+        if pending.attempts <= self.config.query_retries:
+            self._send_query_attempt(qid)
+        else:
+            pending.done = True
+            self.query_results.append(
+                (pending.issued_at, self.sim.now - pending.issued_at, pending.hops, False)
+            )
+
+    def _route_query(self, payload: dict) -> None:
+        key = payload["key"]
+        if self.responsible_for(key):
+            found = key in self.keys
+            if payload["origin"] == self.node_id:
+                self._complete_query(payload["qid"], payload["hops"], True)
+            else:
+                self.send(
+                    payload["origin"],
+                    P.QUERY_HIT,
+                    {"qid": payload["qid"], "hops": payload["hops"], "found": found},
+                    category=P.QUERY_TRAFFIC,
+                )
+            return
+        nxt = self.route_for_key(key)
+        if nxt is None:
+            if payload["origin"] != self.node_id:
+                self.send(
+                    payload["origin"],
+                    P.QUERY_MISS,
+                    {"qid": payload["qid"], "hops": payload["hops"]},
+                    category=P.QUERY_TRAFFIC,
+                )
+            return
+        payload = dict(payload)
+        payload["hops"] += 1
+        self.send(nxt, P.QUERY, payload, category=P.QUERY_TRAFFIC)
+
+    def _on_query(self, msg: Message) -> None:
+        self._route_query(msg.payload)
+
+    def _on_query_hit(self, msg: Message) -> None:
+        self._complete_query(msg.payload["qid"], msg.payload["hops"], True)
+
+    def _on_query_miss(self, msg: Message) -> None:
+        # A dead-end report lets the origin retry sooner than the timeout.
+        qid = msg.payload["qid"]
+        pending = self._queries.get(qid)
+        if pending is None or pending.done:
+            return
+        if pending.attempts <= self.config.query_retries:
+            self._send_query_attempt(qid)
+        else:
+            pending.done = True
+            self.query_results.append(
+                (pending.issued_at, self.sim.now - pending.issued_at, pending.hops, False)
+            )
+
+    def _complete_query(self, qid: int, hops: int, success: bool) -> None:
+        pending = self._queries.get(qid)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        pending.hops = hops
+        self.query_results.append(
+            (pending.issued_at, self.sim.now - pending.issued_at, hops, success)
+        )

@@ -1,0 +1,44 @@
+"""Wire protocol constants for the simulated P-Grid deployment.
+
+Message kinds, phase names and default protocol timers live here so the
+node implementation and the tests share one vocabulary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "JOIN",
+    "NEIGHBORS",
+    "WALK",
+    "WALK_RESULT",
+    "STORE",
+    "EXCHANGE_REQ",
+    "EXCHANGE_RESP",
+    "QUERY",
+    "QUERY_HIT",
+    "QUERY_MISS",
+    "VOTE_REQ",
+    "VOTE_RESP",
+    "MAINTENANCE",
+    "QUERY_TRAFFIC",
+]
+
+# -- message kinds ---------------------------------------------------------
+
+JOIN = "join"  #: newcomer -> bootstrap: request neighbors
+NEIGHBORS = "neighbors"  #: bootstrap -> newcomer: unstructured-overlay links
+WALK = "walk"  #: random-walk step (uniform peer sampling)
+WALK_RESULT = "walk_result"  #: walk terminal -> origin: sampled peer id
+STORE = "store"  #: replication-phase key copy
+EXCHANGE_REQ = "exchange_req"  #: construction interaction request
+EXCHANGE_RESP = "exchange_resp"  #: construction interaction response
+QUERY = "query"  #: exact-match query being routed
+QUERY_HIT = "query_hit"  #: responsible peer -> origin
+QUERY_MISS = "query_miss"  #: routing dead-end -> origin
+VOTE_REQ = "vote_req"  #: index-initiation vote flood (Sec. 4.1)
+VOTE_RESP = "vote_resp"  #: aggregated vote reply
+
+# -- traffic categories (Fig. 8 split) ----------------------------------------
+
+MAINTENANCE = "maintenance"
+QUERY_TRAFFIC = "queries"

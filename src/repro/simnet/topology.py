@@ -1,0 +1,107 @@
+"""The pre-existing unstructured overlay (bootstrap substrate).
+
+The construction algorithm assumes "a pre-existing, generic, unstructured
+overlay network" for random peer encounters (Sec. 2.2) and vote flooding
+(Sec. 4.1).  We model it as an undirected random graph maintained by a
+bootstrap server: each joining node receives ``degree`` random existing
+nodes as neighbors, yielding a connected Erdos-Renyi-like topology.
+
+Uniform random peer sampling -- "a non-trivial problem in itself which we
+solve by a variant of random walks" -- is provided by fixed-length random
+walks over this graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .._util import RngLike, make_rng
+from ..exceptions import SimulationError
+
+__all__ = ["UnstructuredOverlay", "DEFAULT_DEGREE", "DEFAULT_WALK_LENGTH"]
+
+#: Neighbors handed to each joining node.
+DEFAULT_DEGREE = 5
+
+#: Random-walk length for ~uniform sampling (mixing time of a random
+#: graph is O(log n); 10 steps is comfortably above it for n <= 10^4).
+DEFAULT_WALK_LENGTH = 10
+
+
+@dataclass
+class UnstructuredOverlay:
+    """Adjacency of the unstructured bootstrap overlay."""
+
+    degree: int = DEFAULT_DEGREE
+    neighbors: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def join(self, node_id: int, rng: RngLike = None) -> List[int]:
+        """Add a node, wiring it to up to ``degree`` random existing nodes.
+
+        Returns the neighbor list assigned to the newcomer.
+        """
+        rand = make_rng(rng)
+        if node_id in self.neighbors:
+            raise SimulationError(f"node {node_id} already joined")
+        existing = list(self.neighbors)
+        self.neighbors[node_id] = set()
+        if existing:
+            chosen = rand.sample(existing, min(self.degree, len(existing)))
+            for other in chosen:
+                self.neighbors[node_id].add(other)
+                self.neighbors[other].add(node_id)
+        return sorted(self.neighbors[node_id])
+
+    def leave(self, node_id: int) -> None:
+        """Remove a node and all its edges (permanent departure)."""
+        for other in self.neighbors.pop(node_id, set()):
+            self.neighbors[other].discard(node_id)
+
+    def neighbors_of(self, node_id: int) -> List[int]:
+        """Sorted neighbor list."""
+        return sorted(self.neighbors.get(node_id, ()))
+
+    def random_walk(
+        self,
+        start: int,
+        *,
+        length: int = DEFAULT_WALK_LENGTH,
+        rng: RngLike = None,
+        alive: Optional[Set[int]] = None,
+    ) -> int:
+        """A ``length``-step random walk from ``start``.
+
+        ``alive`` restricts steps to currently online nodes; if the walk
+        gets stuck (no live neighbor) it stays put, which mimics a walk
+        timing out at a dead end.  Returns the terminal node.
+        """
+        rand = make_rng(rng)
+        current = start
+        for _ in range(length):
+            options = [
+                n
+                for n in self.neighbors.get(current, ())
+                if alive is None or n in alive
+            ]
+            if not options:
+                break
+            current = options[rand.randrange(len(options))]
+        return current
+
+    def is_connected(self) -> bool:
+        """Whole-graph connectivity check (used by tests)."""
+        if not self.neighbors:
+            return True
+        seen: Set[int] = set()
+        stack = [next(iter(self.neighbors))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.neighbors[node] - seen)
+        return len(seen) == len(self.neighbors)
+
+    def __len__(self) -> int:
+        return len(self.neighbors)

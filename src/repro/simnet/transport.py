@@ -1,0 +1,181 @@
+"""Message transport: latency models, loss, and byte accounting.
+
+PlanetLab links are heterogeneous and heavily loaded; the paper's
+absolute latency numbers mostly reflect that (Sec. 5.2).  We model links
+with pluggable latency distributions (log-normal by default -- heavy
+tailed like measured wide-area RTTs), optional uniform message loss, and
+hard drops to offline nodes (churn).
+
+Every message carries a size in bytes and a *category* ("maintenance" or
+"query" in the paper's Fig. 8) so aggregate bandwidth can be binned over
+time by :mod:`repro.simnet.stats`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from .._util import RngLike, make_rng
+from ..exceptions import SimulationError
+from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import SimNode
+    from .stats import StatsCollector
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "Message",
+    "Network",
+    "HEADER_BYTES",
+    "KEY_BYTES",
+]
+
+#: Fixed per-message overhead (headers, framing) in bytes.
+HEADER_BYTES = 100
+
+#: Wire size of one data key (the paper moves key *references*).
+KEY_BYTES = 20
+
+
+class LatencyModel:
+    """Base class: one-way delay sampler in seconds."""
+
+    def sample(self, rng) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class ConstantLatency(LatencyModel):
+    """Fixed delay -- useful for deterministic tests."""
+
+    delay: float = 0.05
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[lo, hi]`` seconds."""
+
+    lo: float = 0.02
+    hi: float = 0.3
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+@dataclass
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay, median ``median`` seconds, shape ``sigma``.
+
+    Matches the qualitative latency profile of shared wide-area testbeds:
+    most messages are quick, a tail is very slow.
+    """
+
+    median: float = 0.12
+    sigma: float = 0.8
+    cap: float = 30.0
+
+    def sample(self, rng) -> float:
+        value = self.median * math.exp(rng.gauss(0.0, self.sigma))
+        return min(value, self.cap)
+
+
+@dataclass
+class Message:
+    """One message on the wire."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: dict
+    size_bytes: int
+    category: str = "maintenance"
+
+
+class Network:
+    """Delivers messages between registered nodes via the simulator.
+
+    ``loss_rate`` drops messages uniformly at random; messages to offline
+    nodes are always dropped (churn).  All traffic is reported to the
+    optional stats collector.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        rng: RngLike = None,
+        stats: "StatsCollector | None" = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.latency = latency or LogNormalLatency()
+        self.loss_rate = loss_rate
+        self.rng = make_rng(rng)
+        self.stats = stats
+        self.nodes: Dict[int, "SimNode"] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def register(self, node: "SimNode") -> None:
+        """Attach a node; its ``node_id`` becomes its address."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict,
+        *,
+        n_keys: int = 0,
+        category: str = "maintenance",
+    ) -> None:
+        """Queue a message for delivery.
+
+        ``n_keys`` contributes ``KEY_BYTES`` each to the wire size, on
+        top of the fixed header -- the paper's bandwidth unit is data
+        keys moved, ours is bytes, related by this constant.
+        """
+        size = HEADER_BYTES + n_keys * KEY_BYTES
+        message = Message(
+            src=src, dst=dst, kind=kind, payload=payload, size_bytes=size,
+            category=category,
+        )
+        self.messages_sent += 1
+        if self.stats is not None:
+            self.stats.record_bytes(self.sim.now, category, size)
+        sender = self.nodes.get(src)
+        if sender is not None and not sender.online:
+            # A node that just went offline cannot transmit.
+            self.messages_dropped += 1
+            return
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(self.rng)
+        self.sim.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.dst)
+        if node is None or not node.online:
+            self.messages_dropped += 1
+            return
+        node.receive(message)
+
+    def online_count(self) -> int:
+        """Number of currently online nodes."""
+        return sum(1 for node in self.nodes.values() if node.online)

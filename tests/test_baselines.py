@@ -1,0 +1,110 @@
+"""Tests for the comparison baselines (Secs. 4.3, 6)."""
+
+import random
+
+import pytest
+
+from repro.baselines.hashdht import HashDHT, PrefixHashTree
+from repro.baselines.sequential import compare_constructions
+from repro.exceptions import DomainError
+from repro.pgrid.keyspace import float_to_key
+from repro.pgrid.network import PGridNetwork
+from repro.workloads.datasets import uniform_keys
+
+
+class TestHashDHT:
+    def test_put_get_round_trip(self):
+        dht = HashDHT(32, rng=1)
+        dht.put("alpha", 123)
+        value, hops = dht.get("alpha")
+        assert value == 123
+        assert hops == dht.lookup_cost()
+
+    def test_missing_key(self):
+        dht = HashDHT(8, rng=2)
+        value, _ = dht.get("nothing")
+        assert value is None
+
+    def test_lookup_cost_logarithmic(self):
+        assert HashDHT(64, rng=1).lookup_cost() == 6
+        assert HashDHT(1024, rng=1).lookup_cost() == 10
+
+    def test_storage_balanced_by_hashing(self):
+        dht = HashDHT(16, rng=3)
+        for i in range(1600):
+            dht.put(f"key-{i}", i)
+        loads = dht.storage_load()
+        assert sum(loads) == 1600
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            HashDHT(0)
+
+
+class TestPrefixHashTree:
+    def _keys(self, n=300, seed=0):
+        rand = random.Random(seed)
+        return [float_to_key(rand.random()) for _ in range(n)]
+
+    def test_range_query_correctness(self):
+        keys = self._keys()
+        dht = HashDHT(64, rng=1)
+        pht = PrefixHashTree(dht, leaf_capacity=20)
+        pht.build(keys)
+        lo, hi = float_to_key(0.3), float_to_key(0.7)
+        res = pht.range_query(lo, hi)
+        assert res.keys == {k for k in keys if lo <= k < hi}
+
+    def test_range_query_pays_per_trie_node(self):
+        keys = self._keys()
+        dht = HashDHT(64, rng=1)
+        pht = PrefixHashTree(dht, leaf_capacity=20)
+        pht.build(keys)
+        res = pht.range_query(float_to_key(0.1), float_to_key(0.9))
+        assert res.trie_nodes_visited >= 3
+        assert res.hops == res.dht_lookups * dht.lookup_cost()
+
+    def test_pht_costlier_than_pgrid_trie(self):
+        # The Sec. 6 claim: in-network trie beats index-on-top-of-DHT.
+        keys = self._keys(400, seed=5)
+        dht = HashDHT(64, rng=1)
+        pht = PrefixHashTree(dht, leaf_capacity=25)
+        pht.build(keys)
+        net = PGridNetwork.ideal(keys, 64, d_max=25, n_min=2, rng=2)
+        lo, hi = float_to_key(0.2), float_to_key(0.8)
+        pht_cost = pht.range_query(lo, hi).hops
+        pgrid_cost = net.range_query(lo, hi, rng=3).messages
+        assert pht_cost > pgrid_cost
+
+    def test_narrow_range_cheap(self):
+        keys = self._keys()
+        pht = PrefixHashTree(HashDHT(64, rng=1), leaf_capacity=20)
+        pht.build(keys)
+        target = sorted(keys)[10]
+        res = pht.range_query(target, target + 1)
+        assert res.keys == {target}
+
+    def test_validation(self):
+        dht = HashDHT(8, rng=1)
+        with pytest.raises(DomainError):
+            PrefixHashTree(dht, leaf_capacity=0)
+        pht = PrefixHashTree(dht)
+        with pytest.raises(DomainError):
+            pht.insert(-1)
+        with pytest.raises(DomainError):
+            pht.range_query(10, 5)
+
+
+class TestSequentialVsParallel:
+    def test_parallel_latency_much_lower(self):
+        pk = uniform_keys(peers=64, keys_per_peer=10, seed=11)
+        cmp = compare_constructions(pk, n_min=3, d_max=30, rng=1)
+        # Sequential latency is serialized messages; parallel finishes in
+        # tens of rounds -- orders of magnitude apart (Sec. 4.3).
+        assert cmp.latency_speedup > 5.0
+
+    def test_message_totals_same_order(self):
+        pk = uniform_keys(peers=64, keys_per_peer=10, seed=11)
+        cmp = compare_constructions(pk, n_min=3, d_max=30, rng=1)
+        ratio = cmp.parallel_interactions / max(cmp.sequential_messages, 1)
+        assert 0.05 < ratio < 50.0

@@ -1,0 +1,99 @@
+"""Tests for the load-balance deviation metric."""
+
+import random
+
+import pytest
+
+from repro.core.deviation import attribute_peers, load_balance_deviation
+from repro.core.reference import reference_partition
+from repro.exceptions import PartitionError
+from repro.pgrid.bits import Path
+from repro.pgrid.keyspace import float_to_key
+
+
+def make_reference(seed=0, peers=64):
+    rand = random.Random(seed)
+    keys = [float_to_key(rand.random()) for _ in range(800)]
+    return reference_partition(keys, peers, d_max=50, n_min=5, integer_peers=True)
+
+
+class TestAttribution:
+    def test_mass_conserved(self):
+        ref = make_reference()
+        peer_paths = [leaf.path for leaf in ref.leaves for _ in range(3)]
+        masses = attribute_peers(peer_paths, ref)
+        assert sum(masses) == pytest.approx(len(peer_paths))
+
+    def test_exact_leaf_paths_attribute_fully(self):
+        ref = make_reference()
+        target = ref.leaves[0].path
+        masses = attribute_peers([target], ref)
+        assert masses[0] == pytest.approx(1.0)
+        assert sum(masses[1:]) == pytest.approx(0.0)
+
+    def test_coarse_peer_spreads_over_leaves(self):
+        ref = make_reference()
+        # A root-path peer spreads its mass over every leaf by width.
+        masses = attribute_peers([Path()], ref)
+        assert sum(masses) == pytest.approx(1.0)
+        assert all(m > 0 for m in masses)
+
+    def test_deep_peer_attributes_to_containing_leaf(self):
+        ref = make_reference()
+        deep = ref.leaves[2].path.extend(0).extend(1)
+        masses = attribute_peers([deep], ref)
+        assert masses[2] == pytest.approx(1.0)
+
+    def test_rejects_empty_reference(self):
+        from repro.core.reference import ReferencePartition
+
+        with pytest.raises(PartitionError):
+            attribute_peers([Path()], ReferencePartition(leaves=[]))
+
+
+class TestDeviation:
+    def test_zero_for_perfect_match(self):
+        ref = make_reference()
+        peer_paths = []
+        for leaf in ref.leaves:
+            peer_paths.extend([leaf.path] * int(leaf.n_peers))
+        assert load_balance_deviation(peer_paths, ref) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_mismatch(self):
+        ref = make_reference()
+        # Pile every peer onto the first leaf.
+        peer_paths = [ref.leaves[0].path] * int(ref.total_peers)
+        assert load_balance_deviation(peer_paths, ref) > 0.5
+
+    def test_monotone_in_imbalance(self):
+        ref = make_reference()
+        balanced = []
+        for leaf in ref.leaves:
+            balanced.extend([leaf.path] * int(leaf.n_peers))
+        slightly_off = list(balanced)
+        slightly_off[0] = ref.leaves[-1].path
+        very_off = [ref.leaves[0].path] * len(balanced)
+        d0 = load_balance_deviation(balanced, ref)
+        d1 = load_balance_deviation(slightly_off, ref)
+        d2 = load_balance_deviation(very_off, ref)
+        assert d0 < d1 < d2
+
+    def test_scale_invariance(self):
+        # Doubling both populations leaves the metric unchanged.
+        ref = make_reference()
+        paths_1x = []
+        for leaf in ref.leaves:
+            paths_1x.extend([leaf.path] * int(leaf.n_peers))
+        rand = random.Random(0)
+        keys = [float_to_key(rand.random()) for _ in range(800)]
+        ref2 = reference_partition(
+            keys, 2 * int(ref.total_peers), d_max=50, n_min=10, integer_peers=True
+        )
+        # Direct construction: same leaves, doubled counts.
+        if [l.path for l in ref2.leaves] == [l.path for l in ref.leaves]:
+            paths_2x = []
+            for leaf in ref2.leaves:
+                paths_2x.extend([leaf.path] * int(leaf.n_peers))
+            assert load_balance_deviation(paths_2x, ref2) == pytest.approx(
+                load_balance_deviation(paths_1x, ref), abs=0.05
+            )

@@ -1,0 +1,93 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simnet.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run_all()
+        assert log == [1, 2]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [5.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run_all()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [4.0]
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("in"))
+        sim.schedule(10.0, lambda: log.append("out"))
+        sim.run_until(5.0)
+        assert log == ["in"]
+        assert sim.now == 5.0
+        sim.run_until(20.0)
+        assert log == ["in", "out"]
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.001, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run_until(1e9, max_events=1000)
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(handle)
+        sim.run_all()
+        assert log == []
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_all()
+        assert sim.events_processed == 5

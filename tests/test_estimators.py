@@ -1,0 +1,117 @@
+"""Tests for the local estimators of Secs. 3.2 / 4.2."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.estimators import (
+    estimate_partition_keys,
+    estimate_replica_count,
+    estimate_split_fraction,
+    sample_keys,
+)
+from repro.exceptions import DomainError
+from repro.pgrid.keyspace import KEY_BITS, float_to_key
+
+
+class TestSplitFraction:
+    def test_exact_on_known_keys(self):
+        keys = [float_to_key(x) for x in (0.1, 0.2, 0.3, 0.6, 0.9)]
+        assert estimate_split_fraction(keys, 0) == pytest.approx(3 / 5)
+
+    def test_deeper_level(self):
+        # At level 1, the bisection is at 0.25 within [0, 0.5).
+        keys = [float_to_key(x) for x in (0.1, 0.2, 0.3, 0.4)]
+        assert estimate_split_fraction(keys, 1) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            estimate_split_fraction([], 0)
+
+    def test_unbiased_under_sampling(self):
+        rand = random.Random(0)
+        keys = [float_to_key(rand.random() * 0.5 + (0.5 if rand.random() < 0.7 else 0)) for _ in range(5000)]
+        p_true = estimate_split_fraction(keys, 0)
+        estimates = [
+            estimate_split_fraction(sample_keys(keys, 20, rng=s), 0)
+            for s in range(200)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(p_true, abs=0.02)
+
+
+class TestReplicaCount:
+    def test_identical_sets_give_n_min(self):
+        # The paper's calibration anchor.
+        keys = set(range(50))
+        assert estimate_replica_count(keys, keys, n_min=5) == pytest.approx(5.0)
+
+    def test_half_overlap(self):
+        # Overlap fraction 1/2 = (n_min - 1)/(R - 1)  =>  R = 2 n_min - 1.
+        a = set(range(0, 40))
+        b = set(range(20, 60))
+        assert estimate_replica_count(a, b, n_min=5) == pytest.approx(9.0)
+
+    def test_disjoint_sets_unbounded(self):
+        assert math.isinf(estimate_replica_count({1, 2}, {3, 4}, n_min=5))
+
+    def test_empty_sets_unbounded(self):
+        assert math.isinf(estimate_replica_count(set(), {1}, n_min=5))
+
+    def test_statistically_calibrated(self):
+        # Ground truth: R peers, each key on exactly n_min of them.
+        rand = random.Random(42)
+        n_min, r_true, n_keys = 5, 20, 400
+        holders = {k: rand.sample(range(r_true), n_min) for k in range(n_keys)}
+        peer_sets = [set() for _ in range(r_true)]
+        for k, hs in holders.items():
+            for h in hs:
+                peer_sets[h].add(k)
+        estimates = []
+        for _ in range(100):
+            i, j = rand.sample(range(r_true), 2)
+            est = estimate_replica_count(peer_sets[i], peer_sets[j], n_min)
+            if math.isfinite(est):
+                estimates.append(est)
+        assert statistics.mean(estimates) == pytest.approx(r_true, rel=0.2)
+
+    def test_rejects_bad_n_min(self):
+        with pytest.raises(DomainError):
+            estimate_replica_count({1}, {1}, n_min=0)
+
+
+class TestPartitionKeys:
+    def test_full_overlap(self):
+        keys = set(range(30))
+        assert estimate_partition_keys(keys, keys) == pytest.approx(30)
+
+    def test_lincoln_petersen(self):
+        a = set(range(0, 40))
+        b = set(range(20, 60))
+        # |A||B|/|A∩B| = 40*40/20 = 80 >= |A ∪ B| = 60: capture-recapture
+        # sees beyond the union.
+        assert estimate_partition_keys(a, b) == pytest.approx(80.0)
+
+    def test_disjoint_unbounded(self):
+        assert math.isinf(estimate_partition_keys({1}, {2}))
+
+    def test_empty_gives_union_size(self):
+        assert estimate_partition_keys(set(), {1, 2}) == pytest.approx(2.0)
+
+
+class TestSampleKeys:
+    def test_returns_all_when_m_none(self):
+        assert sorted(sample_keys([3, 1, 2], None)) == [1, 2, 3]
+
+    def test_returns_all_when_m_large(self):
+        assert sorted(sample_keys([3, 1], 10)) == [1, 3]
+
+    def test_subsample_size(self):
+        out = sample_keys(list(range(100)), 7, rng=1)
+        assert len(out) == 7
+        assert len(set(out)) == 7
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(DomainError):
+            sample_keys([1, 2, 3], 0)

@@ -1,0 +1,77 @@
+"""Tests for key-space encodings."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.pgrid import keyspace as ks
+
+
+class TestFloatKeys:
+    def test_round_trip_order(self):
+        xs = [0.0, 0.1, 0.25, 0.5, 0.999999]
+        keys = [ks.float_to_key(x) for x in xs]
+        assert keys == sorted(keys)
+        back = [ks.key_to_float(k) for k in keys]
+        for x, y in zip(xs, back):
+            assert y == pytest.approx(x, abs=2**-50)
+
+    def test_bounds(self):
+        assert ks.float_to_key(0.0) == 0
+        with pytest.raises(DomainError):
+            ks.float_to_key(1.0)
+        with pytest.raises(DomainError):
+            ks.float_to_key(-0.1)
+        with pytest.raises(DomainError):
+            ks.key_to_float(ks.MAX_KEY)
+
+    def test_key_bits_consistency(self):
+        assert ks.MAX_KEY == 1 << ks.KEY_BITS
+
+
+class TestStringKeys:
+    def test_lexicographic_monotone(self):
+        words = ["", "a", "aa", "ab", "b", "ba", "zebra", "zzzz"]
+        keys = [ks.string_to_key(w) for w in words]
+        assert keys == sorted(keys)
+
+    def test_case_insensitive(self):
+        assert ks.string_to_key("Apple") == ks.string_to_key("apple")
+
+    def test_unknown_characters_do_not_raise(self):
+        ks.string_to_key("hello-world_42")
+
+    def test_long_strings_truncate_below_precision(self):
+        a = ks.string_to_key("a" * 100)
+        b = ks.string_to_key("a" * 100 + "zz")
+        assert a == b  # beyond key precision
+
+    def test_rejects_degenerate_alphabet(self):
+        with pytest.raises(DomainError):
+            ks.string_to_key("abc", alphabet="x")
+
+
+class TestBitHelpers:
+    def test_bit_at_msb_first(self):
+        key = 1 << (ks.KEY_BITS - 1)  # 100...0
+        assert ks.bit_at(key, 0) == 1
+        assert ks.bit_at(key, 1) == 0
+
+    def test_bit_at_range_checked(self):
+        with pytest.raises(DomainError):
+            ks.bit_at(0, ks.KEY_BITS)
+        with pytest.raises(DomainError):
+            ks.bit_at(0, -1)
+
+    def test_key_prefix(self):
+        key = ks.float_to_key(0.75)  # bits 11000...
+        assert ks.key_prefix(key, 2) == 3
+        assert ks.key_prefix(key, 0) == 0
+        with pytest.raises(DomainError):
+            ks.key_prefix(key, ks.KEY_BITS + 1)
+
+    def test_prefix_agrees_with_bits(self):
+        key = ks.float_to_key(0.3141592)
+        for length in range(1, 10):
+            prefix = ks.key_prefix(key, length)
+            bits = [(prefix >> (length - 1 - i)) & 1 for i in range(length)]
+            assert bits == [ks.bit_at(key, i) for i in range(length)]

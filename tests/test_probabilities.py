@@ -1,0 +1,169 @@
+"""Tests for the AEP decision probabilities (Eqs. 1-4, 9, 10)."""
+
+import math
+
+import pytest
+
+from repro.core import probabilities as pr
+from repro.exceptions import DomainError
+
+LN2 = math.log(2.0)
+
+
+class TestForwardMaps:
+    def test_p_of_beta_endpoints(self):
+        assert pr.p_of_beta(1.0) == pytest.approx(0.5)
+        assert pr.p_of_beta(0.0) == pytest.approx(1.0 - LN2, abs=1e-9)
+
+    def test_p_of_beta_is_monotone(self):
+        grid = [i / 100 for i in range(101)]
+        values = [pr.p_of_beta(b) for b in grid]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_p_of_beta_taylor_matches_exact_near_zero(self):
+        # The series branch and the exact branch must agree at the switch.
+        exact = 1.0 - (1.0 - 2.0 ** (-2e-9)) / 2e-9
+        assert pr.p_of_beta(2e-9) == pytest.approx(exact, abs=1e-12)
+
+    def test_p_of_alpha_endpoints(self):
+        assert pr.p_of_alpha(1.0) == pytest.approx(1.0 - LN2)
+        assert pr.p_of_alpha(1e-9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_p_of_alpha_half_is_quarter(self):
+        # Removable singularity at alpha = 1/2.
+        assert pr.p_of_alpha(0.5) == pytest.approx(0.25, abs=1e-9)
+        assert pr.p_of_alpha(0.5 + 1e-6) == pytest.approx(0.25, abs=1e-5)
+        assert pr.p_of_alpha(0.5 - 1e-6) == pytest.approx(0.25, abs=1e-5)
+
+    def test_p_of_alpha_is_monotone(self):
+        grid = [i / 200 for i in range(1, 201)]
+        values = [pr.p_of_alpha(a) for a in grid]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_p_of_alpha_rejects_out_of_domain(self):
+        with pytest.raises(DomainError):
+            pr.p_of_alpha(0.0)
+        with pytest.raises(DomainError):
+            pr.p_of_alpha(1.5)
+
+
+class TestInverseMaps:
+    @pytest.mark.parametrize("p", [0.31, 0.35, 0.4, 0.45, 0.49, 0.5])
+    def test_beta_round_trip(self, p):
+        assert pr.p_of_beta(pr.beta_of_p(p)) == pytest.approx(p, abs=1e-9)
+
+    @pytest.mark.parametrize("p", [0.01, 0.05, 0.1, 0.2, 0.25, 0.30, 1.0 - LN2])
+    def test_alpha_round_trip(self, p):
+        assert pr.p_of_alpha(pr.alpha_of_p(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_regime_boundary_is_continuous(self):
+        # alpha(p*) = 1 and beta(p*) = 0: the two regimes join.
+        assert pr.alpha_of_p(pr.P_STAR) == pytest.approx(1.0)
+        assert pr.beta_of_p(pr.P_STAR) == pytest.approx(0.0, abs=1e-6)
+
+    def test_beta_of_p_rejects_alpha_regime(self):
+        with pytest.raises(DomainError):
+            pr.beta_of_p(0.2)
+
+    def test_alpha_of_p_rejects_beta_regime(self):
+        with pytest.raises(DomainError):
+            pr.alpha_of_p(0.4)
+
+    def test_rejects_majority_fraction(self):
+        with pytest.raises(DomainError):
+            pr.beta_of_p(0.7)
+        with pytest.raises(DomainError):
+            pr.decision_probabilities(0.7)
+
+
+class TestDerivativesAndCorrections:
+    def test_alpha_curvature_grows_across_regime(self):
+        # Fig. 3: alpha''(p) spans roughly one order of magnitude over the
+        # alpha-regime, growing steeply toward the regime boundary p*
+        # (p'(alpha) -> 0.079 as alpha -> 1, so the inverse's curvature
+        # explodes there).
+        low = pr.alpha_second_derivative(0.05)
+        mid = pr.alpha_second_derivative(0.15)
+        high = pr.alpha_second_derivative(0.28)
+        assert 0.0 < low < mid < high
+        assert high / low > 3.0
+
+    def test_alpha_curvature_positive_in_range(self):
+        for p in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3]:
+            assert pr.alpha_second_derivative(p) > 0.0
+
+    def test_corrections_shrink_probabilities(self):
+        # Positive curvature means plug-in estimates are biased upward,
+        # so the corrected values must be smaller.
+        assert pr.alpha_corrected(0.2, m=10) < pr.alpha_of_p(0.2)
+        assert pr.beta_corrected(0.45, m=10) <= pr.beta_of_p(0.45) + 1e-12
+
+    def test_correction_vanishes_with_large_samples(self):
+        assert pr.alpha_corrected(0.2, m=10**9) == pytest.approx(
+            pr.alpha_of_p(0.2), abs=1e-6
+        )
+
+    def test_corrections_clamped_to_unit_interval(self):
+        assert 0.0 <= pr.alpha_corrected(0.02, m=1) <= 1.0
+        assert 0.0 <= pr.beta_corrected(0.49, m=1) <= 1.0
+
+    def test_correction_rejects_bad_sample_size(self):
+        with pytest.raises(DomainError):
+            pr.alpha_corrected(0.2, m=0)
+
+
+class TestDecisionProbabilities:
+    def test_beta_regime_has_alpha_one(self):
+        probs = pr.decision_probabilities(0.4)
+        assert probs.alpha == 1.0
+        assert 0.0 < probs.beta < 1.0
+
+    def test_alpha_regime_has_beta_zero(self):
+        probs = pr.decision_probabilities(0.2)
+        assert probs.beta == 0.0
+        assert 0.0 < probs.alpha < 1.0
+
+    def test_balanced_case(self):
+        probs = pr.decision_probabilities(0.5)
+        assert probs.alpha == 1.0
+        assert probs.beta == pytest.approx(1.0)
+
+    def test_heuristic_matches_theory_at_half(self):
+        h = pr.heuristic_probabilities(0.5)
+        assert h.alpha == pytest.approx(1.0)
+        assert h.beta == pytest.approx(1.0)
+
+    def test_heuristic_diverges_from_theory_away_from_half(self):
+        h = pr.heuristic_probabilities(0.35)
+        t = pr.decision_probabilities(0.35)
+        assert abs(h.beta - t.beta) > 0.05
+
+
+class TestInteractionCounts:
+    def test_t_star_constant_in_beta_regime(self):
+        # Eq. (1): t* does not depend on p in the beta-regime.
+        values = {pr.t_star(p) for p in [0.31, 0.4, 0.45, 0.5]}
+        assert all(v == pytest.approx(LN2) for v in values)
+
+    def test_t_star_grows_as_p_shrinks(self):
+        assert pr.t_star(0.05) > pr.t_star(0.15) > pr.t_star(0.3) > 0
+
+    def test_t_star_continuous_at_boundary(self):
+        below = pr.t_star(pr.P_STAR - 1e-6)
+        assert below == pytest.approx(LN2, rel=1e-3)
+
+    def test_discrete_interactions_converge_to_n_ln2(self):
+        assert pr.t_star_interactions(0.5, 10_000) == pytest.approx(
+            10_000 * LN2, rel=1e-3
+        )
+
+    def test_discrete_interactions_alpha_regime(self):
+        # Must agree with N * t_star(p) for large N.
+        n = 100_000
+        assert pr.t_star_interactions(0.1, n) == pytest.approx(
+            n * pr.t_star(0.1), rel=1e-3
+        )
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(DomainError):
+            pr.t_star_interactions(0.5, 1)

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimators import estimate_replica_count, estimate_split_fraction
+from repro.core.probabilities import (
+    P_STAR,
+    alpha_of_p,
+    beta_of_p,
+    p_of_alpha,
+    p_of_beta,
+    t_star,
+)
+from repro.core.reference import reference_partition
+from repro.pgrid.bits import Path
+from repro.pgrid.keyspace import KEY_BITS, MAX_KEY, bit_at, float_to_key, string_to_key
+
+paths = st.builds(
+    lambda bits: Path.from_bits(bits),
+    st.lists(st.integers(0, 1), min_size=0, max_size=20),
+)
+
+keys = st.integers(min_value=0, max_value=MAX_KEY - 1)
+
+
+class TestPathProperties:
+    @given(paths)
+    def test_string_round_trip(self, p):
+        if p.length:
+            assert Path.from_string(str(p)) == p
+
+    @given(paths, st.integers(0, 1))
+    def test_extend_parent_inverse(self, p, bit):
+        assert p.extend(bit).parent() == p
+
+    @given(paths)
+    def test_sibling_involution(self, p):
+        if p.length:
+            assert p.sibling().sibling() == p
+
+    @given(paths, paths)
+    def test_prefix_relation_matches_interval_containment(self, a, b):
+        a_lo, a_hi = a.interval()
+        b_lo, b_hi = b.interval()
+        if a.is_prefix_of(b):
+            assert a_lo <= b_lo and b_hi <= a_hi
+        elif a.diverges_from(b):
+            assert a_hi <= b_lo or b_hi <= a_lo
+
+    @given(paths, paths)
+    def test_common_prefix_symmetry(self, a, b):
+        assert a.common_prefix_length(b) == b.common_prefix_length(a)
+
+    @given(paths, keys)
+    def test_contains_key_matches_key_range(self, p, key):
+        lo, hi = p.key_range(KEY_BITS)
+        assert p.contains_key(key, KEY_BITS) == (lo <= key < hi)
+
+    @given(paths, paths)
+    def test_overlap_fraction_bounds(self, a, b):
+        f = a.overlap_fraction(b)
+        assert 0.0 <= f <= 1.0
+
+
+class TestKeyspaceProperties:
+    @given(st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False))
+    def test_float_key_monotone(self, x):
+        k = float_to_key(x)
+        assert 0 <= k < MAX_KEY
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999999, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.999999, allow_nan=False),
+    )
+    def test_order_preserved(self, a, b):
+        if a <= b:
+            assert float_to_key(a) <= float_to_key(b)
+
+    @given(st.text(alphabet="abcdefghij", max_size=12),
+           st.text(alphabet="abcdefghij", max_size=12))
+    def test_string_encoding_monotone(self, a, b):
+        if a <= b:
+            assert string_to_key(a) <= string_to_key(b)
+
+    @given(keys)
+    def test_bits_consistent_with_prefix(self, key):
+        for level in range(8):
+            assert bit_at(key, level) in (0, 1)
+
+
+class TestProbabilityProperties:
+    @given(st.floats(min_value=P_STAR + 1e-6, max_value=0.5))
+    def test_beta_round_trip(self, p):
+        assert abs(p_of_beta(beta_of_p(p)) - p) < 1e-8
+
+    @given(st.floats(min_value=1e-4, max_value=P_STAR - 1e-6))
+    def test_alpha_round_trip(self, p):
+        assert abs(p_of_alpha(alpha_of_p(p)) - p) < 1e-8
+
+    @given(st.floats(min_value=1e-3, max_value=0.5))
+    def test_t_star_at_least_ln2(self, p):
+        assert t_star(p) >= math.log(2.0) - 1e-9
+
+
+class TestEstimatorProperties:
+    @given(st.sets(keys, min_size=1, max_size=60))
+    def test_identical_sets_anchor(self, key_set):
+        assert estimate_replica_count(key_set, key_set, 5) == 5.0
+
+    @given(st.sets(keys, min_size=1, max_size=50),
+           st.sets(keys, min_size=1, max_size=50))
+    def test_replica_estimate_at_least_one(self, a, b):
+        est = estimate_replica_count(a, b, 3)
+        assert est >= 1.0 or math.isinf(est)
+
+    @given(st.lists(keys, min_size=1, max_size=100))
+    def test_split_fraction_in_unit_interval(self, key_list):
+        frac = estimate_split_fraction(key_list, 0)
+        assert 0.0 <= frac <= 1.0
+
+
+class TestReferencePartitionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(keys, min_size=2, max_size=300),
+        st.integers(min_value=10, max_value=200),
+    )
+    def test_peers_conserved_and_leaves_tile(self, key_list, n_peers):
+        ref = reference_partition(key_list, n_peers, d_max=20, n_min=2)
+        assert abs(ref.total_peers - n_peers) < 1e-6
+        intervals = sorted(leaf.path.interval() for leaf in ref.leaves)
+        assert intervals[0][0] == 0.0
+        assert intervals[-1][1] == 1.0
+        for (_, hi), (lo, _) in zip(intervals, intervals[1:]):
+            assert hi == lo
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(keys, min_size=5, max_size=200))
+    def test_keys_partitioned_exactly_once(self, key_list):
+        ref = reference_partition(key_list, 50, d_max=15, n_min=2)
+        assert ref.total_keys == len(set(key_list))

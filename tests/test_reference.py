@@ -1,0 +1,129 @@
+"""Tests for Algorithm 1 (the global reference partitioner)."""
+
+import random
+
+import pytest
+
+from repro.core.reference import reference_partition
+from repro.exceptions import PartitionError
+from repro.pgrid.keyspace import KEY_BITS, float_to_key
+
+
+def uniform_keys(n, seed=0):
+    rand = random.Random(seed)
+    return [float_to_key(rand.random()) for _ in range(n)]
+
+
+class TestBasicProperties:
+    def test_total_peers_conserved(self):
+        ref = reference_partition(uniform_keys(500), 64, d_max=50, n_min=5)
+        assert ref.total_peers == pytest.approx(64.0)
+
+    def test_total_keys_conserved(self):
+        keys = uniform_keys(500)
+        ref = reference_partition(keys, 64, d_max=50, n_min=5)
+        assert ref.total_keys == len(set(keys))
+
+    def test_leaves_tile_key_space(self):
+        ref = reference_partition(uniform_keys(500), 64, d_max=50, n_min=5)
+        intervals = sorted(leaf.path.interval() for leaf in ref.leaves)
+        assert intervals[0][0] == 0.0
+        assert intervals[-1][1] == 1.0
+        for (_, hi), (lo, _) in zip(intervals, intervals[1:]):
+            assert hi == pytest.approx(lo)
+
+    def test_no_split_when_underloaded(self):
+        ref = reference_partition(uniform_keys(30), 64, d_max=50, n_min=5)
+        assert len(ref.leaves) == 1
+        assert ref.leaves[0].n_peers == 64
+
+    def test_no_split_when_too_few_peers(self):
+        # n < 2 n_min forbids splitting regardless of load.
+        ref = reference_partition(uniform_keys(1000), 8, d_max=10, n_min=5)
+        assert len(ref.leaves) == 1
+
+    def test_leaf_load_bounds(self):
+        ref = reference_partition(uniform_keys(2000), 400, d_max=50, n_min=5)
+        for leaf in ref.leaves:
+            # A leaf is either within the load bound or was stopped by the
+            # peer floor.
+            assert leaf.n_keys <= 50 or leaf.n_peers < 2 * 5
+
+    def test_n_min_floor(self):
+        ref = reference_partition(uniform_keys(2000), 400, d_max=50, n_min=5)
+        for leaf in ref.leaves:
+            assert leaf.n_peers >= 5 - 1e-9
+
+    def test_proportionality_for_balanced_data(self):
+        # Uniform keys => peer counts should be roughly equal across leaves.
+        ref = reference_partition(uniform_keys(4000), 512, d_max=100, n_min=5)
+        counts = [leaf.n_peers for leaf in ref.leaves]
+        assert max(counts) / min(counts) < 3.0
+
+
+class TestSkewedData:
+    def test_skewed_keys_make_deep_trees(self):
+        rand = random.Random(1)
+        skewed = [float_to_key(min(rand.random() ** 8, 0.999999)) for _ in range(2000)]
+        uniform_ref = reference_partition(uniform_keys(2000), 256, d_max=50, n_min=5)
+        skewed_ref = reference_partition(skewed, 256, d_max=50, n_min=5)
+        assert skewed_ref.depth > uniform_ref.depth
+
+    def test_empty_side_descends_without_peer_split(self):
+        # All keys in the left half: the right half becomes a peer-less
+        # leaf (so the leaves still tile the space) and every peer stays
+        # on the populated side.
+        keys = [float_to_key(0.1 + i * 1e-6) for i in range(200)]
+        ref = reference_partition(keys, 64, d_max=50, n_min=5)
+        assert ref.total_peers == pytest.approx(64.0)
+        for leaf in ref.leaves:
+            assert leaf.n_keys > 0 or leaf.n_peers == 0.0
+        populated = [leaf for leaf in ref.leaves if leaf.n_keys > 0]
+        assert sum(leaf.n_peers for leaf in populated) == pytest.approx(64.0)
+
+    def test_leaf_for_key(self):
+        keys = uniform_keys(500, seed=3)
+        ref = reference_partition(keys, 64, d_max=50, n_min=5)
+        for key in keys[:50]:
+            leaf = ref.leaf_for_key(key)
+            assert leaf.path.contains_key(key, KEY_BITS)
+
+
+class TestIntegerPeers:
+    def test_integer_counts_sum(self):
+        ref = reference_partition(
+            uniform_keys(2000), 100, d_max=50, n_min=5, integer_peers=True
+        )
+        assert sum(leaf.n_peers for leaf in ref.leaves) == pytest.approx(100)
+        for leaf in ref.leaves:
+            assert leaf.n_peers == int(leaf.n_peers)
+
+    def test_integer_counts_respect_floor(self):
+        ref = reference_partition(
+            uniform_keys(2000), 100, d_max=50, n_min=5, integer_peers=True
+        )
+        for leaf in ref.leaves:
+            assert leaf.n_peers >= 5
+
+
+class TestValidation:
+    def test_rejects_zero_peers(self):
+        with pytest.raises(PartitionError):
+            reference_partition([1, 2, 3], 0, d_max=10, n_min=1)
+
+    def test_rejects_bad_n_min(self):
+        with pytest.raises(PartitionError):
+            reference_partition([1, 2, 3], 10, d_max=10, n_min=0)
+
+    def test_rejects_bad_d_max(self):
+        with pytest.raises(PartitionError):
+            reference_partition([1, 2, 3], 10, d_max=0, n_min=1)
+
+    def test_duplicate_keys_counted_once(self):
+        keys = [42] * 100 + [100]
+        ref = reference_partition(keys, 10, d_max=50, n_min=2)
+        assert ref.total_keys == 2
+
+    def test_mean_replication(self):
+        ref = reference_partition(uniform_keys(500), 60, d_max=50, n_min=5)
+        assert ref.mean_replication() == pytest.approx(60 / len(ref.leaves))

@@ -1,0 +1,84 @@
+"""Tests for anti-entropy replica reconciliation."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.pgrid.bits import Path
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.pgrid.replication import (
+    anti_entropy_sweep,
+    reconcile,
+    replica_divergence,
+)
+
+
+def make_pair():
+    a = PGridPeer(peer_id=0, path=Path.from_string("01"))
+    b = PGridPeer(peer_id=1, path=Path.from_string("01"))
+    lo, _ = a.path.key_range(53)
+    a.keys = {lo + 1, lo + 2}
+    b.keys = {lo + 2, lo + 3}
+    return a, b
+
+
+class TestReconcile:
+    def test_union_after_reconcile(self):
+        a, b = make_pair()
+        stats = reconcile(a, b)
+        assert a.keys == b.keys
+        assert len(a.keys) == 3
+        assert stats.keys_moved == 2
+        assert stats.a_received == 1 and stats.b_received == 1
+
+    def test_replica_discovery(self):
+        a, b = make_pair()
+        reconcile(a, b)
+        assert b.peer_id in a.replicas
+        assert a.peer_id in b.replicas
+
+    def test_idempotent(self):
+        a, b = make_pair()
+        reconcile(a, b)
+        stats = reconcile(a, b)
+        assert stats.keys_moved == 0
+
+    def test_rejects_cross_partition(self):
+        a, b = make_pair()
+        b.path = Path.from_string("10")
+        b.keys = set()
+        with pytest.raises(DomainError):
+            reconcile(a, b)
+
+
+class TestSweep:
+    def _network(self):
+        net = PGridNetwork()
+        lo, _ = Path.from_string("0").key_range(53)
+        for i in range(4):
+            peer = PGridPeer(peer_id=i, path=Path.from_string("0"))
+            peer.keys = {lo + i}
+            net.peers[i] = peer
+        return net
+
+    def test_sweep_converges(self):
+        net = self._network()
+        anti_entropy_sweep(net, rounds=6, rng=1)
+        assert replica_divergence(net) == pytest.approx(0.0)
+        for peer in net.peers.values():
+            assert len(peer.keys) == 4
+
+    def test_divergence_positive_before_convergence(self):
+        net = self._network()
+        assert replica_divergence(net) > 0.4
+
+    def test_sweep_skips_offline(self):
+        net = self._network()
+        for i in (1, 2, 3):
+            net.peers[i].online = False
+        moved = anti_entropy_sweep(net, rounds=3, rng=2)
+        assert moved == 0
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(DomainError):
+            anti_entropy_sweep(PGridNetwork(), rounds=0)

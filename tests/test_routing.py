@@ -1,0 +1,60 @@
+"""Tests for routing tables."""
+
+import random
+
+from repro.pgrid.routing import RoutingTable
+
+
+class TestRoutingTable:
+    def test_add_and_refs(self):
+        table = RoutingTable()
+        assert table.add(0, 7)
+        assert not table.add(0, 7)  # duplicate
+        assert table.refs(0) == [7]
+        assert table.refs(3) == []
+
+    def test_bounded_per_level(self):
+        table = RoutingTable(max_refs_per_level=2)
+        for peer in (1, 2, 3):
+            table.add(0, peer)
+        assert len(table.refs(0)) == 2
+        assert table.refs(0) == [2, 3]  # oldest evicted
+
+    def test_remove_everywhere(self):
+        table = RoutingTable()
+        table.add(0, 5)
+        table.add(1, 5)
+        table.add(1, 6)
+        table.remove(5)
+        assert table.refs(0) == []
+        assert table.refs(1) == [6]
+
+    def test_choose_prefers_non_excluded(self):
+        table = RoutingTable()
+        table.add(0, 1)
+        table.add(0, 2)
+        rand = random.Random(0)
+        picks = {table.choose(0, rng=rand, exclude=[1]) for _ in range(10)}
+        assert picks == {2}
+
+    def test_choose_falls_back_when_all_excluded(self):
+        table = RoutingTable()
+        table.add(0, 1)
+        assert table.choose(0, rng=1, exclude=[1]) == 1
+
+    def test_choose_empty_level(self):
+        assert RoutingTable().choose(0, rng=1) is None
+
+    def test_all_refs_and_contains(self):
+        table = RoutingTable()
+        table.add(0, 1)
+        table.add(2, 9)
+        assert sorted(table.all_refs()) == [1, 9]
+        assert 9 in table
+        assert 4 not in table
+
+    def test_depth_counts_populated_levels(self):
+        table = RoutingTable()
+        table.add(0, 1)
+        table.add(5, 2)
+        assert table.depth() == 2

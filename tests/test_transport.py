@@ -1,0 +1,138 @@
+"""Tests for the message transport layer."""
+
+import statistics
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simnet.engine import Simulator
+from repro.simnet.stats import StatsCollector
+from repro.simnet.transport import (
+    HEADER_BYTES,
+    KEY_BYTES,
+    ConstantLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+
+
+class Recorder:
+    """Minimal node: records everything it receives."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.online = True
+        self.inbox = []
+
+    def receive(self, message):
+        self.inbox.append(message)
+
+
+def make_net(loss=0.0, latency=None, stats=None):
+    sim = Simulator()
+    net = Network(sim, latency=latency or ConstantLatency(0.1), loss_rate=loss,
+                  rng=1, stats=stats)
+    a, b = Recorder(0), Recorder(1)
+    net.register(a)
+    net.register(b)
+    return sim, net, a, b
+
+
+class TestDelivery:
+    def test_basic_delivery_with_latency(self):
+        sim, net, a, b = make_net()
+        net.send(0, 1, "ping", {"x": 1})
+        assert b.inbox == []
+        sim.run_all()
+        assert len(b.inbox) == 1
+        assert b.inbox[0].payload == {"x": 1}
+        assert sim.now == pytest.approx(0.1)
+
+    def test_offline_receiver_drops(self):
+        sim, net, a, b = make_net()
+        b.online = False
+        net.send(0, 1, "ping", {})
+        sim.run_all()
+        assert b.inbox == []
+        assert net.messages_dropped == 1
+
+    def test_offline_sender_drops(self):
+        sim, net, a, b = make_net()
+        a.online = False
+        net.send(0, 1, "ping", {})
+        sim.run_all()
+        assert b.inbox == []
+        assert net.messages_dropped == 1
+
+    def test_loss_rate(self):
+        sim, net, a, b = make_net(loss=0.5)
+        for _ in range(400):
+            net.send(0, 1, "ping", {})
+        sim.run_all()
+        assert 120 < len(b.inbox) < 280  # ~200 expected
+
+    def test_unknown_destination_dropped(self):
+        sim, net, a, b = make_net()
+        net.send(0, 99, "ping", {})
+        sim.run_all()
+        assert net.messages_dropped == 1
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(SimulationError):
+            net.register(Recorder(0))
+
+    def test_bad_loss_rate(self):
+        with pytest.raises(SimulationError):
+            Network(Simulator(), loss_rate=1.5)
+
+
+class TestByteAccounting:
+    def test_message_size(self):
+        stats = StatsCollector()
+        sim, net, a, b = make_net(stats=stats)
+        net.send(0, 1, "store", {}, n_keys=10, category="maintenance")
+        sim.run_all()
+        recorded = stats.bytes_by_category["maintenance"][0]
+        assert recorded == HEADER_BYTES + 10 * KEY_BYTES
+
+    def test_categories_separated(self):
+        stats = StatsCollector()
+        sim, net, a, b = make_net(stats=stats)
+        net.send(0, 1, "q", {}, category="queries")
+        net.send(0, 1, "m", {}, category="maintenance")
+        sim.run_all()
+        assert stats.bytes_by_category["queries"][0] == HEADER_BYTES
+        assert stats.bytes_by_category["maintenance"][0] == HEADER_BYTES
+
+    def test_online_count(self):
+        sim, net, a, b = make_net()
+        assert net.online_count() == 2
+        b.online = False
+        assert net.online_count() == 1
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        import random
+
+        assert ConstantLatency(0.25).sample(random.Random(1)) == 0.25
+
+    def test_uniform_within_bounds(self):
+        import random
+
+        rng = random.Random(2)
+        model = UniformLatency(0.1, 0.2)
+        for _ in range(100):
+            assert 0.1 <= model.sample(rng) <= 0.2
+
+    def test_lognormal_heavy_tail_capped(self):
+        import random
+
+        rng = random.Random(3)
+        model = LogNormalLatency(median=0.1, sigma=1.0, cap=2.0)
+        xs = [model.sample(rng) for _ in range(2000)]
+        assert all(x <= 2.0 for x in xs)
+        assert statistics.median(xs) == pytest.approx(0.1, rel=0.3)
+        assert max(xs) > 5 * statistics.median(xs)  # heavy tail

@@ -1,0 +1,141 @@
+"""Tests for the evaluation workloads."""
+
+import statistics
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.pgrid.keyspace import MAX_KEY, string_to_key
+from repro.workloads.corpus import Document, SyntheticCorpus, extract_keywords
+from repro.workloads.datasets import flatten, uniform_keys, workload_keys
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    NormalDistribution,
+    ParetoDistribution,
+    UniformDistribution,
+    distribution,
+)
+
+
+class TestDistributions:
+    def test_registry_has_paper_labels(self):
+        assert set(DISTRIBUTIONS) == {"U", "P0.5", "P1.0", "P1.5", "N", "A"}
+
+    def test_lookup_unknown_label(self):
+        with pytest.raises(DomainError):
+            distribution("Zipf99")
+
+    @pytest.mark.parametrize("label", sorted(DISTRIBUTIONS))
+    def test_samples_in_unit_interval(self, label):
+        xs = DISTRIBUTIONS[label].sample_floats(500, rng=1)
+        assert len(xs) == 500
+        assert all(0.0 <= x < 1.0 for x in xs)
+
+    @pytest.mark.parametrize("label", sorted(DISTRIBUTIONS))
+    def test_keys_in_range(self, label):
+        keys = DISTRIBUTIONS[label].sample_keys(200, rng=2)
+        assert all(0 <= k < MAX_KEY for k in keys)
+
+    def test_uniform_mean(self):
+        xs = UniformDistribution().sample_floats(5000, rng=3)
+        assert statistics.mean(xs) == pytest.approx(0.5, abs=0.03)
+
+    def test_pareto_skew_ordering(self):
+        # Smaller shape => heavier concentration near the scale point.
+        medians = {}
+        for shape in (0.5, 1.0, 1.5):
+            xs = ParetoDistribution(shape=shape).sample_floats(4000, rng=4)
+            medians[shape] = statistics.median(xs)
+        assert medians[1.5] < medians[0.5]  # heavier tail pushes mass up
+
+    def test_pareto_more_skewed_than_uniform(self):
+        xs = ParetoDistribution(shape=1.0).sample_floats(4000, rng=5)
+        assert statistics.median(xs) < 0.05  # mass concentrated near scale
+
+    def test_normal_concentration(self):
+        xs = NormalDistribution().sample_floats(4000, rng=6)
+        inside = sum(1 for x in xs if 0.35 < x < 0.65)
+        assert inside / len(xs) > 0.98
+
+    def test_pareto_validation(self):
+        with pytest.raises(DomainError):
+            ParetoDistribution(shape=0.0)
+        with pytest.raises(DomainError):
+            ParetoDistribution(scale=1.5)
+        with pytest.raises(DomainError):
+            NormalDistribution(sigma=0.0)
+
+    def test_reproducible_given_seed(self):
+        a = DISTRIBUTIONS["P1.0"].sample_keys(50, rng=42)
+        b = DISTRIBUTIONS["P1.0"].sample_keys(50, rng=42)
+        assert a == b
+
+
+class TestCorpus:
+    def test_vocabulary_size_and_shape(self):
+        corpus = SyntheticCorpus(vocabulary_size=500, rng=1)
+        assert len(corpus.vocabulary) == 500
+        assert all(3 <= len(w) <= 10 for w in corpus.vocabulary)
+
+    def test_zipf_head_dominates(self):
+        corpus = SyntheticCorpus(vocabulary_size=500, rng=2)
+        draws = [corpus.sample_term(rng_seed) for rng_seed in range(2000)]
+        counts = {}
+        for term in draws:
+            counts[term] = counts.get(term, 0) + 1
+        top = corpus.vocabulary[0]
+        assert counts.get(top, 0) > 2000 / 500 * 5  # way above uniform share
+
+    def test_documents_and_postings(self):
+        corpus = SyntheticCorpus(vocabulary_size=300, rng=3)
+        docs = corpus.generate_documents(20, terms_per_doc=30, rng=4)
+        assert len(docs) == 20
+        index = corpus.postings(docs)
+        for term, doc_ids in index.items():
+            for did in doc_ids:
+                assert term in docs[did].term_set()
+
+    def test_term_keys_order_preserving(self):
+        corpus = SyntheticCorpus(vocabulary_size=200, rng=5)
+        words = sorted(corpus.vocabulary)[:20]
+        keys = [string_to_key(w) for w in words]
+        assert keys == sorted(keys)
+
+    def test_keyword_extraction_filters_stopwords(self):
+        corpus = SyntheticCorpus(vocabulary_size=300, rng=6)
+        stop = corpus.vocabulary[0]
+        doc = Document(doc_id=0, terms=[stop] * 20 + ["uniqueword"] * 3)
+        kws = extract_keywords(doc, corpus=corpus, max_keywords=5)
+        assert stop not in kws
+        assert "uniqueword" in kws
+
+    def test_keyword_extraction_ranked_by_frequency(self):
+        doc = Document(doc_id=0, terms=["aa"] * 5 + ["bb"] * 3 + ["cc"])
+        kws = extract_keywords(doc, max_keywords=2)
+        assert kws == ["aa", "bb"]
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            SyntheticCorpus(vocabulary_size=3)
+        with pytest.raises(DomainError):
+            extract_keywords(Document(0, ["x"]), max_keywords=0)
+
+
+class TestDatasets:
+    def test_shapes(self):
+        pk = workload_keys("U", peers=12, keys_per_peer=7, seed=1)
+        assert len(pk) == 12
+        assert all(len(keys) == 7 for keys in pk)
+        assert len(flatten(pk)) == 84
+
+    def test_uniform_alias(self):
+        assert len(uniform_keys(5, 3, seed=2)) == 5
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            workload_keys("U", peers=0)
+        with pytest.raises(DomainError):
+            workload_keys("U", peers=3, keys_per_peer=0)
+
+    def test_deterministic(self):
+        assert workload_keys("N", 6, 4, seed=9) == workload_keys("N", 6, 4, seed=9)
