@@ -3,6 +3,8 @@
 The Eq. (9)/(10) corrections are derived for "presumably small" errors;
 this sweep shows where they pay off (m >= ~5) and confirms the paper's
 Fig. 6(c) observation that load balance itself tolerates tiny samples.
+
+Guards: the Eq. (9)/(10) bias-correction claim (extends Fig. 4 / Fig. 6(c)).
 """
 
 from repro.experiments.ablations import correction_ablation, replication_floor_ablation

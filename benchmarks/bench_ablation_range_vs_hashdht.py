@@ -3,6 +3,8 @@
 Paper claim: layering an index over a uniform-hashing DHT "is
 considerably less efficient ... multiple overlay network queries are
 required to locate all the semantically close content."
+
+Guards: Sec. 6's range-query efficiency claim vs uniform-hash DHT + PHT.
 """
 
 from repro.experiments.rangecost import range_cost_sweep

@@ -3,6 +3,8 @@
 Paper claim: the parallel construction needs O(log^2 N) latency versus
 the standard maintenance model's O(N log N); total traffic stays in the
 same class.
+
+Guards: Sec. 4.3's O(log^2 N) parallel vs O(N log N) sequential latency claim.
 """
 
 from repro.experiments.complexity import latency_sweep

@@ -1,4 +1,7 @@
-"""Figure 3: numerical solution for alpha''(p) over the alpha-regime."""
+"""Figure 3: numerical solution for alpha''(p) over the alpha-regime.
+
+Guards: Fig. 3 -- the alpha''(p) curvature curve motivating the corrections.
+"""
 
 from repro.experiments import fig3
 from repro.experiments.reporting import print_table

@@ -2,6 +2,8 @@
 
 Paper shape: SAM and AEP drift systematically (sampling bias), COR
 removes the drift almost completely, MVA and AUT stay near zero.
+
+Guards: Fig. 4 -- partition-accuracy drift of SAM/AEP vs COR/MVA/AUT.
 """
 
 from repro._util import mean

@@ -3,6 +3,8 @@
 Paper shape: AEP-family cost is flat at N ln 2 in the beta-regime and
 rises as p -> 0; AUT is ~2x costlier at p = 1/2 but *cheaper* below the
 crossover at p ~ 0.15.
+
+Guards: Fig. 5 / Eqs. (1), (3) -- interaction counts across the five models.
 """
 
 import math

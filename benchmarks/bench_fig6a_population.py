@@ -3,6 +3,8 @@
 Paper shape: deviation stays practically stable across n = 256/512/1024
 and sits roughly in the 0.1-0.5 band, with skewed distributions higher
 than uniform.
+
+Guards: Fig. 6(a) -- deviation stability across population sizes.
 """
 
 from repro.experiments.fig6 import DISTRIBUTION_LABELS, panel_a

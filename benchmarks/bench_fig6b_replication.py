@@ -3,6 +3,8 @@
 Paper shape: roughly unaffected for mildly skewed distributions, some
 degradation for the strongly skewed ones at high n_min (fewer, larger
 partitions magnify each misplaced peer).
+
+Guards: Fig. 6(b) -- deviation vs the n_min replication floor.
 """
 
 from repro.experiments.fig6 import panel_b

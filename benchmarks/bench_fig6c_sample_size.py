@@ -3,6 +3,8 @@
 Paper shape: "no such influence exists" -- the deviation does not improve
 with larger per-partition samples, which is what allows the protocol to
 run with very small samples.
+
+Guards: Fig. 6(c) -- insensitivity of load balance to sample size.
 """
 
 from repro._util import mean

@@ -2,6 +2,8 @@
 
 Paper conclusion: "Even a minor change to the theoretically correct
 functions degrades the quality of load balancing substantially."
+
+Guards: Fig. 6(d) -- necessity of the theoretically derived alpha/beta.
 """
 
 from repro._util import mean

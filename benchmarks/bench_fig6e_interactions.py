@@ -3,6 +3,8 @@
 Paper shape: grows gracefully (logarithmically) with the network size;
 skewed distributions cost more because their tries are deeper and their
 splits more lopsided (smaller alpha => more attempts, priced by Eq. 3).
+
+Guards: Fig. 6(e) -- construction interactions grow ~log with network size.
 """
 
 from repro.experiments.fig6 import panel_e

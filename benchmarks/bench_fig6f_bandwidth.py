@@ -2,6 +2,8 @@
 
 Paper shape: grows gracefully with network size; data skew increases
 bandwidth significantly (deeper tries move keys more often).
+
+Guards: Fig. 6(f) -- per-peer bandwidth (keys moved) during construction.
 """
 
 from repro.experiments.fig6 import panel_f

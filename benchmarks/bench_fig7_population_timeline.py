@@ -3,6 +3,8 @@
 Paper shape: ramp-up during the join phase, a stable plateau (~296
 peers) through construction and queries, and a visible dip once churn
 begins.
+
+Guards: Fig. 7 -- the join/plateau/churn population timeline.
 """
 
 from repro.experiments import fig789

@@ -3,6 +3,8 @@
 Paper shape: maintenance traffic peaks during the construction phase
 (~250 Bps/peer on PlanetLab) and decays quickly afterwards; query
 traffic dominates during the query phase.
+
+Guards: Fig. 8 -- maintenance-vs-query bandwidth over the timeline.
 """
 
 from repro.experiments import fig789

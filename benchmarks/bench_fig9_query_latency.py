@@ -4,6 +4,8 @@ Paper shape: roughly constant during the static query phase, slightly
 higher average with a larger deviation during churn (offline peers force
 retries).  Absolute values differ from PlanetLab's heavily loaded nodes;
 shapes are what we compare.
+
+Guards: Fig. 9 -- query latency shape through static and churn phases.
 """
 
 from repro._util import mean

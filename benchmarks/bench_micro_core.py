@@ -3,6 +3,13 @@
 These use pytest-benchmark's statistical timing (many rounds) rather
 than the one-shot harness runs: they guard against performance
 regressions in the inner loops every experiment depends on.
+
+Guards: the constant factors behind the paper's O(log K) lookup and
+O(log K + K_range) shower range-query claims (Secs. 2.1, 2.3), and the
+alpha/beta inversions every construction interaction performs
+(Sec. 3.2).  The one-shot counterparts -- absolute timings tracked
+across PRs -- live in ``perf_harness.py`` / ``bench_perf_suite.py``,
+which emit ``BENCH_core.json`` at the repo root.
 """
 
 import random

@@ -3,6 +3,8 @@
 Paper values: load-balance deviation 0.39 (simulation 0.38 +- 0.05),
 mean path length slightly below 6, ~3 query hops (half the path length),
 mean replication factor 5, query success 95-100% even under churn.
+
+Guards: Sec. 5.2's in-text system summary statistics.
 """
 
 from repro.experiments import fig789

@@ -21,11 +21,14 @@ with identical key sets of size ``d_max`` yield an estimate of exactly
 from __future__ import annotations
 
 import math
-from typing import AbstractSet, Iterable, Optional, Sequence
+from typing import AbstractSet, Iterable, Optional, Sequence, Union
 
 from .._util import RngLike, make_rng
 from ..exceptions import DomainError
-from ..pgrid.keyspace import KEY_BITS, bit_at
+from ..pgrid.keyspace import KEY_BITS
+from ..pgrid.keystore import KeyStore
+
+KeySetLike = Union[AbstractSet[int], KeyStore]
 
 __all__ = [
     "estimate_split_fraction",
@@ -55,21 +58,44 @@ def estimate_split_fraction(keys: Iterable[int], level: int) -> float:
     bits (the current partition); the estimator simply counts the next
     bit.  Raises :class:`DomainError` for an empty key set: a peer with
     no data cannot form an estimate and must reconcile first.
+
+    Because the keys share the partition prefix, "bit ``level`` is 0" is
+    equivalent to "key below the partition midpoint", so the count is a
+    plain comparison sweep (or a single binary search for a sorted
+    :class:`KeyStore`) rather than a per-key bit extraction.
     """
-    total = 0
-    zeros = 0
-    for key in keys:
-        total += 1
-        if bit_at(key, level) == 0:
-            zeros += 1
+    if not 0 <= level < KEY_BITS:
+        raise DomainError(f"level {level} out of range [0, {KEY_BITS})")
+    if isinstance(keys, KeyStore):
+        total = len(keys)
+        if total == 0:
+            raise DomainError("cannot estimate a split fraction from zero keys")
+        shift = KEY_BITS - 1 - level
+        boundary = ((keys.min() >> (shift + 1)) * 2 + 1) << shift
+        return keys.count_below(boundary) / total
+    keys = keys if isinstance(keys, (set, frozenset, list, tuple)) else list(keys)
+    total = len(keys)
     if total == 0:
         raise DomainError("cannot estimate a split fraction from zero keys")
+    shift = KEY_BITS - 1 - level
+    anchor = next(iter(keys))
+    boundary = ((anchor >> (shift + 1)) * 2 + 1) << shift
+    zeros = sum(1 for key in keys if key < boundary)
     return zeros / total
 
 
+def _overlap_size(keys_a: KeySetLike, keys_b: KeySetLike) -> int:
+    """``|A ∩ B|`` across plain sets and sorted :class:`KeyStore`\\ s."""
+    if isinstance(keys_a, KeyStore):
+        return keys_a.intersection_size(keys_b)
+    if isinstance(keys_b, KeyStore):
+        return keys_b.intersection_size(keys_a)
+    return len(keys_a & keys_b)
+
+
 def estimate_replica_count(
-    keys_a: AbstractSet[int],
-    keys_b: AbstractSet[int],
+    keys_a: KeySetLike,
+    keys_b: KeySetLike,
     n_min: int,
 ) -> float:
     """Estimate the number of peers in the current partition from the
@@ -96,15 +122,15 @@ def estimate_replica_count(
     size_b = len(keys_b)
     if size_a == 0 or size_b == 0:
         return math.inf
-    overlap = len(keys_a & keys_b)
+    overlap = _overlap_size(keys_a, keys_b)
     if overlap == 0:
         return math.inf
     return 1.0 + (n_min - 1) * (size_a + size_b) / (2.0 * overlap)
 
 
 def estimate_partition_keys(
-    keys_a: AbstractSet[int],
-    keys_b: AbstractSet[int],
+    keys_a: KeySetLike,
+    keys_b: KeySetLike,
 ) -> float:
     """Estimate the number of *distinct* keys in the current partition from
     two peers' key sets (Lincoln--Petersen: ``|A| |B| / |A ∩ B|``).
@@ -117,7 +143,7 @@ def estimate_partition_keys(
     size_b = len(keys_b)
     if size_a == 0 or size_b == 0:
         return float(size_a + size_b)
-    overlap = len(keys_a & keys_b)
+    overlap = _overlap_size(keys_a, keys_b)
     if overlap == 0:
         return math.inf
     return size_a * size_b / overlap

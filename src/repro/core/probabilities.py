@@ -26,11 +26,26 @@ The expected number of interactions to completion is Eq. (1)/(3):
 Peers estimate ``p`` from ``m`` local samples; the induced second-order
 sampling bias is removed by the corrected probabilities of Eqs. (9)/(10),
 implemented by :func:`alpha_corrected` / :func:`beta_corrected`.
+
+Performance
+-----------
+Every construction interaction inverts Eq. (2) or (4); a profile of
+``build_overlay`` shows >85% of construction time inside the generic
+bisection when each inversion restarts from the full ``[0, 1]`` bracket.
+The operational inverters (:func:`alpha_of_p` / :func:`beta_of_p`)
+therefore seed a damped regula-falsi refinement from a precomputed
+forward-map table (bracket width ~1e-3, converging in 3-6 forward
+evaluations to a ``1e-13`` residual) and memoize results -- the estimate
+lattice ``k/m`` repeats heavily across interactions.  The untouched
+full-bracket bisections remain available as :func:`alpha_of_p_exact` /
+:func:`beta_of_p_exact`; a tolerance test ties the two within ``1e-9``
+(``tests/test_probabilities.py``).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left as _bisect_left
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -45,6 +60,8 @@ __all__ = [
     "p_of_alpha",
     "beta_of_p",
     "alpha_of_p",
+    "beta_of_p_exact",
+    "alpha_of_p_exact",
     "alpha_second_derivative",
     "beta_second_derivative",
     "alpha_corrected",
@@ -100,12 +117,19 @@ def p_of_alpha(alpha: float) -> float:
 
 # -- inverse maps ------------------------------------------------------------
 
+#: Residual tolerance of the table-seeded inversions (in ``p`` units);
+#: far below the 1e-9 round-trip tolerance the reference tests demand.
+_INVERT_TOL = 1e-13
 
-def beta_of_p(p: float) -> float:
-    """Invert Eq. (2): the ``beta`` achieving load fraction ``p``.
+#: Lower end of the alpha search bracket (matches the exact bisection).
+_ALPHA_MIN = 1e-12
 
-    Valid for ``p`` in ``[1 - ln 2, 1/2]``; raises :class:`DomainError`
-    outside (use :func:`decision_probabilities` for the full range).
+
+def beta_of_p_exact(p: float) -> float:
+    """Reference inversion of Eq. (2) by full-bracket bisection.
+
+    Semantics identical to :func:`beta_of_p`; kept as the ground truth
+    the table-driven fast path is tested against.
     """
     check_probability(p, "p")
     if p > 0.5:
@@ -120,11 +144,11 @@ def beta_of_p(p: float) -> float:
     return bisect(lambda b: p_of_beta(b) - p, 0.0, 1.0)
 
 
-def alpha_of_p(p: float) -> float:
-    """Invert Eq. (4): the ``alpha`` achieving load fraction ``p``.
+def alpha_of_p_exact(p: float) -> float:
+    """Reference inversion of Eq. (4) by full-bracket bisection.
 
-    Valid for ``p`` in ``(0, 1 - ln 2]``; raises :class:`DomainError`
-    outside.
+    Semantics identical to :func:`alpha_of_p`; kept as the ground truth
+    the table-driven fast path is tested against.
     """
     check_probability(p, "p")
     if p > P_STAR + 1e-12:
@@ -133,7 +157,114 @@ def alpha_of_p(p: float) -> float:
         raise DomainError(f"p={p} too close to 0 for a meaningful split")
     if p >= P_STAR:
         return 1.0
-    return bisect(lambda a: p_of_alpha(a) - p, 1e-12, 1.0)
+    return bisect(lambda a: p_of_alpha(a) - p, _ALPHA_MIN, 1.0)
+
+
+@lru_cache(maxsize=1)
+def _beta_table() -> tuple:
+    """Forward-map samples ``(betas, ps)`` of Eq. (2) on a uniform grid."""
+    n = 1024
+    betas = [i / (n - 1) for i in range(n)]
+    return betas, [p_of_beta(b) for b in betas]
+
+
+@lru_cache(maxsize=1)
+def _alpha_table() -> tuple:
+    """Forward-map samples ``(alphas, ps)`` of Eq. (4).
+
+    Geometric spacing in ``alpha``: ``p(alpha) ~ alpha ln(1/alpha)`` as
+    ``alpha -> 0``, so a uniform grid could not bracket the heavy-skew
+    tail down to ``p = 1e-9`` that the guard band admits.
+    """
+    n = 2048
+    step = math.log(1.0 / _ALPHA_MIN) / (n - 1)
+    alphas = [_ALPHA_MIN * math.exp(i * step) for i in range(n)]
+    alphas[-1] = 1.0
+    return alphas, [p_of_alpha(a) for a in alphas]
+
+
+def _invert_monotone(p: float, xs: list, ps: list, forward) -> float:
+    """Solve ``forward(x) = p`` for a strictly increasing ``forward``.
+
+    Looks up the bracketing table cell, then refines by regula falsi with
+    Illinois damping -- guaranteed convergence on the bracket, typically
+    3-6 ``forward`` evaluations to a ``1e-13`` residual versus ~40 for
+    bisection from the full domain.
+    """
+    i = _bisect_left(ps, p)
+    if i <= 0:
+        return xs[0]
+    if i >= len(ps):
+        return xs[-1]
+    lo, hi = xs[i - 1], xs[i]
+    f_lo, f_hi = ps[i - 1] - p, ps[i] - p
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    for _ in range(100):
+        x = hi - f_hi * (hi - lo) / (f_hi - f_lo)
+        if not lo < x < hi:  # numerical corner: fall back to the midpoint
+            x = 0.5 * (lo + hi)
+        fx = forward(x) - p
+        if abs(fx) < _INVERT_TOL or hi - lo < 1e-15:
+            return x
+        if (fx < 0.0) == (f_lo < 0.0):
+            lo, f_lo = x, fx
+            f_hi *= 0.5
+        else:
+            hi, f_hi = x, fx
+            f_lo *= 0.5
+    return 0.5 * (lo + hi)
+
+
+@lru_cache(maxsize=65536)
+def _beta_of_p_fast(p: float) -> float:
+    betas, ps = _beta_table()
+    return _invert_monotone(p, betas, ps, p_of_beta)
+
+
+@lru_cache(maxsize=65536)
+def _alpha_of_p_fast(p: float) -> float:
+    alphas, ps = _alpha_table()
+    return _invert_monotone(p, alphas, ps, p_of_alpha)
+
+
+def beta_of_p(p: float) -> float:
+    """Invert Eq. (2): the ``beta`` achieving load fraction ``p``.
+
+    Valid for ``p`` in ``[1 - ln 2, 1/2]``; raises :class:`DomainError`
+    outside (use :func:`decision_probabilities` for the full range).
+    Memoized table-seeded inversion; :func:`beta_of_p_exact` is the
+    bisection reference it is tested against.
+    """
+    check_probability(p, "p")
+    if p > 0.5:
+        raise DomainError(f"beta_of_p expects p <= 1/2 (mirror the sides first), got {p}")
+    if p < P_STAR - 1e-12:
+        raise DomainError(
+            f"no positive beta exists for p={p} < 1 - ln2; use alpha_of_p instead"
+        )
+    if p >= 0.5:
+        return 1.0
+    return _beta_of_p_fast(max(p, P_STAR))
+
+
+def alpha_of_p(p: float) -> float:
+    """Invert Eq. (4): the ``alpha`` achieving load fraction ``p``.
+
+    Valid for ``p`` in ``(0, 1 - ln 2]``; raises :class:`DomainError`
+    outside.  Memoized table-seeded inversion; :func:`alpha_of_p_exact`
+    is the bisection reference it is tested against.
+    """
+    check_probability(p, "p")
+    if p > P_STAR + 1e-12:
+        raise DomainError(f"alpha_of_p expects p <= 1 - ln2, got {p}; use beta_of_p")
+    if p <= _P_FLOOR:
+        raise DomainError(f"p={p} too close to 0 for a meaningful split")
+    if p >= P_STAR:
+        return 1.0
+    return _alpha_of_p_fast(p)
 
 
 # -- derivatives and sampling-error corrections ------------------------------
@@ -203,8 +334,15 @@ class DecisionProbabilities:
     p: float
 
 
+@lru_cache(maxsize=65536)
 def _raw_pair(p: float) -> tuple[float, float]:
-    """Uncorrected ``(alpha, beta)`` for a minority fraction in ``(0, 1/2]``."""
+    """Uncorrected ``(alpha, beta)`` for a minority fraction in ``(0, 1/2]``.
+
+    Memoized: the binomial expectation of
+    :func:`corrected_probabilities_exact` evaluates the pair on the
+    estimate lattice ``k/m``, which repeats across every interaction of a
+    construction run.
+    """
     p = min(max(p, _P_FLOOR * 10), 0.5)
     if p >= P_STAR:
         return 1.0, beta_of_p(p)
@@ -233,9 +371,10 @@ def _expected_raw_pair(q: float, m: int) -> tuple[float, float]:
 
     Follows the estimate-processing pipeline of the simulators: the
     estimate is mapped to its minority side and floored at ``1/(4m)``.
-    Only the ~±8 sigma window of the binomial contributes, which keeps
-    the sum cheap for the large effective sample sizes the integrated
-    construction produces.
+    Only the ~±8 sigma window of the binomial contributes, and the pmf is
+    advanced across the window by the multiplicative recurrence
+    ``P[k+1] = P[k] (m-k)/(k+1) q/(1-q)`` from a single log-gamma anchor
+    -- one transcendental call per expectation instead of five per term.
     """
     e_alpha = 0.0
     e_beta = 0.0
@@ -243,13 +382,20 @@ def _expected_raw_pair(q: float, m: int) -> tuple[float, float]:
     k_lo = max(0, int(m * q - 8 * sigma))
     k_hi = min(m, int(m * q + 8 * sigma) + 1)
     total = 0.0
+    weight = _binomial_pmf(m, k_lo, q)
+    ratio = q / (1.0 - q)
+    quarter = 1.0 / (4.0 * m)
     for k in range(k_lo, k_hi + 1):
-        weight = _binomial_pmf(m, k, q)
-        side = min(max(k / m, 1.0 / (4.0 * m)), 0.5)
+        side = k / m
+        if side < quarter:
+            side = quarter
+        elif side > 0.5:
+            side = 0.5
         alpha, beta = _raw_pair(side)
         e_alpha += weight * alpha
         e_beta += weight * beta
         total += weight
+        weight *= (m - k) / (k + 1.0) * ratio
     if total > 0.0:
         e_alpha /= total
         e_beta /= total

@@ -8,6 +8,9 @@ Sub-modules
     Order-preserving key encodings (floats, strings) to integer keys.
 ``routing``
     Per-level routing tables referencing the complementary subtree.
+``keystore``
+    Sorted-array key storage: O(log n + hits) range extraction and
+    merge-based reconciliation for the query-serving data plane.
 ``peer``
     Peer state: path, stored keys, replicas, routing table.
 ``network``
@@ -22,4 +25,14 @@ Sub-modules
     Anti-entropy reconciliation between replicas.
 """
 
-from . import bits, keyspace, maintenance, network, peer, replication, routing, search  # noqa: F401
+from . import (  # noqa: F401
+    bits,
+    keyspace,
+    keystore,
+    maintenance,
+    network,
+    peer,
+    replication,
+    routing,
+    search,
+)

@@ -80,7 +80,11 @@ class Path:
             yield self.bit(i)
 
     def __str__(self) -> str:
-        return "".join("1" if b else "0" for b in self) if self.length else "<root>"
+        # One C-level int format instead of a per-bit generator: __str__
+        # runs per partition when experiments render range-query results.
+        if not self.length:
+            return "<root>"
+        return format(self.bits, f"0{self.length}b")
 
     def __repr__(self) -> str:
         return f"Path('{self}')" if self.length else "Path(<root>)"

@@ -28,6 +28,7 @@ from .keyspace import KEY_BITS, bit_at
 from .network import PGridNetwork
 from .peer import PGridPeer
 from .routing import RoutingTable
+from .search import alive_ref
 
 __all__ = ["JoinStats", "sequential_join", "sequential_build", "fail_peer", "repair_routes"]
 
@@ -58,14 +59,7 @@ def _route_to_partition(
         level = current.resolves(key)
         if level >= current.path.length:
             return current, messages
-        refs = current.routing.refs(level)
-        rand.shuffle(refs)
-        nxt = None
-        for ref in refs:
-            cand = network.peers.get(ref)
-            if cand is not None and cand.online:
-                nxt = cand
-                break
+        nxt = alive_ref(network, current, level, rand)
         if nxt is None:
             return None, messages
         current = nxt
@@ -119,7 +113,7 @@ def sequential_join(
     # hold keys (e.g. re-inserted ones) the target has not seen yet.
     group_keys = set(newcomer.keys)
     for peer in group:
-        group_keys |= peer.keys
+        group_keys.update(peer.keys)
     partition_keys = {k for k in group_keys if target.responsible_for(k)}
     foreign = newcomer.keys - partition_keys
     messages += len(group)  # content reconciliation exchanges

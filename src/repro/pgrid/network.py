@@ -14,13 +14,15 @@ query processing together.  Overlays can be obtained three ways:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .._util import RngLike, make_rng, mean
 from ..exceptions import PartitionError, RoutingError
 from .bits import Path
 from .keyspace import KEY_BITS, float_to_key, string_to_key
+from .keystore import KeyStore
 from .peer import PGridPeer
 from .routing import RoutingTable
 from .search import LookupResult, RangeResult, lookup, range_query
@@ -63,7 +65,7 @@ class PGridNetwork:
             peer = PGridPeer(
                 peer_id=cpeer.peer_id,
                 path=cpeer.path,
-                keys=set(cpeer.keys),
+                keys=cpeer.keys,
                 replicas=set(cpeer.replicas),
                 routing=RoutingTable(max_refs_per_level=max_refs),
             )
@@ -91,6 +93,12 @@ class PGridNetwork:
         store the leaf's keys, and routing tables are filled with random
         references into every complementary subtree -- the overlay a
         perfect, globally coordinated construction would produce.
+
+        Keys are dealt to leaves by one binary search over the sorted
+        leaf boundaries per key (``O(keys log leaves)``), not by probing
+        every leaf per key -- the leaves of Algorithm 1 tile the key
+        space in order, so each sorted-key run between two boundaries
+        lands in exactly one leaf.
         """
         from ..core.reference import reference_partition
 
@@ -99,22 +107,29 @@ class PGridNetwork:
             keys, n_peers, d_max=d_max, n_min=n_min, integer_peers=True
         )
         net = cls()
-        leaf_keys: List[List[int]] = [[] for _ in reference.leaves]
         sorted_keys = sorted(set(keys))
-        for key in sorted_keys:
-            for i, leaf in enumerate(reference.leaves):
-                if leaf.path.contains_key(key, KEY_BITS):
-                    leaf_keys[i].append(key)
-                    break
+        # reference.leaves are in key-space order and tile [0, 2^KEY_BITS),
+        # so the leaf of a key is the last leaf whose lower bound <= key.
+        # Keys outside the key space are not covered by any leaf and are
+        # dropped, never dealt to a wrong partition.
+        lo_i = bisect_left(sorted_keys, 0)
+        hi_i = bisect_left(sorted_keys, 1 << KEY_BITS)
+        boundaries = [leaf.path.key_range(KEY_BITS)[0] for leaf in reference.leaves]
+        leaf_keys: List[List[int]] = [[] for _ in reference.leaves]
+        for key in sorted_keys[lo_i:hi_i]:
+            leaf_keys[bisect_right(boundaries, key) - 1].append(key)
         peer_id = 0
         peers_per_leaf: List[List[int]] = []
         for leaf, lkeys in zip(reference.leaves, leaf_keys):
             ids = []
+            # One shared immutable template per leaf; each peer gets an
+            # independent copy (a single C-level list copy).
+            leaf_store = KeyStore._from_sorted(lkeys)
             for _ in range(int(round(leaf.n_peers))):
                 peer = PGridPeer(
                     peer_id=peer_id,
                     path=leaf.path,
-                    keys=set(lkeys),
+                    keys=leaf_store.copy(),
                     routing=RoutingTable(max_refs_per_level=max_refs),
                 )
                 net.peers[peer_id] = peer
@@ -170,10 +185,38 @@ class PGridNetwork:
         except KeyError:
             raise RoutingError(f"unknown peer id {peer_id}") from None
 
+    def _peer_tuple(self) -> Tuple[PGridPeer, ...]:
+        """Cached tuple of peer objects for O(1) random indexing.
+
+        Rebuilt whenever the peer *count* changes (joins/removals);
+        ``online`` flips mutate the cached objects in place, so churn
+        never invalidates the cache.
+        """
+        cache = getattr(self, "_peers_cache", None)
+        if cache is None or len(cache) != len(self.peers):
+            cache = tuple(self.peers.values())
+            self._peers_cache = cache
+        return cache
+
     def random_online_peer(self, rng: RngLike = None) -> Optional[PGridPeer]:
-        """A uniformly random online peer, or ``None`` if all are offline."""
+        """A uniformly random online peer, or ``None`` if all are offline.
+
+        Rejection-samples the cached peer tuple (uniform among online
+        peers by construction) instead of materializing the online list
+        per query -- the old O(N) scan dominated lookup latency at a few
+        thousand peers.  Falls back to the full scan when the random
+        probes keep hitting offline peers (heavy churn).
+        """
+        peers = self._peer_tuple()
+        if not peers:
+            return None
         rand = make_rng(rng)
-        online = [p for p in self.peers.values() if p.online]
+        n = len(peers)
+        for _ in range(8):
+            peer = peers[int(rand.random() * n)]
+            if peer.online:
+                return peer
+        online = [p for p in peers if p.online]
         if not online:
             return None
         return online[rand.randrange(len(online))]
@@ -244,14 +287,17 @@ class PGridNetwork:
         """Union of stored keys across peers."""
         out: set = set()
         for peer in self.peers.values():
-            out |= peer.keys
+            out.update(peer.keys)
         return out
 
     def is_consistent(self) -> bool:
         """Structural sanity: keys inside partitions, routes complementary."""
         for peer in self.peers.values():
-            for key in peer.keys:
-                if not peer.responsible_for(key):
+            # Keys are sorted, so the partition containment check reduces
+            # to the two extreme keys.
+            if len(peer.keys):
+                lo, hi = peer.path.key_range(KEY_BITS)
+                if peer.keys.min() < lo or peer.keys.max() >= hi:
                     return False
             for level, refs in peer.routing.levels.items():
                 if level >= peer.path.length:

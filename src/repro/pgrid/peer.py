@@ -4,22 +4,26 @@ A peer is responsible for the key-space partition identified by its
 ``path``; it stores the data keys of that partition, knows its structural
 replicas (other peers with the same path) and keeps a per-level routing
 table into the complementary subtrees.
+
+Keys live in a sorted :class:`~repro.pgrid.keystore.KeyStore` so the
+range-query hot path (``matching_keys``) runs in ``O(log n + hits)``
+instead of scanning the whole key set; any iterable assigned to ``keys``
+is coerced, so call sites may keep handing over plain sets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Set
+from typing import Iterable, List, Optional, Set
 
 from ..exceptions import DomainError
 from .bits import Path, ROOT
 from .keyspace import KEY_BITS
+from .keystore import KeyStore
 from .routing import RoutingTable
 
 __all__ = ["PGridPeer"]
 
 
-@dataclass
 class PGridPeer:
     """One overlay node.
 
@@ -27,12 +31,38 @@ class PGridPeer:
     to them (queries retry through alternative references).
     """
 
-    peer_id: int
-    path: Path = ROOT
-    keys: Set[int] = field(default_factory=set)
-    replicas: Set[int] = field(default_factory=set)
-    routing: RoutingTable = field(default_factory=RoutingTable)
-    online: bool = True
+    __slots__ = ("peer_id", "path", "_keys", "replicas", "routing", "online")
+
+    def __init__(
+        self,
+        peer_id: int,
+        path: Path = ROOT,
+        keys: Iterable[int] = (),
+        replicas: Optional[Set[int]] = None,
+        routing: Optional[RoutingTable] = None,
+        online: bool = True,
+    ):
+        self.peer_id = peer_id
+        self.path = path
+        self.keys = keys  # property setter coerces into a KeyStore
+        self.replicas = set(replicas) if replicas is not None else set()
+        self.routing = routing if routing is not None else RoutingTable()
+        self.online = online
+
+    @property
+    def keys(self) -> KeyStore:
+        """The peer's stored data keys (always a sorted :class:`KeyStore`)."""
+        return self._keys
+
+    @keys.setter
+    def keys(self, value: Iterable[int]) -> None:
+        self._keys = value if isinstance(value, KeyStore) else KeyStore(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PGridPeer(peer_id={self.peer_id}, path={self.path!r}, "
+            f"keys={len(self._keys)}, online={self.online})"
+        )
 
     def responsible_for(self, key: int) -> bool:
         """True iff ``key`` falls inside this peer's partition."""
@@ -44,20 +74,29 @@ class PGridPeer:
             raise DomainError(
                 f"key {key} outside partition {self.path} of peer {self.peer_id}"
             )
-        self.keys.add(key)
+        self._keys.add(key)
 
     def resolves(self, key: int) -> int:
         """Number of leading path bits of this peer matching ``key``.
 
         Routing forwards a query at the first unresolved bit; a peer that
-        resolves its whole path is responsible for the key.
+        resolves its whole path is responsible for the key.  One XOR plus
+        ``bit_length`` replaces the per-bit loop: the first mismatch is
+        the highest set bit of ``key_prefix ^ path_bits``.
         """
-        for level in range(self.path.length):
-            key_bit = (key >> (KEY_BITS - 1 - level)) & 1
-            if key_bit != self.path.bit(level):
-                return level
-        return self.path.length
+        path = self.path
+        length = path.length
+        if not length:
+            return 0
+        diff = (key >> (KEY_BITS - length)) ^ path.bits
+        if not diff:
+            return length
+        return length - diff.bit_length()
 
-    def matching_keys(self, lo: int, hi: int) -> Set[int]:
-        """Stored keys inside the half-open integer range ``[lo, hi)``."""
-        return {k for k in self.keys if lo <= k < hi}
+    def matching_keys(self, lo: int, hi: int) -> List[int]:
+        """Stored keys inside the half-open integer range ``[lo, hi)``.
+
+        Sorted list, extracted in ``O(log n + hits)`` by binary search
+        over the key store.
+        """
+        return self._keys.matching_keys(lo, hi)

@@ -38,18 +38,20 @@ def reconcile(a: PGridPeer, b: PGridPeer) -> ReconcileStats:
     Only valid between peers of the same partition (same path); raises
     :class:`DomainError` otherwise, because merging across partitions
     would violate storage consistency.
+
+    The union is one linear merge of the two sorted key stores (no
+    intermediate difference sets); already-synchronized replicas -- the
+    dominant case once a sweep has converged -- short-circuit on a
+    C-level array comparison.
     """
     if a.path != b.path:
         raise DomainError(
             f"cannot reconcile peers of different partitions {a.path} vs {b.path}"
         )
-    a_missing = b.keys - a.keys
-    b_missing = a.keys - b.keys
-    a.keys |= a_missing
-    b.keys |= b_missing
+    a_received, b_received = a.keys.reconcile_with(b.keys)
     a.replicas.add(b.peer_id)
     b.replicas.add(a.peer_id)
-    return ReconcileStats(a_received=len(a_missing), b_received=len(b_missing))
+    return ReconcileStats(a_received=a_received, b_received=b_received)
 
 
 def anti_entropy_sweep(
@@ -92,29 +94,31 @@ def reconcile_down(network: PGridNetwork) -> int:
     construction failures are not papered over.
     """
     from .keyspace import KEY_BITS
+    from .keystore import KeyStore
 
     groups = network.partitions()
-    paths = sorted(groups, key=lambda p: p.length)
+    # Union each partition's replica contents once, then walk every deep
+    # partition's ancestor chain (O(partitions x depth) dictionary hits,
+    # not the O(partitions^2) all-pairs prefix scan).
+    unions = {}
+    for path, pids in groups.items():
+        union = KeyStore()
+        for pid in pids:
+            union.update(network.peers[pid].keys)
+        unions[path] = union
     moved = 0
-    for coarse in paths:
-        coarse_peers = [network.peers[pid] for pid in groups[coarse]]
-        coarse_keys = set()
-        for peer in coarse_peers:
-            coarse_keys |= peer.keys
-        if not coarse_keys:
-            continue
-        for deep in paths:
-            if deep.length <= coarse.length or not coarse.is_prefix_of(deep):
+    for deep in sorted(groups, key=lambda p: p.length):
+        lo, hi = deep.key_range(KEY_BITS)
+        for length in range(deep.length):
+            coarse_union = unions.get(deep.prefix(length))
+            if coarse_union is None or not len(coarse_union):
                 continue
-            lo, hi = deep.key_range(KEY_BITS)
-            matching = {k for k in coarse_keys if lo <= k < hi}
+            # Sorted store: the matching keys are one contiguous slice.
+            matching = coarse_union.matching_keys(lo, hi)
             if not matching:
                 continue
             for pid in groups[deep]:
-                peer = network.peers[pid]
-                missing = matching - peer.keys
-                peer.keys |= missing
-                moved += len(missing)
+                moved += network.peers[pid].keys.update_sorted(matching)
     return moved
 
 
@@ -124,9 +128,9 @@ def replica_divergence(network: PGridNetwork) -> float:
     divergences: List[float] = []
     for group in network.partitions().values():
         peers = [network.peers[g] for g in group]
-        union = set()
+        union: set = set()
         for p in peers:
-            union |= p.keys
+            union.update(p.keys)
         if not union:
             continue
         for p in peers:

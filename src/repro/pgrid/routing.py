@@ -9,11 +9,15 @@ paths that make the overlay resilient to failures and churn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .._util import RngLike, make_rng
 
 __all__ = ["RoutingTable"]
+
+#: Shared empty tuple returned by :meth:`RoutingTable.refs_view` for
+#: unpopulated levels (avoids allocating an empty list per probe).
+_NO_REFS: Sequence[int] = ()
 
 
 @dataclass
@@ -48,8 +52,23 @@ class RoutingTable:
                 refs.remove(peer_id)
 
     def refs(self, level: int) -> List[int]:
-        """All references at ``level`` (possibly empty)."""
+        """All references at ``level`` (possibly empty).
+
+        Always a fresh copy: callers are free to shuffle or filter the
+        result without perturbing the table's internal order (guarded by
+        a regression test).
+        """
         return list(self.levels.get(level, ()))
+
+    def refs_view(self, level: int) -> Sequence[int]:
+        """Zero-copy, read-only view of the references at ``level``.
+
+        The hot query path probes references by index thousands of times
+        per experiment; handing out the internal list avoids a copy per
+        hop.  Callers MUST NOT mutate the returned sequence -- use
+        :meth:`refs` for anything that rearranges or filters.
+        """
+        return self.levels.get(level, _NO_REFS)
 
     def choose(self, level: int, rng: RngLike = None, exclude: Iterable[int] = ()) -> Optional[int]:
         """A random reference at ``level``, avoiding ``exclude`` if possible."""

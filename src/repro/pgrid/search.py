@@ -14,22 +14,36 @@ disjoint remainders into the complementary subtrees that intersect the
 range.  Message cost is ``O(log K + K_range)`` where ``K_range`` is the
 number of partitions the range spans -- no per-key lookups, no
 fragmentation.
+
+Per-hop constant factors matter as much as the asymptotics once overlays
+grow past a few hundred peers, so the inner loops avoid allocation:
+
+* reference selection probes the routing table in random order instead of
+  copying and shuffling the reference list (one ``randrange`` in the
+  common all-online case);
+* the key ranges of a peer's own partition and of every complementary
+  subtree are memoized per :class:`~repro.pgrid.bits.Path` instead of
+  being rebuilt from fresh ``Path`` objects on every ``_shower`` call;
+* local range extraction delegates to the sorted key store
+  (``O(log n + hits)`` instead of a full scan).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from functools import lru_cache
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from .._util import RngLike, make_rng
 from ..exceptions import RoutingError
+from .bits import Path
 from .keyspace import KEY_BITS
 from .peer import PGridPeer
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import PGridNetwork
 
-__all__ = ["LookupResult", "RangeResult", "lookup", "range_query"]
+__all__ = ["LookupResult", "RangeResult", "alive_ref", "lookup", "range_query"]
 
 #: Bound on routing hops before a lookup is declared failed (a correct
 #: overlay of K partitions needs at most ~log2 K + retries).
@@ -63,14 +77,15 @@ class RangeResult:
 
     ``keys`` are all data keys found in the half-open integer range;
     ``messages`` counts every inter-peer forward; ``partitions`` the
-    distinct peer paths that contributed results.
+    distinct peer :class:`~repro.pgrid.bits.Path` partitions that
+    contributed results.
     """
 
     lo: int
     hi: int
     keys: Set[int] = field(default_factory=set)
     messages: int = 0
-    partitions: Set[str] = field(default_factory=set)
+    partitions: Set[Path] = field(default_factory=set)
     failures: int = 0
 
     @property
@@ -79,14 +94,50 @@ class RangeResult:
         return self.failures == 0
 
 
-def _alive_ref(
+@lru_cache(maxsize=65536)
+def _subtree_ranges(path: Path) -> Tuple[Tuple[int, int], Tuple[Tuple[int, int], ...]]:
+    """``((own_lo, own_hi), ((comp_lo, comp_hi) per level))`` for ``path``.
+
+    The complementary subtree at level ``l`` is the sibling of the
+    ``l+1``-bit prefix; its key range is pure shift arithmetic, memoized
+    because every ``_shower`` step visits all levels of the current
+    peer's path.  ``Path`` is immutable and hashable, so the cache stays
+    valid across routing-table rebuilds and peer churn.
+    """
+    own = path.key_range(KEY_BITS)
+    comps = tuple(
+        path.prefix(level).extend(1 - path.bit(level)).key_range(KEY_BITS)
+        for level in range(path.length)
+    )
+    return own, comps
+
+
+def alive_ref(
     network: "PGridNetwork", peer: PGridPeer, level: int, rand
 ) -> Optional[PGridPeer]:
-    """A random online routing reference of ``peer`` at ``level``."""
-    refs = peer.routing.refs(level)
-    rand.shuffle(refs)
-    for ref in refs:
-        other = network.peers.get(ref)
+    """A random online routing reference of ``peer`` at ``level``.
+
+    Probes a single random reference first (no copy, no shuffle); only
+    when that one is offline does it fall back to shuffling the few
+    remaining indices -- churn is the exception, not the rule.
+    """
+    refs = peer.routing.refs_view(level)
+    n = len(refs)
+    if n == 0:
+        return None
+    peers = network.peers
+    # int(random() * n) instead of randrange(n): one C-level draw versus
+    # randrange's Python-level argument handling, ~4 draws per lookup.
+    i = int(rand.random() * n) if n > 1 else 0
+    other = peers.get(refs[i])
+    if other is not None and other.online:
+        return other
+    if n == 1:
+        return None
+    order = [j for j in range(n) if j != i]
+    rand.shuffle(order)
+    for j in order:
+        other = peers.get(refs[j])
         if other is not None and other.online:
             return other
     return None
@@ -123,7 +174,7 @@ def lookup(
                 visited=visited,
                 value_present=key in current.keys,
             )
-        nxt = _alive_ref(network, current, level, rand)
+        nxt = alive_ref(network, current, level, rand)
         if nxt is None:
             return LookupResult(
                 key=key, found=False, responsible=None, hops=hops, visited=visited
@@ -172,20 +223,20 @@ def _shower(
     """Recursive step of the shower range algorithm."""
     if lo >= hi:
         return
+    (own_lo, own_hi), comps = _subtree_ranges(peer.path)
     # Local contribution.
-    own_lo, own_hi = peer.path.key_range(KEY_BITS)
     if own_lo < hi and lo < own_hi:
-        found = peer.matching_keys(max(lo, own_lo), min(hi, own_hi))
-        result.partitions.add(str(peer.path))
-        result.keys.update(found)
+        found = peer.matching_keys(lo if lo > own_lo else own_lo, hi if hi < own_hi else own_hi)
+        result.partitions.add(peer.path)
+        if found:
+            result.keys.update(found)
     # Forward into every complementary subtree intersecting the range.
-    for level in range(peer.path.length):
-        comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
-        c_lo, c_hi = comp.key_range(KEY_BITS)
-        sub_lo, sub_hi = max(lo, c_lo), min(hi, c_hi)
+    for level, (c_lo, c_hi) in enumerate(comps):
+        sub_lo = lo if lo > c_lo else c_lo
+        sub_hi = hi if hi < c_hi else c_hi
         if sub_lo >= sub_hi:
             continue
-        nxt = _alive_ref(network, peer, level, rand)
+        nxt = alive_ref(network, peer, level, rand)
         result.messages += 1
         if nxt is None:
             result.failures += 1

@@ -40,6 +40,7 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -53,7 +54,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled placeholders)."""
+        """Events still queued (including cancelled placeholders).
+
+        Bounded: cancelled placeholders never exceed half the queue --
+        :meth:`cancel` compacts the heap beyond that ratio, so workloads
+        that schedule-and-cancel heavily (timeout patterns under churn)
+        cannot grow the heap without bound.
+        """
         return len(self._queue)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
@@ -74,16 +81,33 @@ class Simulator:
         """Schedule ``callback`` at an absolute simulated time."""
         return self.schedule(time - self._now, callback)
 
-    @staticmethod
-    def cancel(event: _Event) -> None:
-        """Cancel a scheduled event (it stays in the heap but is skipped)."""
-        event.cancelled = True
+    def cancel(self, event: _Event) -> None:
+        """Cancel a scheduled event.
+
+        The placeholder stays in the heap (an O(n) removal per cancel
+        would make cancel-heavy workloads quadratic) and is skipped when
+        popped; once cancelled placeholders exceed half the queue the
+        heap is compacted in one O(n) pass, keeping :attr:`pending`
+        proportional to the number of *live* events.
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            self._cancelled += 1
+            if self._cancelled * 2 > len(self._queue) and len(self._queue) > 8:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled placeholders and re-heapify the live events."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -101,6 +125,7 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
                 continue
             if head.time > end_time:
                 break

@@ -91,3 +91,41 @@ class TestRunUntil:
             sim.schedule(1.0, lambda: None)
         sim.run_all()
         assert sim.events_processed == 5
+
+
+class TestHeapCompaction:
+    def test_pending_bounded_under_cancel_churn(self):
+        # Timeout-style workloads schedule an event and cancel it almost
+        # every time; the heap must compact cancelled placeholders away
+        # instead of growing linearly with churn.
+        sim = Simulator()
+        live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for i in range(10_000):
+            handle = sim.schedule(1.0 + i * 1e-3, lambda: None)
+            sim.cancel(handle)
+            # Invariant: cancelled placeholders never exceed half the queue
+            # (plus the handful below the compaction floor).
+            assert sim.pending <= 2 * (len(live) + 1) + 8
+        assert sim.pending <= 2 * (len(live) + 1) + 8
+        sim.run_all()
+        assert sim.events_processed == len(live)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        keep = sim.schedule(2.0, lambda: None)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)  # double-cancel must not corrupt the counter
+        sim.run_all()
+        assert sim.events_processed == 1
+        assert sim.pending == 0
+        assert keep.cancelled is False
+
+    def test_cancelled_events_still_skipped_in_run_until(self):
+        sim = Simulator()
+        log = []
+        first = sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.cancel(first)
+        sim.run_until(5.0)
+        assert log == ["b"]

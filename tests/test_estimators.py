@@ -14,6 +14,7 @@ from repro.core.estimators import (
 )
 from repro.exceptions import DomainError
 from repro.pgrid.keyspace import KEY_BITS, float_to_key
+from repro.pgrid.keystore import KeyStore
 
 
 class TestSplitFraction:
@@ -29,6 +30,25 @@ class TestSplitFraction:
     def test_rejects_empty(self):
         with pytest.raises(DomainError):
             estimate_split_fraction([], 0)
+
+    def test_keystore_binary_search_path_matches_set_path(self):
+        # A peer's sorted KeyStore takes the single-binary-search fast
+        # path; it must agree exactly with the comparison sweep over the
+        # same keys as a plain set, at every level the keys share.
+        rand = random.Random(3)
+        for level in (0, 1, 3):
+            width = 1 << (KEY_BITS - level)
+            base = 1 * width  # all keys share the first `level` bits
+            keys = {base + rand.randrange(width) for _ in range(200)}
+            assert estimate_split_fraction(KeyStore(keys), level) == pytest.approx(
+                estimate_split_fraction(keys, level)
+            )
+
+    def test_keystore_rejects_empty_and_bad_level(self):
+        with pytest.raises(DomainError):
+            estimate_split_fraction(KeyStore(), 0)
+        with pytest.raises(DomainError):
+            estimate_split_fraction(KeyStore([1]), KEY_BITS)
 
     def test_unbiased_under_sampling(self):
         rand = random.Random(0)
@@ -79,6 +99,16 @@ class TestReplicaCount:
     def test_rejects_bad_n_min(self):
         with pytest.raises(DomainError):
             estimate_replica_count({1}, {1}, n_min=0)
+
+    def test_keystore_inputs_match_set_inputs(self):
+        # The estimators accept peers' sorted KeyStores directly; the
+        # overlap-driven estimates must match the set-based results.
+        a = set(range(0, 40))
+        b = set(range(20, 60))
+        for ka, kb in ((KeyStore(a), KeyStore(b)), (KeyStore(a), b), (a, KeyStore(b))):
+            assert estimate_replica_count(ka, kb, n_min=5) == pytest.approx(9.0)
+            assert estimate_partition_keys(ka, kb) == pytest.approx(80.0)
+        assert math.isinf(estimate_replica_count(KeyStore({1, 2}), KeyStore({3}), n_min=5))
 
 
 class TestPartitionKeys:

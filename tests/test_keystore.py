@@ -1,0 +1,125 @@
+"""Property tests: the sorted KeyStore must behave exactly like the old
+set-backed storage under arbitrary operation sequences.
+
+The data-plane overhaul swapped ``PGridPeer.keys`` from ``Set[int]`` to
+the sorted-array :class:`~repro.pgrid.keystore.KeyStore`.  These tests
+drive randomized operation sequences (add/discard/update/membership/
+range extraction/reconcile) against a shadow ``set`` model and require
+bit-identical observable behavior, so the swap can never silently change
+overlay semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.pgrid.bits import Path
+from repro.pgrid.keystore import KeyStore
+from repro.pgrid.peer import PGridPeer
+
+KEY_SPACE = 1 << 16  # small space so collisions/duplicates are common
+
+
+def shadow_matching(model: set, lo: int, hi: int) -> set:
+    return {k for k in model if lo <= k < hi}
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_operation_sequences(self, seed):
+        rand = random.Random(seed)
+        store = KeyStore()
+        model: set = set()
+        for _ in range(600):
+            op = rand.randrange(7)
+            key = rand.randrange(KEY_SPACE)
+            if op == 0:
+                store.add(key)
+                model.add(key)
+            elif op == 1:
+                store.discard(key)
+                model.discard(key)
+            elif op == 2:
+                batch = {rand.randrange(KEY_SPACE) for _ in range(rand.randrange(20))}
+                added = store.update(batch)
+                assert added == len(batch - model)
+                model |= batch
+            elif op == 3:
+                assert (key in store) == (key in model)
+            elif op == 4:
+                lo = rand.randrange(KEY_SPACE)
+                hi = rand.randrange(lo, KEY_SPACE)
+                got = store.matching_keys(lo, hi)
+                assert got == sorted(shadow_matching(model, lo, hi))
+                assert store.count_range(lo, hi) == len(got)
+            elif op == 5 and model:
+                victim = rand.choice(sorted(model))
+                store.remove(victim)
+                model.remove(victim)
+            else:
+                assert len(store) == len(model)
+                assert store == model
+        assert list(store) == sorted(model)
+        assert store == KeyStore(model)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_union_reconcile_matches_set_union(self, seed):
+        rand = random.Random(100 + seed)
+        for _ in range(50):
+            a_model = {rand.randrange(KEY_SPACE) for _ in range(rand.randrange(60))}
+            b_model = {rand.randrange(KEY_SPACE) for _ in range(rand.randrange(60))}
+            a = KeyStore(a_model)
+            b = KeyStore(b_model)
+            a_received, b_received = a.reconcile_with(b)
+            union = a_model | b_model
+            assert a_received == len(union - a_model)
+            assert b_received == len(union - b_model)
+            assert list(a) == sorted(union)
+            assert list(b) == sorted(union)
+            # Reconciling again must be a no-op (the fast path).
+            assert a.reconcile_with(b) == (0, 0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            KeyStore([1, 2]).remove(3)
+
+    def test_difference_and_intersection_against_sets(self):
+        rand = random.Random(7)
+        a_model = {rand.randrange(200) for _ in range(80)}
+        b_model = {rand.randrange(200) for _ in range(80)}
+        a, b = KeyStore(a_model), KeyStore(b_model)
+        assert a - b == a_model - b_model
+        assert a - b_model == a_model - b_model
+        assert a_model - b == a_model - b_model
+        assert a & b == a_model & b_model
+        assert a & b_model == a_model & b_model
+        assert a | b == a_model | b_model
+        assert a.intersection_size(b) == len(a_model & b_model)
+
+    def test_min_max_copy_clear(self):
+        store = KeyStore([5, 1, 9, 1])
+        assert store.min() == 1 and store.max() == 9
+        dup = store.copy()
+        dup.add(7)
+        assert 7 not in store  # copies are independent
+        store.clear()
+        assert len(store) == 0 and len(dup) == 4
+
+
+class TestPeerCoercion:
+    """PGridPeer must coerce any assigned iterable into a KeyStore."""
+
+    def test_assignment_coerces_sets(self):
+        peer = PGridPeer(peer_id=0, path=Path.from_string("0"))
+        lo, _ = peer.path.key_range(53)
+        peer.keys = {lo + 3, lo + 1}
+        assert isinstance(peer.keys, KeyStore)
+        assert list(peer.keys) == [lo + 1, lo + 3]
+
+    def test_store_keeps_sorted_order(self):
+        peer = PGridPeer(peer_id=0, path=Path.from_string("1"))
+        lo, _ = peer.path.key_range(53)
+        for offset in (5, 2, 9):
+            peer.store(lo + offset)
+        assert list(peer.keys) == [lo + 2, lo + 5, lo + 9]
+        assert peer.matching_keys(lo + 2, lo + 6) == [lo + 2, lo + 5]

@@ -74,6 +74,24 @@ class TestIdealOverlay:
         res = net.range_query(0, 1 << KEY_BITS, rng=4)
         assert res.keys == set(keys)
 
+    def test_range_result_partitions_are_paths(self, ideal_net):
+        from repro.pgrid.bits import Path
+
+        _, net = ideal_net
+        res = net.range_query(float_to_key(0.3), float_to_key(0.7), rng=5)
+        assert res.partitions
+        assert all(isinstance(p, Path) for p in res.partitions)
+        # The contributing partitions must be actual peer partitions and
+        # must intersect the queried range.
+        peer_paths = set(net.paths())
+        for path in res.partitions:
+            assert path in peer_paths
+            lo, hi = path.key_range(KEY_BITS)
+            assert lo < res.hi and res.lo < hi
+        # str() still renders the bit-string form used in reports.
+        rendered = sorted(str(p) for p in res.partitions)
+        assert all(set(s) <= {"0", "1"} for s in rendered)
+
     def test_float_and_string_coercion(self, ideal_net):
         _, net = ideal_net
         res = net.lookup(0.5, rng=1)
@@ -90,6 +108,16 @@ class TestIdealOverlay:
         assert new_key in owner.keys
         for rid in owner.replicas:
             assert new_key in net.peers[rid].keys
+
+    def test_ideal_drops_out_of_range_keys(self):
+        # Keys outside [0, 2^KEY_BITS) are covered by no leaf; they must
+        # be dropped, never dealt to a wrong partition (regression: the
+        # binary-search dealer once wrapped them into the last leaf).
+        rand = random.Random(11)
+        keys = [float_to_key(rand.random()) for _ in range(300)]
+        net = PGridNetwork.ideal(keys + [-1, 1 << KEY_BITS], 32, d_max=40, n_min=3, rng=1)
+        assert net.is_consistent()
+        assert net.all_keys() == set(keys)
 
     def test_rejects_bool_and_garbage_keys(self, ideal_net):
         _, net = ideal_net

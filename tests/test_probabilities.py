@@ -76,6 +76,49 @@ class TestInverseMaps:
             pr.decision_probabilities(0.7)
 
 
+class TestTableDrivenInversions:
+    """The memoized table-seeded inverters must agree with the exact
+    full-bracket bisections they replaced on the hot path."""
+
+    def test_beta_table_matches_bisection(self):
+        lo = pr.P_STAR
+        grid = [lo + i * (0.5 - lo) / 400 for i in range(401)]
+        for p in grid:
+            assert pr.beta_of_p(p) == pytest.approx(
+                pr.beta_of_p_exact(p), abs=1e-9
+            ), f"beta mismatch at p={p}"
+
+    def test_alpha_table_matches_bisection(self):
+        grid = [1e-6 * 10**k for k in range(4)]  # heavy-skew tail
+        grid += [0.001 + i * (pr.P_STAR - 0.001) / 400 for i in range(401)]
+        for p in grid:
+            assert pr.alpha_of_p(p) == pytest.approx(
+                pr.alpha_of_p_exact(p), abs=1e-9
+            ), f"alpha mismatch at p={p}"
+
+    def test_randomized_round_trips(self):
+        import random
+
+        rand = random.Random(0)
+        for _ in range(200):
+            p = rand.uniform(1e-6, 0.5)
+            if p >= pr.P_STAR:
+                assert pr.p_of_beta(pr.beta_of_p(p)) == pytest.approx(p, abs=1e-9)
+            else:
+                assert pr.p_of_alpha(pr.alpha_of_p(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_exact_variants_share_domain_errors(self):
+        for bad in (0.7, -0.1):
+            with pytest.raises(DomainError):
+                pr.beta_of_p_exact(bad)
+            with pytest.raises(DomainError):
+                pr.alpha_of_p_exact(bad)
+        with pytest.raises(DomainError):
+            pr.alpha_of_p_exact(0.4)
+        with pytest.raises(DomainError):
+            pr.beta_of_p_exact(0.2)
+
+
 class TestDerivativesAndCorrections:
     def test_alpha_curvature_grows_across_regime(self):
         # Fig. 3: alpha''(p) spans roughly one order of magnitude over the

@@ -2,6 +2,8 @@
 
 import random
 
+from repro.pgrid.keyspace import float_to_key
+from repro.pgrid.network import PGridNetwork
 from repro.pgrid.routing import RoutingTable
 
 
@@ -58,3 +60,38 @@ class TestRoutingTable:
         table.add(0, 1)
         table.add(5, 2)
         assert table.depth() == 2
+
+    def test_refs_returns_a_copy(self):
+        # Regression guard: query code shuffles/filters the result of
+        # refs(); if it ever aliased the internal list, a query would
+        # silently reorder the routing table of the peer it traversed.
+        table = RoutingTable()
+        for peer in (1, 2, 3):
+            table.add(0, peer)
+        out = table.refs(0)
+        out.reverse()
+        out.append(99)
+        assert table.refs(0) == [1, 2, 3]
+
+    def test_refs_view_is_zero_copy_and_safe_when_empty(self):
+        table = RoutingTable()
+        table.add(2, 7)
+        assert list(table.refs_view(2)) == [7]
+        assert table.refs_view(2) is table.levels[2]  # no per-probe copy
+        assert len(table.refs_view(0)) == 0
+
+
+class TestRebuildRouting:
+    def test_rebuild_never_emits_levels_beyond_path_length(self):
+        rand = random.Random(3)
+        keys = [float_to_key(rand.random()) for _ in range(600)]
+        net = PGridNetwork.ideal(keys, 64, d_max=40, n_min=3, rng=1)
+        net.rebuild_routing(rng=5)
+        for peer in net.peers.values():
+            for level, refs in peer.routing.levels.items():
+                assert level < peer.path.length, (
+                    f"peer {peer.peer_id} (path length {peer.path.length}) "
+                    f"has references at level {level}"
+                )
+                assert refs, "rebuild_routing must not leave empty levels behind"
+        assert net.is_consistent()
