@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Run the named scenario library and record results in ``BENCH_core.json``.
+
+Executes every scenario registered in :mod:`repro.scenarios.library`
+(uniform-baseline, pareto-hotspot, flash-crowd, mass-join, mass-leave,
+paper-sec51-churn) and appends a ``scenarios`` section to the repo's
+perf snapshot, so the stress trajectory travels with the perf
+trajectory.  The Sec. 5.1 churn entry additionally carries the query
+success rate and bandwidth timelines (per report bin), mirroring the
+paper's Figs. 7-9 churn window.
+
+Usage::
+
+    python benchmarks/bench_scenarios.py            # full: N=4096
+    python benchmarks/bench_scenarios.py --quick    # CI smoke: N=256, 4x compressed
+    python benchmarks/bench_scenarios.py --n 1024 --scale 0.5
+    python benchmarks/bench_scenarios.py --output /tmp/bench.json
+
+Guards: query success under churn/membership waves, message/bandwidth
+totals and per-peer load imbalance at the ROADMAP's N=4096 scale point;
+regressions surface as a diff of the committed numbers.  Determinism of
+the underlying reports is enforced separately by
+``tests/test_scenario_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.scenarios import SCENARIOS, ScenarioRunner, scenario  # noqa: E402
+
+#: Default location of the shared perf snapshot.
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+#: The ROADMAP scale point (full mode) and the CI smoke population.
+FULL_N = 4096
+QUICK_N = 256
+
+
+def run_all(n_peers: int, *, seed: int, duration_scale: float) -> dict:
+    """Execute every library scenario; returns the ``scenarios`` payload."""
+    results = {}
+    for name in sorted(SCENARIOS):
+        spec = scenario(name, n_peers=n_peers, seed=seed, duration_scale=duration_scale)
+        t0 = time.perf_counter()
+        report = ScenarioRunner(spec).run()
+        wall = time.perf_counter() - t0
+        totals = report.totals
+        entry = {
+            "wall_s": round(wall, 3),
+            "sim_minutes": round(report.duration_s / 60.0, 3),
+            "n_peers_end": report.n_peers_end,
+            "queries": totals["queries"],
+            "success_rate": totals["success_rate"],
+            "mean_hops": totals["mean_hops"],
+            "messages": totals["messages"],
+            "bytes_query": totals["bytes_query"],
+            "bytes_maintenance": totals["bytes_maintenance"],
+            "load_cv": report.load["cv"],
+            "load_max_over_mean": report.load["max_over_mean"],
+            "churn_transitions": totals["churn_transitions"],
+            "joins": totals["joins"],
+            "leaves": totals["leaves"],
+            "final_partition_availability": totals["final_partition_availability"],
+            "final_coverage": totals["final_coverage"],
+        }
+        if name == "paper-sec51-churn":
+            # Acceptance series: success rate and bandwidth over time.
+            entry["success_rate_over_time"] = [
+                [round(minute, 3), round(rate, 4)]
+                for minute, rate in report.success_rate_series()
+            ]
+            entry["bandwidth_Bps_over_time"] = [
+                [round(minute, 3), round(query_bps + maint_bps, 2)]
+                for minute, query_bps, maint_bps in report.bandwidth_series()
+            ]
+        results[name] = entry
+    return results
+
+
+def merge_into_snapshot(section: dict, output: Path) -> Path:
+    """Append/replace the ``scenarios`` section of ``BENCH_core.json``."""
+    if output.exists():
+        payload = json.loads(output.read_text())
+    else:
+        payload = {"schema": "bench-core/v1"}
+    payload["scenarios"] = section
+    output.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return output
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: N={QUICK_N} peers, 4x compressed timelines",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help=f"peer population (default: {FULL_N}; --quick default: {QUICK_N})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="duration scale for every scenario (default: 1.0; --quick: 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=20050830)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"perf snapshot to update (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    n_peers = args.n if args.n is not None else (QUICK_N if args.quick else FULL_N)
+    scale = args.scale if args.scale is not None else (0.25 if args.quick else 1.0)
+
+    section = {
+        "generated_by": "benchmarks/bench_scenarios.py",
+        "quick": args.quick,
+        "n_peers": n_peers,
+        "duration_scale": scale,
+        "seed": args.seed,
+        "results": run_all(n_peers, seed=args.seed, duration_scale=scale),
+    }
+    path = merge_into_snapshot(section, args.output)
+
+    print(f"updated {path} (scenarios @ N={n_peers}, scale={scale})")
+    for name, entry in section["results"].items():
+        # success_rate/mean_hops are None when a run saw no (point) queries.
+        success = entry["success_rate"]
+        hops = entry["mean_hops"]
+        print(
+            f"  {name:18s} wall {entry['wall_s']:7.2f}s  "
+            f"queries {entry['queries']:6d}  "
+            f"success {'n/a' if success is None else format(success, '.4f')}  "
+            f"hops {'n/a' if hops is None else format(hops, '.2f')}  "
+            f"load-cv {entry['load_cv']:.3f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

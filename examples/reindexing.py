@@ -12,10 +12,18 @@ from repro.pgrid.keyspace import string_to_key
 from repro.workloads.corpus import SyntheticCorpus, extract_keywords
 
 
-def main() -> None:
-    corpus = SyntheticCorpus(vocabulary_size=600, rng=4)
-    docs = corpus.generate_documents(120, terms_per_doc=40, rng=5)
-    peers = 40
+def run(
+    peers: int = 40,
+    n_docs: int = 120,
+    vocabulary_size: int = 600,
+    terms_per_doc: int = 40,
+    n_min: int = 3,
+    d_max: float = 40.0,
+):
+    """Measure a sequential vs. parallel overlay rebuild after the index
+    keys change.  Returns ``(new_term_keys, comparison)``."""
+    corpus = SyntheticCorpus(vocabulary_size=vocabulary_size, rng=4)
+    docs = corpus.generate_documents(n_docs, terms_per_doc=terms_per_doc, rng=5)
 
     def index_keys(max_keywords: int, stop_fraction: float):
         """Per-peer key sets under one extraction function."""
@@ -36,10 +44,14 @@ def main() -> None:
         set(k for ks in new_index for k in ks)
         - set(k for ks in old_index for k in ks)
     )
-    print(f"new extraction function introduces {changed} new term keys")
-
     # Rebuild the overlay from scratch under the new keys, both ways.
-    cmp = compare_constructions(new_index, n_min=3, d_max=40, rng=6)
+    comparison = compare_constructions(new_index, n_min=n_min, d_max=d_max, rng=6)
+    return changed, comparison
+
+
+def main() -> None:
+    changed, cmp = run()
+    print(f"new extraction function introduces {changed} new term keys")
     print(
         f"sequential rebuild: {cmp.sequential_messages} messages, "
         f"latency {cmp.sequential_latency:.0f} (serialized)"

@@ -12,13 +12,20 @@ The package implements, from scratch:
   paper's PlanetLab deployment (:mod:`repro.simnet`);
 * the evaluation workloads, baselines and per-figure experiment
   harnesses (:mod:`repro.workloads`, :mod:`repro.baselines`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* a declarative scenario engine for churn/skew stress experiments
+  (:mod:`repro.scenarios`).
 
 Quickstart::
 
     from repro import build_overlay, uniform_keys
     net = build_overlay(uniform_keys(peers=64, keys_per_peer=10, seed=7))
     hits = net.range_query(0.25, 0.5)
+
+Stress scenarios::
+
+    from repro import ScenarioRunner, scenario
+    report = ScenarioRunner(scenario("paper-sec51-churn", n_peers=256)).run()
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from .core.probabilities import (
 from .core.reference import ReferencePartition, reference_partition
 from .pgrid.bits import Path
 from .pgrid.network import PGridNetwork, build_overlay
+from .scenarios import ScenarioRunner, ScenarioSpec, scenario
 from .workloads.datasets import uniform_keys, workload_keys
 
 __version__ = "1.0.0"
@@ -74,6 +82,9 @@ __all__ = [
     "Path",
     "PGridNetwork",
     "build_overlay",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "scenario",
     "uniform_keys",
     "workload_keys",
     "__version__",

@@ -55,6 +55,20 @@ def scaled(n: int, minimum: int = 1) -> int:
     return max(minimum, int(round(n * env_scale())))
 
 
+def ensure_monotonic(times, what: str = "phases") -> None:
+    """Validate that ``times`` is non-decreasing (a sane phase timeline).
+
+    Shared by :class:`repro.simnet.experiment.ExperimentConfig` and
+    :class:`repro.scenarios.spec.ScenarioSpec`; raises
+    :class:`~repro.exceptions.SimulationError` on the first inversion.
+    """
+    from .exceptions import SimulationError
+
+    times = list(times)
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise SimulationError(f"{what} out of order: {times}")
+
+
 def check_probability(value: float, name: str = "p") -> float:
     """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
     from .exceptions import DomainError

@@ -5,7 +5,13 @@ simulated minutes) drives all three figures plus the in-text summary
 numbers, so the run is computed once per process and cached.
 
 ``REPRO_SCALE`` shrinks the population; ``REPRO_FAST=1`` additionally
-compresses the timeline (useful for CI-style smoke runs).
+compresses the timeline to the shared
+:meth:`~repro.simnet.experiment.ExperimentConfig.compressed` smoke
+configuration (useful for CI-style runs).  For churn/skew stress
+beyond the paper's fixed five-phase timeline, see the declarative
+scenario engine (:mod:`repro.scenarios`) -- its ``paper-sec51-churn``
+library entry reproduces this experiment's churn window on the
+data-plane overlay at N=4096.
 """
 
 from __future__ import annotations
@@ -34,15 +40,8 @@ def _fast() -> bool:
 def system_report() -> ExperimentReport:
     """The cached full-system run."""
     if _fast():
-        config = ExperimentConfig(
-            peers=scaled(80, minimum=20),
-            join_end=10,
-            replicate_start=10,
-            construct_start=20,
-            query_start=60,
-            churn_start=90,
-            end=110,
-            seed=env_seed(),
+        config = ExperimentConfig.compressed(
+            peers=scaled(80, minimum=20), seed=env_seed()
         )
     else:
         config = ExperimentConfig(peers=scaled(296, minimum=20), seed=env_seed())

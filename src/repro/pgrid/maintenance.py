@@ -30,7 +30,14 @@ from .peer import PGridPeer
 from .routing import RoutingTable
 from .search import alive_ref
 
-__all__ = ["JoinStats", "sequential_join", "sequential_build", "fail_peer", "repair_routes"]
+__all__ = [
+    "JoinStats",
+    "sequential_join",
+    "sequential_build",
+    "fail_peer",
+    "revive_peer",
+    "repair_routes",
+]
 
 
 @dataclass
@@ -212,9 +219,28 @@ def fail_peer(network: PGridNetwork, peer_id: int) -> None:
     network.peer(peer_id).online = False
 
 
+def revive_peer(network: PGridNetwork, peer_id: int) -> None:
+    """Bring a failed peer back online (churn return).
+
+    The peer rejoins with its path, keys and routing table intact --
+    the P-Grid model of transient unavailability; content it missed
+    while away converges back through anti-entropy.
+    """
+    network.peer(peer_id).online = True
+
+
 def repair_routes(network: PGridNetwork, *, rng: RngLike = None) -> int:
-    """Lazy "correction on use": replace dead references with live peers
-    from the same complementary subtree.  Returns replacements made."""
+    """Correction on use *with replenishment*: replace dead references
+    with live peers from the same complementary subtree and top depleted
+    levels back up toward the table's redundancy bound.
+
+    Replenishment matters under sustained churn: replacing only the dead
+    references a level still holds makes degradation absorbing -- a deep
+    outage strips a level to zero and nothing ever refills it, leaving
+    the overlay permanently partitioned even after every peer returns
+    (the scenario engine's Sec. 5.1 churn runs surfaced exactly this).
+    Returns the number of reference replacements/additions made.
+    """
     rand = make_rng(rng)
     alive_by_prefix: dict = {}
     for peer in network.peers.values():
@@ -223,19 +249,26 @@ def repair_routes(network: PGridNetwork, *, rng: RngLike = None) -> int:
         for length in range(peer.path.length + 1):
             alive_by_prefix.setdefault(peer.path.prefix(length), []).append(peer.peer_id)
     repaired = 0
-    for peer in network.peers.values():
-        for level in list(peer.routing.levels):
-            refs = peer.routing.levels[level]
-            dead = [r for r in refs if not network.peers[r].online]
-            if not dead:
+    peers = network.peers
+    for peer in peers.values():
+        max_refs = peer.routing.max_refs_per_level
+        for level in range(peer.path.length):
+            refs = peer.routing.levels.get(level)
+            if refs is None:
+                refs = []
+            dead = [r for r in refs if not peers[r].online]
+            if not dead and len(refs) >= max_refs:
                 continue
             comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
-            candidates = [
-                c for c in alive_by_prefix.get(comp, []) if c not in refs
-            ]
+            candidates = [c for c in alive_by_prefix.get(comp, ()) if c not in refs]
             for d in dead:
                 refs.remove(d)
-                if candidates:
-                    refs.append(candidates[rand.randrange(len(candidates))])
+            # Only actual reference installations count as repairs: the
+            # scenario engine bills network traffic per repair, and a
+            # local dead-ref deletion costs no messages.
+            while len(refs) < max_refs and candidates:
+                refs.append(candidates.pop(rand.randrange(len(candidates))))
                 repaired += 1
+            if refs and level not in peer.routing.levels:
+                peer.routing.levels[level] = refs
     return repaired

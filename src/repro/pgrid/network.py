@@ -118,14 +118,32 @@ class PGridNetwork:
         leaf_keys: List[List[int]] = [[] for _ in reference.leaves]
         for key in sorted_keys[lo_i:hi_i]:
             leaf_keys[bisect_right(boundaries, key) - 1].append(key)
+        counts = [int(round(leaf.n_peers)) for leaf in reference.leaves]
+        # Algorithm 1 assigns *zero* peers to empty-side leaves (keeping
+        # its storage-deviation analysis clean), but an operational
+        # overlay must leave no key range unowned -- the decentralized
+        # construction populates empty regions too, and a gap makes every
+        # lookup into it fail structurally.  Cover each empty leaf with
+        # one peer reassigned from the most-populated leaf, never
+        # draining a donor below n_min (or, failing that, below one).
+        empty = [i for i, c in enumerate(counts) if c == 0]
+        for floor in (max(1, n_min), 1):
+            for i in empty:
+                donor = max(range(len(counts)), key=counts.__getitem__)
+                if counts[donor] > floor:
+                    counts[donor] -= 1
+                    counts[i] = 1
+            empty = [i for i in empty if counts[i] == 0]
+            if not empty:
+                break
         peer_id = 0
         peers_per_leaf: List[List[int]] = []
-        for leaf, lkeys in zip(reference.leaves, leaf_keys):
+        for leaf, lkeys, count in zip(reference.leaves, leaf_keys, counts):
             ids = []
             # One shared immutable template per leaf; each peer gets an
             # independent copy (a single C-level list copy).
             leaf_store = KeyStore._from_sorted(lkeys)
-            for _ in range(int(round(leaf.n_peers))):
+            for _ in range(count):
                 peer = PGridPeer(
                     peer_id=peer_id,
                     path=leaf.path,
@@ -220,6 +238,10 @@ class PGridNetwork:
         if not online:
             return None
         return online[rand.randrange(len(online))]
+
+    def online_count(self) -> int:
+        """Number of currently online peers (the live population)."""
+        return sum(1 for p in self.peers.values() if p.online)
 
     def __len__(self) -> int:
         return len(self.peers)

@@ -1,0 +1,60 @@
+"""Declarative scenario engine for churn/skew stress experiments.
+
+This package turns the repo's stress ingredients -- churn processes
+(:mod:`repro.simnet.churn`), key distributions
+(:mod:`repro.workloads.distributions`), sequential maintenance
+(:mod:`repro.pgrid.maintenance`) and the overlay data plane
+(:mod:`repro.pgrid.network`) -- into one declarative subsystem:
+
+``spec``
+    :class:`ScenarioSpec`: phases of arrivals/departures, churn regimes,
+    flash-crowd query hotspots, point/range query mixes, maintenance
+    cadence -- an experiment as data.
+``runner``
+    :class:`ScenarioRunner`: compiles a spec onto
+    :class:`~repro.simnet.engine.Simulator` events and executes it over
+    a :class:`~repro.pgrid.network.PGridNetwork`.
+``report``
+    :class:`ScenarioReport`: hop counts, success under churn,
+    message/bandwidth totals, per-peer load imbalance and replication
+    health over time, with byte-stable JSON for golden-trace testing.
+``library``
+    Six named scenarios (uniform-baseline, pareto-hotspot, flash-crowd,
+    mass-join, mass-leave, paper-sec51-churn) runnable at N=4096.
+``invariants``
+    Structural checks (prefix-complete partition, complementary routing,
+    live key coverage) for the randomized invariant test layer.
+
+Quickstart::
+
+    from repro.scenarios import ScenarioRunner, scenario
+    report = ScenarioRunner(scenario("paper-sec51-churn", n_peers=256)).run()
+    print(report.totals["success_rate"], report.success_rate_series())
+
+To add a new scenario, write a factory returning a
+:class:`ScenarioSpec` and register it in
+:data:`repro.scenarios.library.SCENARIOS`; ``bench_scenarios.py`` and
+the determinism tests pick it up automatically.
+"""
+
+from . import invariants, library, report, runner, spec  # noqa: F401
+from .invariants import check_invariants, live_key_coverage  # noqa: F401
+from .library import SCENARIOS, scenario  # noqa: F401
+from .report import ScenarioReport  # noqa: F401
+from .runner import ScenarioRunner, run_scenario  # noqa: F401
+from .spec import ChurnSpec, Hotspot, Phase, QueryMix, ScenarioSpec  # noqa: F401
+
+__all__ = [
+    "ScenarioSpec",
+    "Phase",
+    "QueryMix",
+    "Hotspot",
+    "ChurnSpec",
+    "ScenarioRunner",
+    "run_scenario",
+    "ScenarioReport",
+    "SCENARIOS",
+    "scenario",
+    "check_invariants",
+    "live_key_coverage",
+]

@@ -1,0 +1,218 @@
+"""Named, ready-to-run stress scenarios (the ISSUE-2 library).
+
+Six scenarios cover the stress axes of the paper's evaluation and the
+ROADMAP's "as many scenarios as you can imagine" ambition:
+
+==================  ====================================================
+``uniform-baseline``  steady uniform workload, light maintenance -- the
+                      control every other scenario is compared against
+``pareto-hotspot``    Pareto-0.5 data skew *and* a query hotspot on the
+                      mass-carrying low key region (Sec. 4.4's extreme
+                      skew, queried where the data is)
+``flash-crowd``       a calm phase, then 95% of (4x more frequent)
+                      queries collapse onto a 2% key window, then
+                      cooldown -- cache-busting read skew
+``mass-join``         a +25% arrival wave through sequential joins mid-
+                      run (the Sec. 4.3 maintenance model under load)
+``mass-leave``        25% of the population departs at once; repair and
+                      anti-entropy carry queries through the hole
+``paper-sec51-churn`` the paper's Sec. 5.1 schedule: every peer offline
+                      1-5 minutes every 5-10 minutes, with periodic
+                      repair -- the query-success-under-churn headline
+==================  ====================================================
+
+Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
+``seed`` and ``duration_scale`` (time-dilates the whole scenario; CI
+uses ~0.25).  ``scenario(name, ...)`` looks factories up by name;
+``SCENARIOS`` is the registry that ``benchmarks/bench_scenarios.py``
+iterates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import DomainError
+from .spec import ChurnSpec, Hotspot, Phase, QueryMix, ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "scenario",
+    "uniform_baseline",
+    "pareto_hotspot",
+    "flash_crowd",
+    "mass_join",
+    "mass_leave",
+    "paper_sec51_churn",
+]
+
+#: Default population: the ROADMAP's 4096-peer scale point.
+DEFAULT_N_PEERS = 4096
+
+_BASE = dict(keys_per_peer=8, d_max=40.0, n_min=3, max_refs=4)
+
+
+def _build(name, phases, n_peers, seed, duration_scale, **overrides) -> ScenarioSpec:
+    params = dict(_BASE)
+    params.update(overrides)
+    spec = ScenarioSpec(name=name, phases=tuple(phases), n_peers=n_peers, seed=seed, **params)
+    if duration_scale != 1.0:
+        spec = spec.scaled(duration_scale)
+    spec.validate()
+    return spec
+
+
+def uniform_baseline(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Steady uniform workload: the control scenario."""
+    return _build(
+        "uniform-baseline",
+        [Phase(name="steady", duration_s=600.0, maintenance_interval_s=120.0)],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def pareto_hotspot(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Pareto-0.5 data skew with queries focused where the mass is."""
+    mix = QueryMix(hotspot=Hotspot(lo=0.0, hi=0.02, weight=0.7))
+    return _build(
+        "pareto-hotspot",
+        [Phase(name="skewed", duration_s=600.0, mix=mix, maintenance_interval_s=120.0)],
+        n_peers,
+        seed,
+        duration_scale,
+        distribution="P0.5",
+    )
+
+
+def flash_crowd(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Calm, then a 4x query surge with 95% of traffic on a 2% window."""
+    hot = QueryMix(
+        point_weight=0.95,
+        range_weight=0.05,
+        range_span=0.02,
+        hotspot=Hotspot(lo=0.40, hi=0.42, weight=0.95),
+    )
+    return _build(
+        "flash-crowd",
+        [
+            Phase(name="calm", duration_s=300.0, maintenance_interval_s=120.0),
+            Phase(
+                name="flash",
+                duration_s=300.0,
+                query_rate=16.0,
+                mix=hot,
+                maintenance_interval_s=120.0,
+            ),
+            Phase(name="cooldown", duration_s=300.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def mass_join(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """A +25% arrival wave through sequential maintenance joins."""
+    return _build(
+        "mass-join",
+        [
+            Phase(name="steady", duration_s=300.0, maintenance_interval_s=120.0),
+            Phase(
+                name="join-wave",
+                duration_s=300.0,
+                join_peers=max(1, n_peers // 4),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="settled", duration_s=300.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def mass_leave(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """25% of peers vanish at once; repair keeps the overlay queryable."""
+    return _build(
+        "mass-leave",
+        [
+            Phase(name="steady", duration_s=300.0, maintenance_interval_s=120.0),
+            Phase(
+                name="exodus",
+                duration_s=300.0,
+                leave_peers=max(1, n_peers // 4),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="recovered", duration_s=300.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def paper_sec51_churn(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """The paper's churn experiment: offline 1-5 min every 5-10 min.
+
+    Phase one measures the static success baseline; phase two applies the
+    Sec. 5.1 renewal schedule to every peer with periodic repair, and the
+    report's per-bin series carries the success-rate and bandwidth
+    timelines of Figs. 7-9's churn window.
+    """
+    return _build(
+        "paper-sec51-churn",
+        [
+            Phase(name="static", duration_s=300.0, maintenance_interval_s=120.0),
+            Phase(
+                name="churn",
+                duration_s=900.0,
+                churn=ChurnSpec(),  # 1-5 min offline every 5-10 min
+                maintenance_interval_s=120.0,
+            ),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+#: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
+SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "uniform-baseline": uniform_baseline,
+    "pareto-hotspot": pareto_hotspot,
+    "flash-crowd": flash_crowd,
+    "mass-join": mass_join,
+    "mass-leave": mass_leave,
+    "paper-sec51-churn": paper_sec51_churn,
+}
+
+
+def scenario(
+    name: str,
+    n_peers: int = DEFAULT_N_PEERS,
+    *,
+    seed: int = 20050830,
+    duration_scale: float = 1.0,
+) -> ScenarioSpec:
+    """Build a library scenario by name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise DomainError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(n_peers, seed=seed, duration_scale=duration_scale)

@@ -1,0 +1,129 @@
+"""Structured results of a scenario run, with a byte-stable JSON form.
+
+:class:`ScenarioReport` carries everything the ISSUE-level questions
+need: query success under churn, hop counts, message and bandwidth
+totals, per-peer load imbalance and replication health over time.  The
+report is *deterministic*: running the same
+:class:`~repro.scenarios.spec.ScenarioSpec` twice with the same seed
+yields byte-identical :meth:`to_json` output (pinned by the golden-trace
+regression test), so reports can be diffed across commits like the perf
+snapshot in ``BENCH_core.json``.
+
+Bandwidth model
+---------------
+The synchronous data plane has no wire format, so bytes are accounted
+with a fixed model: every inter-peer message costs :data:`HEADER_BYTES`
+and every shipped key :data:`KEY_BYTES` (one 53-bit key plus framing).
+The absolute numbers are nominal; their *ratios* across scenarios and
+over time mirror the paper's Fig. 8 maintenance-vs-query split.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ScenarioReport", "HEADER_BYTES", "KEY_BYTES"]
+
+#: Nominal bytes per inter-peer message (addressing + framing).
+HEADER_BYTES = 48
+#: Nominal bytes per data key shipped inside a message.
+KEY_BYTES = 8
+
+
+def _canonical(value: Any) -> Any:
+    """Round floats (and normalize ``-0.0``) for stable, tidy JSON."""
+    if isinstance(value, float):
+        rounded = round(value, 9)
+        return 0.0 if rounded == 0.0 else rounded
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run measured.
+
+    ``series`` holds one row per report bin (``minute``-keyed) with the
+    online population, query volume/success/hops, query and maintenance
+    bandwidth (Bps under the module's byte model) and replication health
+    (fraction of partitions with a live replica, mean online replicas
+    per partition).  ``phases`` summarizes each declared phase;
+    ``totals`` and ``load`` aggregate the whole run.
+    """
+
+    scenario: str
+    seed: int
+    n_peers_start: int
+    n_peers_end: int
+    duration_s: float
+    bin_s: float
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    series: List[Dict[str, Any]] = field(default_factory=list)
+    totals: Dict[str, Any] = field(default_factory=dict)
+    load: Dict[str, Any] = field(default_factory=dict)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-type dict with canonicalized floats (JSON-ready)."""
+        return _canonical(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "n_peers_start": self.n_peers_start,
+                "n_peers_end": self.n_peers_end,
+                "duration_s": self.duration_s,
+                "bin_s": self.bin_s,
+                "phases": self.phases,
+                "series": self.series,
+                "totals": self.totals,
+                "load": self.load,
+            }
+        )
+
+    def to_json(self) -> str:
+        """Deterministic JSON: sorted keys, compact separators."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    # -- convenient views --------------------------------------------------
+
+    def success_rate_series(self) -> List[Tuple[float, float]]:
+        """(minute, query success rate) for bins that saw queries."""
+        return [
+            (row["minute"], row["success_rate"])
+            for row in self.series
+            if row["success_rate"] is not None
+        ]
+
+    def bandwidth_series(self) -> List[Tuple[float, float, float]]:
+        """(minute, query Bps, maintenance Bps) per report bin."""
+        return [
+            (row["minute"], row["query_Bps"], row["maint_Bps"])
+            for row in self.series
+        ]
+
+    def summary_rows(self) -> List[Tuple[str, float]]:
+        """Headline numbers as printable rows (mirrors
+        :meth:`repro.simnet.experiment.ExperimentReport.summary_rows`)."""
+
+        def _f(value) -> float:
+            # Undefined aggregates are stored as None (NaN is not valid
+            # JSON); render them as NaN for printing.
+            return float("nan") if value is None else float(value)
+
+        totals = self.totals
+        return [
+            ("queries issued", _f(totals.get("queries", 0))),
+            ("query success rate", _f(totals.get("success_rate"))),
+            ("mean lookup hops", _f(totals.get("mean_hops"))),
+            ("messages total", _f(totals.get("messages", 0))),
+            ("bandwidth total (bytes)", _f(totals.get("bytes_total", 0))),
+            ("load CV across peers", _f(self.load.get("cv"))),
+            ("final partition availability", _f(totals.get("final_partition_availability"))),
+            ("final live-key coverage", _f(totals.get("final_coverage"))),
+        ]

@@ -1,0 +1,241 @@
+"""Declarative scenario specifications for churn/skew stress experiments.
+
+A :class:`ScenarioSpec` describes a complete overlay stress experiment as
+data: the initial population and key workload, then a sequence of
+:class:`Phase` objects, each combining peer arrivals/departures, a churn
+regime, a query mix (point lookups and range scans, optionally focused
+on a flash-crowd hotspot) and a maintenance/repair cadence.  The runner
+(:mod:`repro.scenarios.runner`) compiles a spec onto
+:class:`repro.simnet.engine.Simulator` events and executes it over a
+:class:`repro.pgrid.network.PGridNetwork` overlay.
+
+Specs are plain frozen dataclasses so they can be constructed inline,
+shipped in the library (:mod:`repro.scenarios.library`) and compared for
+equality in tests.  Everything is seeded: the same spec and seed always
+produce the same :class:`~repro.scenarios.report.ScenarioReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import DomainError, SimulationError
+from ..simnet.churn import ChurnConfig
+from ..workloads.distributions import DISTRIBUTIONS
+from ..workloads.queries import QuerySampler
+
+__all__ = ["ChurnSpec", "Hotspot", "QueryMix", "Phase", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A phase's churn regime (times in seconds, like the simulator clock).
+
+    Defaults are the paper's Sec. 5.1 schedule: "each peer independently
+    decide[s] to go offline 1-5 minutes every 5-10 minutes".
+    ``fraction`` restricts churn to a random subset of the online
+    population (1.0 = everybody churns).
+    """
+
+    min_offline_s: float = 60.0
+    max_offline_s: float = 300.0
+    min_online_s: float = 300.0
+    max_online_s: float = 600.0
+    fraction: float = 1.0
+
+    def validate(self) -> None:
+        self.to_config().validate()
+        if not 0.0 < self.fraction <= 1.0:
+            raise SimulationError(
+                f"churn fraction must lie in (0, 1], got {self.fraction}"
+            )
+
+    def to_config(self) -> ChurnConfig:
+        """The equivalent :class:`~repro.simnet.churn.ChurnConfig`."""
+        return ChurnConfig(
+            min_offline=self.min_offline_s,
+            max_offline=self.max_offline_s,
+            min_online=self.min_online_s,
+            max_online=self.max_online_s,
+        )
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A flash-crowd focus interval in ``[0, 1)`` of the key space.
+
+    ``weight`` is the probability that any single query targets the hot
+    interval instead of the whole key space.
+    """
+
+    lo: float
+    hi: float
+    weight: float = 0.9
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.lo, self.hi, self.weight)
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """Relative blend of point lookups and range scans for one phase."""
+
+    point_weight: float = 0.9
+    range_weight: float = 0.1
+    range_span: float = 0.02
+    hotspot: Optional[Hotspot] = None
+
+    def validate(self) -> None:
+        # The sampler is the single authority on mix validity (weights,
+        # span, hotspot bounds); surface its verdict as a spec error.
+        try:
+            self.to_sampler()
+        except DomainError as exc:
+            raise SimulationError(str(exc)) from None
+
+    def to_sampler(self) -> QuerySampler:
+        """The :class:`~repro.workloads.queries.QuerySampler` this mix
+        configures (raises :class:`~repro.exceptions.DomainError` on an
+        invalid mix)."""
+        return QuerySampler(
+            point_weight=self.point_weight,
+            range_weight=self.range_weight,
+            range_span=self.range_span,
+            hotspot=self.hotspot.as_tuple() if self.hotspot is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stage of a scenario timeline.
+
+    At the phase boundary ``join_peers`` new peers arrive (sequential
+    maintenance joins) and ``leave_peers`` online peers depart for good;
+    during the phase queries arrive at ``query_rate`` per simulated
+    second, churn (if configured) toggles availability, and every
+    ``maintenance_interval_s`` the overlay runs one repair + anti-entropy
+    round.
+    """
+
+    name: str
+    duration_s: float
+    query_rate: float = 4.0
+    mix: QueryMix = field(default_factory=QueryMix)
+    churn: Optional[ChurnSpec] = None
+    join_peers: int = 0
+    leave_peers: int = 0
+    maintenance_interval_s: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.duration_s <= 0:
+            raise SimulationError(f"phase {self.name!r} needs a positive duration")
+        if self.query_rate < 0:
+            raise SimulationError(f"phase {self.name!r} has a negative query rate")
+        if self.join_peers < 0 or self.leave_peers < 0:
+            raise SimulationError(f"phase {self.name!r} has negative membership deltas")
+        if self.maintenance_interval_s is not None and self.maintenance_interval_s <= 0:
+            raise SimulationError(
+                f"phase {self.name!r} needs a positive maintenance interval"
+            )
+        self.mix.validate()
+        if self.churn is not None:
+            self.churn.validate()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible stress experiment as data."""
+
+    name: str
+    phases: Tuple[Phase, ...]
+    n_peers: int = 256
+    keys_per_peer: int = 8
+    distribution: str = "U"
+    d_max: float = 40.0
+    n_min: int = 3
+    max_refs: int = 4
+    seed: int = 20050830
+    report_bin_s: float = 60.0
+    #: Extra routing attempts (fresh random start peer) after a failed
+    #: query, mirroring the protocol's retry behavior under churn
+    #: (:class:`repro.simnet.node.NodeConfig.query_retries`).
+    query_retries: int = 2
+
+    def __post_init__(self):
+        # Accept any sequence of phases but store a hashable tuple.
+        if not isinstance(self.phases, tuple):
+            object.__setattr__(self, "phases", tuple(self.phases))
+
+    # -- derived timeline --------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Total simulated length of the scenario."""
+        return sum(p.duration_s for p in self.phases)
+
+    def boundaries(self) -> List[Tuple[float, float]]:
+        """``(start_s, end_s)`` per phase, in order."""
+        out: List[Tuple[float, float]] = []
+        t = 0.0
+        for phase in self.phases:
+            out.append((t, t + phase.duration_s))
+            t += phase.duration_s
+        return out
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.phases:
+            raise SimulationError(f"scenario {self.name!r} needs at least one phase")
+        if self.n_peers < 2:
+            raise SimulationError("scenario needs at least two peers")
+        if self.keys_per_peer < 1:
+            raise SimulationError("scenario needs at least one key per peer")
+        if self.distribution not in DISTRIBUTIONS:
+            raise SimulationError(
+                f"unknown key distribution {self.distribution!r}; "
+                f"known: {sorted(DISTRIBUTIONS)}"
+            )
+        if self.d_max <= 0 or self.n_min < 1 or self.max_refs < 1:
+            raise SimulationError("d_max, n_min and max_refs must be positive")
+        if self.report_bin_s <= 0:
+            raise SimulationError("report bin width must be positive")
+        if self.query_retries < 0:
+            raise SimulationError("query retries must be non-negative")
+        for phase in self.phases:
+            phase.validate()
+
+    # -- convenience -------------------------------------------------------
+
+    def scaled(self, duration_scale: float) -> "ScenarioSpec":
+        """A time-dilated copy: phase durations, maintenance cadence,
+        churn periods and the report bin are all multiplied by
+        ``duration_scale`` -- the standard way to shrink a library
+        scenario into a CI-sized smoke run without changing its shape."""
+        if duration_scale <= 0:
+            raise SimulationError(f"duration scale must be positive, got {duration_scale}")
+        phases = tuple(
+            replace(
+                p,
+                duration_s=p.duration_s * duration_scale,
+                maintenance_interval_s=(
+                    None
+                    if p.maintenance_interval_s is None
+                    else p.maintenance_interval_s * duration_scale
+                ),
+                churn=(
+                    None
+                    if p.churn is None
+                    else replace(
+                        p.churn,
+                        min_offline_s=p.churn.min_offline_s * duration_scale,
+                        max_offline_s=p.churn.max_offline_s * duration_scale,
+                        min_online_s=p.churn.min_online_s * duration_scale,
+                        max_online_s=p.churn.max_online_s * duration_scale,
+                    )
+                ),
+            )
+            for p in self.phases
+        )
+        return replace(self, phases=phases, report_bin_s=self.report_bin_s * duration_scale)

@@ -9,13 +9,13 @@ schedule on the simulator clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, List, Optional
 
 from .._util import RngLike, make_rng
 from ..exceptions import SimulationError
 from .engine import Simulator
 
-__all__ = ["ChurnProcess"]
+__all__ = ["ChurnConfig", "ChurnProcess", "start_churn"]
 
 
 @dataclass
@@ -26,6 +26,23 @@ class ChurnConfig:
     max_offline: float = 300.0
     min_online: float = 300.0
     max_online: float = 600.0
+
+    @classmethod
+    def from_minutes(
+        cls,
+        min_offline: float = 1.0,
+        max_offline: float = 5.0,
+        min_online: float = 5.0,
+        max_online: float = 10.0,
+    ) -> "ChurnConfig":
+        """The paper's schedule expressed in minutes (Sec. 5.1 defaults:
+        "offline 1-5 minutes every 5-10 minutes")."""
+        return cls(
+            min_offline=min_offline * 60.0,
+            max_offline=max_offline * 60.0,
+            min_online=min_online * 60.0,
+            max_online=max_online * 60.0,
+        )
 
     def validate(self) -> None:
         if not 0 < self.min_offline <= self.max_offline:
@@ -60,11 +77,18 @@ class ChurnProcess:
         self.active = False
         self.transitions = 0
 
-    def start(self) -> None:
+    def start(self, *, stagger: bool = False) -> None:
         """Begin alternating periods (first transition after one online
-        period)."""
+        period).
+
+        With ``stagger`` the first online period is drawn from
+        ``[0, max_online]`` instead of ``[min_online, max_online]`` --
+        the stationary-renewal approximation that prevents a whole
+        population started at the same instant from taking its first
+        offline period in one synchronized wave.
+        """
         self.active = True
-        self._schedule_offline()
+        self._schedule_offline(stagger=stagger)
 
     def stop(self) -> None:
         """Stop scheduling further transitions (node stays as-is)."""
@@ -73,8 +97,9 @@ class ChurnProcess:
     def _expired(self) -> bool:
         return self.until is not None and self.sim.now >= self.until
 
-    def _schedule_offline(self) -> None:
-        delay = self.rng.uniform(self.config.min_online, self.config.max_online)
+    def _schedule_offline(self, stagger: bool = False) -> None:
+        lo = 0.0 if stagger else self.config.min_online
+        delay = self.rng.uniform(lo, self.config.max_online)
         self.sim.schedule(delay, self._go_offline)
 
     def _go_offline(self) -> None:
@@ -92,3 +117,38 @@ class ChurnProcess:
         self.transitions += 1
         if not self._expired():
             self._schedule_offline()
+
+
+def start_churn(
+    sim: Simulator,
+    set_online_callbacks: Iterable[Callable[[bool], None]],
+    *,
+    config: Optional[ChurnConfig] = None,
+    until: Optional[float] = None,
+    stagger: bool = False,
+    rng: RngLike = None,
+) -> List[ChurnProcess]:
+    """Attach one started :class:`ChurnProcess` per callback.
+
+    The shared orchestration behind the Sec. 5 experiment's churn phase
+    and the scenario engine's churn phases
+    (:mod:`repro.scenarios.runner`): each target gets an independent
+    renewal process seeded from one master stream, so a whole
+    population's churn stays reproducible from a single seed.
+    ``stagger`` spreads the population's first offline periods (see
+    :meth:`ChurnProcess.start`).
+    """
+    rand = make_rng(rng)
+    config = config or ChurnConfig()
+    procs: List[ChurnProcess] = []
+    for callback in set_online_callbacks:
+        proc = ChurnProcess(
+            sim,
+            callback,
+            config=config,
+            until=until,
+            rng=make_rng(rand.randrange(2**31)),
+        )
+        procs.append(proc)
+        proc.start(stagger=stagger)
+    return procs

@@ -15,6 +15,14 @@ churn (+query)   t+475 .. t+525 min          475 .. 525
 The driver collects exactly the series of Figs. 7/8/9 plus the Sec. 5.2
 summary statistics (load-balance deviation vs. the Algorithm-1 reference,
 mean path length, query hops, replication factor, success rates).
+
+This module is the *message-level* stress driver: every byte crosses the
+simulated wire.  For declarative, data-plane-level stress experiments
+(churn regimes, flash crowds, mass joins/leaves, query mixes at
+N=4096), use the scenario engine instead --
+:mod:`repro.scenarios` compiles :class:`~repro.scenarios.spec.ScenarioSpec`
+phases onto the same :class:`~repro.simnet.engine.Simulator` and shares
+this module's churn orchestration (:func:`repro.simnet.churn.start_churn`).
 """
 
 from __future__ import annotations
@@ -22,13 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .._util import RngLike, make_rng, mean
+from .._util import RngLike, ensure_monotonic, make_rng, mean
 from ..core.deviation import load_balance_deviation
 from ..core.reference import reference_partition
 from ..exceptions import SimulationError
 from ..workloads.datasets import workload_keys
 from . import protocol as P
-from .churn import ChurnConfig, ChurnProcess
+from .churn import ChurnConfig, ChurnProcess, start_churn
 from .engine import Simulator
 from .node import NodeConfig, PGridNode
 from .stats import StatsCollector
@@ -64,20 +72,42 @@ class ExperimentConfig:
     def resolved_d_max(self) -> float:
         return self.d_max if self.d_max is not None else 10.0 * self.n_min
 
+    @classmethod
+    def compressed(cls, peers: int = 80, seed: int = 23, **overrides) -> "ExperimentConfig":
+        """The CI-scale five-phase timeline (~5x compressed minutes).
+
+        The canonical smoke configuration shared by the figure suite's
+        ``REPRO_FAST`` mode and the example tests: same phase structure,
+        110 simulated minutes instead of 525.
+        """
+        params = dict(
+            peers=peers,
+            join_end=10.0,
+            replicate_start=10.0,
+            construct_start=20.0,
+            query_start=60.0,
+            churn_start=90.0,
+            end=110.0,
+            seed=seed,
+        )
+        params.update(overrides)
+        return cls(**params)
+
     def validate(self) -> None:
         if self.peers < 10:
             raise SimulationError("experiment needs at least 10 peers")
-        timeline = [
-            0.0,
-            self.join_end,
-            self.replicate_start,
-            self.construct_start,
-            self.query_start,
-            self.churn_start,
-            self.end,
-        ]
-        if any(b < a for a, b in zip(timeline, timeline[1:])):
-            raise SimulationError(f"phases out of order: {timeline}")
+        ensure_monotonic(
+            [
+                0.0,
+                self.join_end,
+                self.replicate_start,
+                self.construct_start,
+                self.query_start,
+                self.churn_start,
+                self.end,
+            ],
+            what="phases",
+        )
 
 
 @dataclass
@@ -207,22 +237,21 @@ def run_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentRepor
 
     sim.schedule(config.query_start * _MIN, start_queries)
 
-    # -- phase 5: churn ----------------------------------------------------------------
+    # -- phase 5: churn (shared orchestration with the scenario engine) ----
     churners: List[ChurnProcess] = []
 
-    def start_churn():
-        for node in nodes.values():
-            proc = ChurnProcess(
+    def begin_churn():
+        churners.extend(
+            start_churn(
                 sim,
-                node.set_online,
+                [node.set_online for node in nodes.values()],
                 config=ChurnConfig(),
                 until=config.end * _MIN,
-                rng=make_rng(rand.randrange(2**31)),
+                rng=rand,
             )
-            churners.append(proc)
-            proc.start()
+        )
 
-    sim.schedule(config.churn_start * _MIN, start_churn)
+    sim.schedule(config.churn_start * _MIN, begin_churn)
 
     # -- population sampling -----------------------------------------------------------
 

@@ -8,6 +8,7 @@ substitutes a synthetic Zipf-vocabulary corpus whose induced key skew
 exercises the same code paths (see DESIGN.md).
 """
 
-from . import corpus, datasets, distributions  # noqa: F401
+from . import corpus, datasets, distributions, queries  # noqa: F401
 from .datasets import uniform_keys, workload_keys  # noqa: F401
 from .distributions import DISTRIBUTIONS, KeyDistribution  # noqa: F401
+from .queries import QuerySampler  # noqa: F401

@@ -1,0 +1,105 @@
+"""Query workload generation: point/range mixes and flash-crowd hotspots.
+
+The paper's evaluation issues exact-match queries for the peers' own
+keys (Sec. 5.1) and argues range queries as the workload that motivates
+order-preserving overlays (Secs. 2.3, 6).  :class:`QuerySampler`
+generalizes both into a declarative *query mix*: a weighted blend of
+point lookups and fixed-span range scans, optionally concentrated on a
+*hotspot* sub-interval of the key space (the flash-crowd pattern where a
+small key region suddenly receives most of the traffic).
+
+The sampler is deliberately independent of the scenario layer that
+configures it (:mod:`repro.scenarios.spec`): it takes primitive weights
+and returns integer keys, so it can drive any query front-end --
+:class:`~repro.pgrid.network.PGridNetwork` lookups, the simnet protocol
+nodes, or a future service API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .._util import RngLike, make_rng
+from ..exceptions import DomainError
+from ..pgrid.keyspace import MAX_KEY, float_to_key
+
+__all__ = ["QuerySampler", "POINT", "RANGE"]
+
+#: Query-kind tags returned by :meth:`QuerySampler.draw_kind`.
+POINT = "point"
+RANGE = "range"
+
+
+class QuerySampler:
+    """Draws query targets for a weighted point/range mix.
+
+    Parameters
+    ----------
+    point_weight / range_weight:
+        Relative frequencies of exact-match lookups and range scans
+        (need not sum to one; both zero is invalid).
+    range_span:
+        Width of every range scan as a fraction of the key space.
+    hotspot:
+        Optional ``(lo, hi, weight)`` with ``0 <= lo < hi <= 1``:
+        with probability ``weight`` a query targets the hot interval
+        instead of the whole key space.
+    """
+
+    __slots__ = ("point_weight", "range_weight", "range_span", "hotspot")
+
+    def __init__(
+        self,
+        *,
+        point_weight: float = 1.0,
+        range_weight: float = 0.0,
+        range_span: float = 0.02,
+        hotspot: Optional[Tuple[float, float, float]] = None,
+    ):
+        if point_weight < 0 or range_weight < 0:
+            raise DomainError("query-mix weights must be non-negative")
+        if point_weight + range_weight <= 0:
+            raise DomainError("query mix needs a positive total weight")
+        if not 0 < range_span <= 1:
+            raise DomainError(f"range span must lie in (0, 1], got {range_span}")
+        if hotspot is not None:
+            lo, hi, weight = hotspot
+            if not 0.0 <= lo < hi <= 1.0:
+                raise DomainError(f"hotspot interval [{lo}, {hi}) is invalid")
+            if not 0.0 <= weight <= 1.0:
+                raise DomainError(f"hotspot weight must lie in [0, 1], got {weight}")
+        self.point_weight = float(point_weight)
+        self.range_weight = float(range_weight)
+        self.range_span = float(range_span)
+        self.hotspot = hotspot
+
+    # -- drawing -----------------------------------------------------------
+
+    def draw_kind(self, rng: RngLike = None) -> str:
+        """``POINT`` or ``RANGE``, per the configured weights."""
+        rand = make_rng(rng)
+        total = self.point_weight + self.range_weight
+        return POINT if rand.random() * total < self.point_weight else RANGE
+
+    def _target_float(self, rand) -> float:
+        if self.hotspot is not None:
+            lo, hi, weight = self.hotspot
+            if rand.random() < weight:
+                return lo + rand.random() * (hi - lo)
+        return rand.random()
+
+    def draw_point_key(self, rng: RngLike = None) -> int:
+        """An integer key for one exact-match lookup."""
+        return float_to_key(min(self._target_float(make_rng(rng)), _BELOW_ONE))
+
+    def draw_range(self, rng: RngLike = None) -> Tuple[int, int]:
+        """A half-open integer key range of width ``range_span``."""
+        rand = make_rng(rng)
+        lo_f = min(self._target_float(rand), 1.0 - self.range_span)
+        lo = float_to_key(max(lo_f, 0.0))
+        hi = min(lo + max(int(self.range_span * MAX_KEY), 1), MAX_KEY)
+        return lo, hi
+
+
+#: Largest float strictly below 1.0 accepted by :func:`float_to_key`.
+_BELOW_ONE = 1.0 - 2.0**-53

@@ -1,14 +1,28 @@
-"""Smoke tests: every shipped example must run end to end."""
+"""Smoke tests: every shipped example must run end to end.
 
+Beyond the generic runpy sweep, the stress-relevant examples are also
+exercised *directly* at tiny, seeded sizes through their ``run()``
+entry points, so example rot (broken imports, drifted APIs, violated
+assertions) is caught by tier-1 without paying full example runtimes.
+"""
+
+import importlib.util
 import pathlib
 import runpy
-import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    """Import an example script as a module (examples are not a package)."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
@@ -16,3 +30,34 @@ def test_example_runs(script, capsys):
     runpy.run_path(str(script), run_name="__main__")
     out = capsys.readouterr().out
     assert out.strip(), f"{script.name} should print its results"
+
+
+class TestChurnResilienceSmoke:
+    def test_tiny_seeded_run(self):
+        report = load_example("churn_resilience").run(
+            n_peers=48, seed=7, duration_scale=0.15
+        )
+        assert report.scenario == "paper-sec51-churn"
+        assert report.totals["queries"] > 0
+        assert report.totals["success_rate"] > 0.8
+        assert report.totals["churn_transitions"] > 0
+        # The churn phase reports success and bandwidth over time.
+        assert report.success_rate_series()
+        assert report.bandwidth_series()
+
+    def test_run_is_seed_deterministic(self):
+        mod = load_example("churn_resilience")
+        a = mod.run(n_peers=32, seed=5, duration_scale=0.1)
+        b = mod.run(n_peers=32, seed=5, duration_scale=0.1)
+        assert a.to_json() == b.to_json()
+
+
+class TestReindexingSmoke:
+    def test_tiny_seeded_run(self):
+        changed, cmp = load_example("reindexing").run(
+            peers=12, n_docs=30, vocabulary_size=200, terms_per_doc=20
+        )
+        assert changed > 0
+        assert cmp.sequential_messages > 0
+        assert cmp.parallel_interactions > 0
+        assert cmp.latency_speedup > 1.0

@@ -115,9 +115,34 @@ class TestIdealOverlay:
         # binary-search dealer once wrapped them into the last leaf).
         rand = random.Random(11)
         keys = [float_to_key(rand.random()) for _ in range(300)]
-        net = PGridNetwork.ideal(keys + [-1, 1 << KEY_BITS], 32, d_max=40, n_min=3, rng=1)
+        out_of_range = [-1, -(1 << KEY_BITS), 1 << KEY_BITS, (1 << KEY_BITS) + 7]
+        net = PGridNetwork.ideal(
+            keys + out_of_range, 32, d_max=40, n_min=3, rng=1
+        )
         assert net.is_consistent()
-        assert net.all_keys() == set(keys)
+        stored = net.all_keys()
+        assert stored == set(keys)
+        assert stored.isdisjoint(out_of_range)
+        # Every surviving key sits inside its holder's partition.
+        for peer in net.peers.values():
+            for key in peer.keys:
+                assert peer.responsible_for(key)
+
+    def test_ideal_covers_empty_leaves_of_skewed_workloads(self):
+        # Algorithm 1 emits peer-less leaves for empty key regions; the
+        # operational overlay must still own them (a gap would make every
+        # lookup into the region fail structurally).
+        keys = workload_keys("P0.5", peers=64, keys_per_peer=8, seed=5)
+        net = PGridNetwork.ideal(flatten(keys), 64, d_max=40, n_min=3, rng=2)
+        assert len(net.peers) == 64  # reassignment conserves the population
+        covered = 0
+        for path in set(net.paths()):
+            lo, hi = path.key_range(KEY_BITS)
+            covered += hi - lo
+        assert covered == 1 << KEY_BITS
+        rand = random.Random(6)
+        for _ in range(50):
+            assert net.lookup(rand.randrange(1 << KEY_BITS), rng=rand).found
 
     def test_rejects_bool_and_garbage_keys(self, ideal_net):
         _, net = ideal_net

@@ -1,0 +1,71 @@
+"""Determinism regression: same spec + seed => byte-identical report.
+
+Two layers of protection:
+
+* **Run-to-run**: executing the same :class:`ScenarioSpec` twice in one
+  process yields byte-identical ``to_json()`` output (catches hidden
+  shared state, hash-order dependence, unseeded randomness).
+* **Golden trace**: one small scenario's report is pinned as a fixture
+  (``tests/data/scenario_golden.json``); any change to RNG stream
+  derivation, event ordering or report assembly shows up as a diff of
+  that file.  Regenerate deliberately with::
+
+      PYTHONPATH=src python -c "
+      from repro.scenarios import ScenarioRunner, scenario
+      spec = scenario('uniform-baseline', n_peers=24, seed=11, duration_scale=0.2)
+      print(ScenarioRunner(spec).run().to_json())" > tests/data/scenario_golden.json
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, scenario
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "scenario_golden.json"
+
+#: The pinned configuration of the golden trace.
+GOLDEN_SPEC = dict(n_peers=24, seed=11, duration_scale=0.2)
+
+
+def run_json(name, **kwargs):
+    return ScenarioRunner(scenario(name, **kwargs)).run().to_json()
+
+
+@pytest.mark.parametrize(
+    "name, kwargs",
+    [
+        ("uniform-baseline", dict(n_peers=24, seed=11, duration_scale=0.1)),
+        ("paper-sec51-churn", dict(n_peers=32, seed=3, duration_scale=0.1)),
+        ("mass-join", dict(n_peers=32, seed=3, duration_scale=0.1)),
+    ],
+)
+def test_same_seed_reproduces_byte_identical_reports(name, kwargs):
+    assert run_json(name, **kwargs) == run_json(name, **kwargs)
+
+
+def test_different_seeds_differ():
+    a = run_json("uniform-baseline", n_peers=24, seed=1, duration_scale=0.1)
+    b = run_json("uniform-baseline", n_peers=24, seed=2, duration_scale=0.1)
+    assert a != b
+
+
+def test_golden_trace_matches_fixture():
+    produced = run_json("uniform-baseline", **GOLDEN_SPEC)
+    pinned = GOLDEN_PATH.read_text().strip()
+    if produced != pinned:
+        # Fail with a structural diff hint before the byte comparison.
+        got, want = json.loads(produced), json.loads(pinned)
+        for key in want:
+            assert got[key] == want[key], f"golden mismatch in section {key!r}"
+    assert produced == pinned
+
+
+def test_golden_fixture_is_valid_json_with_expected_shape():
+    payload = json.loads(GOLDEN_PATH.read_text())
+    assert payload["scenario"] == "uniform-baseline"
+    assert payload["seed"] == GOLDEN_SPEC["seed"]
+    assert payload["n_peers_start"] == GOLDEN_SPEC["n_peers"]
+    assert payload["totals"]["queries"] > 0
+    assert payload["series"], "golden report must carry a time series"

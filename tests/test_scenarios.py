@@ -1,0 +1,210 @@
+"""Unit tests for the declarative scenario engine (spec, runner, library)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import DomainError, SimulationError
+from repro.scenarios import (
+    SCENARIOS,
+    ChurnSpec,
+    Hotspot,
+    Phase,
+    QueryMix,
+    ScenarioRunner,
+    ScenarioSpec,
+    scenario,
+)
+from repro.scenarios.library import (
+    flash_crowd,
+    mass_join,
+    mass_leave,
+    paper_sec51_churn,
+    uniform_baseline,
+)
+from repro.workloads.queries import POINT, RANGE, QuerySampler
+
+
+class TestSpecValidation:
+    def test_library_specs_validate(self):
+        for name in SCENARIOS:
+            spec = scenario(name, n_peers=64, seed=1, duration_scale=0.1)
+            spec.validate()  # should not raise
+            assert spec.name == name
+            assert spec.duration_s > 0
+
+    def test_registry_is_complete(self):
+        assert sorted(SCENARIOS) == [
+            "flash-crowd",
+            "mass-join",
+            "mass-leave",
+            "paper-sec51-churn",
+            "pareto-hotspot",
+            "uniform-baseline",
+        ]
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(DomainError):
+            scenario("no-such-scenario")
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="x", phases=()).validate()
+
+    def test_negative_duration_rejected(self):
+        spec = ScenarioSpec(name="x", phases=(Phase(name="p", duration_s=-1.0),))
+        with pytest.raises(SimulationError):
+            spec.validate()
+
+    def test_bad_distribution_rejected(self):
+        spec = ScenarioSpec(
+            name="x",
+            phases=(Phase(name="p", duration_s=10.0),),
+            distribution="nope",
+        )
+        with pytest.raises(SimulationError):
+            spec.validate()
+
+    def test_bad_hotspot_rejected(self):
+        mix = QueryMix(hotspot=Hotspot(lo=0.5, hi=0.4))
+        spec = ScenarioSpec(
+            name="x", phases=(Phase(name="p", duration_s=10.0, mix=mix),)
+        )
+        with pytest.raises(SimulationError):
+            spec.validate()
+
+    def test_bad_churn_fraction_rejected(self):
+        churn = ChurnSpec(fraction=0.0)
+        spec = ScenarioSpec(
+            name="x", phases=(Phase(name="p", duration_s=10.0, churn=churn),)
+        )
+        with pytest.raises(SimulationError):
+            spec.validate()
+
+    def test_scaled_dilates_everything(self):
+        spec = paper_sec51_churn(n_peers=64, seed=1)
+        half = spec.scaled(0.5)
+        assert half.duration_s == pytest.approx(spec.duration_s / 2)
+        assert half.report_bin_s == pytest.approx(spec.report_bin_s / 2)
+        churn = half.phases[1].churn
+        assert churn.min_offline_s == pytest.approx(30.0)
+        assert half.phases[1].maintenance_interval_s == pytest.approx(60.0)
+
+    def test_boundaries_partition_the_timeline(self):
+        spec = flash_crowd(n_peers=64, seed=1)
+        bounds = spec.boundaries()
+        assert bounds[0][0] == 0.0
+        assert bounds[-1][1] == pytest.approx(spec.duration_s)
+        for (_, a_end), (b_start, _) in zip(bounds, bounds[1:]):
+            assert a_end == pytest.approx(b_start)
+
+
+class TestQuerySampler:
+    def test_pure_point_mix(self):
+        sampler = QuerySampler(point_weight=1.0, range_weight=0.0)
+        rng = random.Random(1)
+        assert all(sampler.draw_kind(rng) == POINT for _ in range(50))
+
+    def test_mixed_weights_roughly_respected(self):
+        sampler = QuerySampler(point_weight=0.5, range_weight=0.5)
+        rng = random.Random(2)
+        kinds = [sampler.draw_kind(rng) for _ in range(2000)]
+        share = kinds.count(RANGE) / len(kinds)
+        assert 0.4 < share < 0.6
+
+    def test_hotspot_concentrates_targets(self):
+        from repro.pgrid.keyspace import MAX_KEY
+
+        sampler = QuerySampler(hotspot=(0.4, 0.42, 0.9))
+        rng = random.Random(3)
+        keys = [sampler.draw_point_key(rng) for _ in range(2000)]
+        hot = sum(1 for k in keys if 0.4 <= k / MAX_KEY < 0.42)
+        assert hot / len(keys) > 0.8
+
+    def test_range_span_and_bounds(self):
+        from repro.pgrid.keyspace import MAX_KEY
+
+        sampler = QuerySampler(range_weight=1.0, point_weight=0.0, range_span=0.05)
+        rng = random.Random(4)
+        for _ in range(200):
+            lo, hi = sampler.draw_range(rng)
+            assert 0 <= lo < hi <= MAX_KEY
+            assert (hi - lo) / MAX_KEY == pytest.approx(0.05, rel=1e-9)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(DomainError):
+            QuerySampler(point_weight=0.0, range_weight=0.0)
+        with pytest.raises(DomainError):
+            QuerySampler(hotspot=(0.9, 0.1, 0.5))
+
+
+class TestRunner:
+    def test_baseline_fully_succeeds(self):
+        report = ScenarioRunner(
+            uniform_baseline(n_peers=48, seed=5, duration_scale=0.1)
+        ).run()
+        assert report.totals["queries"] > 50
+        assert report.totals["success_rate"] == 1.0
+        assert report.totals["range_incomplete"] == 0
+        assert report.totals["final_coverage"] == 1.0
+        assert report.n_peers_end == report.n_peers_start == 48
+        assert all(row["online"] in (None, 48) for row in report.series)
+
+    def test_mass_leave_shrinks_population(self):
+        report = ScenarioRunner(
+            mass_leave(n_peers=48, seed=5, duration_scale=0.1)
+        ).run()
+        assert report.totals["leaves"] == 12
+        assert report.totals["final_online"] == 36
+        # Queries keep flowing after the exodus (repair carries them).
+        assert report.phases[-1]["success_rate"] > 0.5
+
+    def test_mass_join_grows_population(self):
+        report = ScenarioRunner(
+            mass_join(n_peers=48, seed=5, duration_scale=0.1)
+        ).run()
+        assert report.totals["joins"] == 12
+        assert report.n_peers_end == 60
+        assert report.totals["bytes_maintenance"] > 0
+
+    def test_flash_crowd_surges_queries(self):
+        report = ScenarioRunner(
+            flash_crowd(n_peers=48, seed=5, duration_scale=0.1)
+        ).run()
+        calm, flash, cooldown = report.phases
+        # The flash phase runs at 4x the query rate of its neighbors.
+        assert flash["queries"] > 2 * calm["queries"]
+        assert flash["queries"] > 2 * cooldown["queries"]
+
+    def test_churn_scenario_reports_series(self):
+        report = ScenarioRunner(
+            paper_sec51_churn(n_peers=48, seed=5, duration_scale=0.2)
+        ).run()
+        assert report.totals["churn_transitions"] > 0
+        # The acceptance-criteria series: success rate and bandwidth
+        # over time must both be populated.
+        assert len(report.success_rate_series()) > 3
+        assert len(report.bandwidth_series()) > 3
+        assert any(maint > 0 for _, _, maint in report.bandwidth_series())
+        # Some bin saw a reduced population.
+        assert min(
+            row["online"] for row in report.series if row["online"] is not None
+        ) < 48
+
+    def test_runner_exposes_network_and_simulator(self):
+        runner = ScenarioRunner(uniform_baseline(n_peers=32, seed=1, duration_scale=0.05))
+        report = runner.run()
+        assert runner.network is not None
+        assert len(runner.network.peers) == report.n_peers_end
+        assert runner.simulator.now >= report.duration_s
+
+    def test_report_json_round_trips(self):
+        import json
+
+        report = ScenarioRunner(
+            uniform_baseline(n_peers=32, seed=1, duration_scale=0.05)
+        ).run()
+        payload = json.loads(report.to_json())
+        assert payload["scenario"] == "uniform-baseline"
+        assert payload["totals"]["queries"] == report.totals["queries"]
+        assert len(payload["series"]) == len(report.series)
