@@ -3,24 +3,39 @@
 
 Executes every scenario registered in :mod:`repro.scenarios.library`
 (uniform-baseline, pareto-hotspot, flash-crowd, mass-join, mass-leave,
-paper-sec51-churn) and appends a ``scenarios`` section to the repo's
-perf snapshot, so the stress trajectory travels with the perf
-trajectory.  The Sec. 5.1 churn entry additionally carries the query
-success rate and bandwidth timelines (per report bin), mirroring the
-paper's Figs. 7-9 churn window.
+paper-sec51-churn) on one or both execution backends and merges the
+results into the repo's perf snapshot, so the stress trajectory travels
+with the perf trajectory:
+
+* ``--backend dataplane`` (default) -> the ``scenarios`` section:
+  synchronous data-plane queries, nominal byte model.
+* ``--backend message`` -> the ``scenarios_message`` section: the same
+  specs over message-passing nodes with latency/loss; entries carry the
+  wire-level extras (latency percentiles, timeouts/retries, drops).
+* ``--backend both`` -> both sections in one run.
+
+The Sec. 5.1 churn entry additionally carries the query success rate
+and bandwidth timelines (per report bin), mirroring the paper's
+Figs. 7-9 churn window.
+
+Sections are *merged* into the existing snapshot -- running this before
+or after ``bench_perf_suite.py`` yields the same file (both sides
+preserve each other's sections).
 
 Usage::
 
     python benchmarks/bench_scenarios.py            # full: N=4096
     python benchmarks/bench_scenarios.py --quick    # CI smoke: N=256, 4x compressed
-    python benchmarks/bench_scenarios.py --n 1024 --scale 0.5
+    python benchmarks/bench_scenarios.py --backend both --n 1024 --scale 0.5
     python benchmarks/bench_scenarios.py --output /tmp/bench.json
 
 Guards: query success under churn/membership waves, message/bandwidth
 totals and per-peer load imbalance at the ROADMAP's N=4096 scale point;
+plus wire-level latency/timeout behavior on the message backend;
 regressions surface as a diff of the committed numbers.  Determinism of
 the underlying reports is enforced separately by
-``tests/test_scenario_determinism.py``.
+``tests/test_scenario_determinism.py`` and
+``tests/test_message_scenarios.py``.
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ SRC = str(REPO_ROOT / "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
-from repro.scenarios import SCENARIOS, ScenarioRunner, scenario  # noqa: E402
+from repro.scenarios import SCENARIOS, runner_for, scenario  # noqa: E402
 
 #: Default location of the shared perf snapshot.
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
@@ -45,14 +60,18 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
 FULL_N = 4096
 QUICK_N = 256
 
+#: Snapshot section per backend.
+SECTION_KEYS = {"dataplane": "scenarios", "message": "scenarios_message"}
 
-def run_all(n_peers: int, *, seed: int, duration_scale: float) -> dict:
-    """Execute every library scenario; returns the ``scenarios`` payload."""
+
+def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> dict:
+    """Execute every library scenario on ``backend``; returns the payload."""
+    runner_cls = runner_for(backend)
     results = {}
     for name in sorted(SCENARIOS):
         spec = scenario(name, n_peers=n_peers, seed=seed, duration_scale=duration_scale)
         t0 = time.perf_counter()
-        report = ScenarioRunner(spec).run()
+        report = runner_cls(spec).run()
         wall = time.perf_counter() - t0
         totals = report.totals
         entry = {
@@ -73,6 +92,18 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float) -> dict:
             "final_partition_availability": totals["final_partition_availability"],
             "final_coverage": totals["final_coverage"],
         }
+        if report.message_level is not None:
+            ml = report.message_level
+            entry["message_level"] = {
+                "latency_s": ml["latency_s"],
+                "range_latency_s": ml["range_latency_s"],
+                "timeouts": ml["timeouts"],
+                "retries": ml["retries"],
+                "messages_dropped": ml["messages_dropped"],
+                "drops": ml["drops"],
+                "inflight_peak": ml["inflight_peak"],
+                "links_used": ml["links"]["used"],
+            }
         if name == "paper-sec51-churn":
             # Acceptance series: success rate and bandwidth over time.
             entry["success_rate_over_time"] = [
@@ -87,13 +118,14 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float) -> dict:
     return results
 
 
-def merge_into_snapshot(section: dict, output: Path) -> Path:
-    """Append/replace the ``scenarios`` section of ``BENCH_core.json``."""
+def merge_into_snapshot(section: dict, output: Path, key: str = "scenarios") -> Path:
+    """Merge one backend's section into ``BENCH_core.json``, preserving
+    every other section (order-independent with ``bench_perf_suite.py``)."""
     if output.exists():
         payload = json.loads(output.read_text())
     else:
         payload = {"schema": "bench-core/v1"}
-    payload["scenarios"] = section
+    payload[key] = section
     output.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     return output
 
@@ -104,6 +136,12 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help=f"CI smoke mode: N={QUICK_N} peers, 4x compressed timelines",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("dataplane", "message", "both"),
+        default="dataplane",
+        help="scenario execution backend(s) to run (default: dataplane)",
     )
     parser.add_argument(
         "--n", type=int, default=None,
@@ -122,29 +160,42 @@ def main(argv=None) -> int:
 
     n_peers = args.n if args.n is not None else (QUICK_N if args.quick else FULL_N)
     scale = args.scale if args.scale is not None else (0.25 if args.quick else 1.0)
+    backends = ("dataplane", "message") if args.backend == "both" else (args.backend,)
 
-    section = {
-        "generated_by": "benchmarks/bench_scenarios.py",
-        "quick": args.quick,
-        "n_peers": n_peers,
-        "duration_scale": scale,
-        "seed": args.seed,
-        "results": run_all(n_peers, seed=args.seed, duration_scale=scale),
-    }
-    path = merge_into_snapshot(section, args.output)
+    for backend in backends:
+        section = {
+            "generated_by": "benchmarks/bench_scenarios.py",
+            "backend": backend,
+            "quick": args.quick,
+            "n_peers": n_peers,
+            "duration_scale": scale,
+            "seed": args.seed,
+            "results": run_all(
+                n_peers, seed=args.seed, duration_scale=scale, backend=backend
+            ),
+        }
+        path = merge_into_snapshot(section, args.output, SECTION_KEYS[backend])
 
-    print(f"updated {path} (scenarios @ N={n_peers}, scale={scale})")
-    for name, entry in section["results"].items():
-        # success_rate/mean_hops are None when a run saw no (point) queries.
-        success = entry["success_rate"]
-        hops = entry["mean_hops"]
-        print(
-            f"  {name:18s} wall {entry['wall_s']:7.2f}s  "
-            f"queries {entry['queries']:6d}  "
-            f"success {'n/a' if success is None else format(success, '.4f')}  "
-            f"hops {'n/a' if hops is None else format(hops, '.2f')}  "
-            f"load-cv {entry['load_cv']:.3f}"
-        )
+        print(f"updated {path} ({SECTION_KEYS[backend]} @ N={n_peers}, scale={scale})")
+        for name, entry in section["results"].items():
+            # success_rate/mean_hops are None when a run saw no (point) queries.
+            success = entry["success_rate"]
+            hops = entry["mean_hops"]
+            line = (
+                f"  {name:18s} wall {entry['wall_s']:7.2f}s  "
+                f"queries {entry['queries']:6d}  "
+                f"success {'n/a' if success is None else format(success, '.4f')}  "
+                f"hops {'n/a' if hops is None else format(hops, '.2f')}  "
+                f"load-cv {entry['load_cv']:.3f}"
+            )
+            ml = entry.get("message_level")
+            if ml:
+                p50 = ml["latency_s"].get("p50")
+                line += (
+                    f"  p50 {'n/a' if p50 is None else format(p50, '.3f')}s  "
+                    f"timeouts {ml['timeouts']}"
+                )
+            print(line)
     return 0
 
 

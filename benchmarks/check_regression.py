@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Perf-regression gate: fail when fresh numbers regress vs a baseline.
+
+Compares a freshly generated ``BENCH_core.json`` (the *candidate*,
+typically ``bench_perf_suite.py --quick`` output) against a committed
+snapshot (the *baseline*) and exits non-zero when ``lookup_us``,
+``range_us`` or ``build_s`` regressed beyond ``--tolerance`` (default
+1.5x -- wide enough to absorb shared-runner noise, tight enough to
+catch a lost fast path) at any overlapping overlay size.
+
+CI usage (the ``perf-smoke`` job)::
+
+    cp BENCH_core.json /tmp/BENCH_baseline.json   # committed numbers
+    python benchmarks/bench_perf_suite.py --quick # regenerate in place
+    python benchmarks/check_regression.py \\
+        --baseline /tmp/BENCH_baseline.json --candidate BENCH_core.json
+
+Only sizes present in *both* snapshots are compared (the quick suite
+skips N=4096), so the committed full-suite snapshot doubles as the
+baseline.  Improvements are reported but never fail the gate.  Exit
+codes: 0 ok, 1 regression, 2 unusable input (no overlapping metrics --
+a misconfigured gate must not pass silently).
+
+Guards: the PR-1 data-plane speedups (sorted key stores, memoized
+inversions, query fast paths) as committed in ``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Gated metrics: per-operation query latencies and end-to-end build time.
+METRICS = ("lookup_us", "range_us", "build_s")
+
+#: Default regression tolerance (candidate/baseline ratio).
+DEFAULT_TOLERANCE = 1.5
+
+
+def compare(
+    baseline: dict, candidate: dict, tolerance: float
+) -> Tuple[List[Tuple[str, str, float, float, float]], List[str]]:
+    """Compare the gated metrics; returns ``(rows, failures)``.
+
+    Each row is ``(metric, size, baseline_value, candidate_value,
+    ratio)``; ``failures`` holds one message per breached tolerance.
+    """
+    rows: List[Tuple[str, str, float, float, float]] = []
+    failures: List[str] = []
+    for metric in METRICS:
+        base: Dict[str, float] = baseline.get("results", {}).get(metric, {})
+        cand: Dict[str, float] = candidate.get("results", {}).get(metric, {})
+        for size in sorted(set(base) & set(cand), key=int):
+            base_value = float(base[size])
+            cand_value = float(cand[size])
+            ratio = cand_value / base_value if base_value > 0 else float("inf")
+            rows.append((metric, size, base_value, cand_value, ratio))
+            if ratio > tolerance:
+                failures.append(
+                    f"{metric} @ N={size}: {cand_value:g} vs baseline "
+                    f"{base_value:g} ({ratio:.2f}x > {tolerance:g}x tolerance)"
+                )
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="committed BENCH_core.json to compare against",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, required=True,
+        help="freshly generated BENCH_core.json to check",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"max allowed candidate/baseline ratio (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        candidate = json.loads(args.candidate.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"check_regression: cannot load snapshots: {exc}", file=sys.stderr)
+        return 2
+
+    rows, failures = compare(baseline, candidate, args.tolerance)
+    if not rows:
+        print(
+            "check_regression: no overlapping metrics between baseline and "
+            "candidate -- gate is misconfigured",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"perf regression gate (tolerance {args.tolerance:g}x)")
+    for metric, size, base_value, cand_value, ratio in rows:
+        verdict = "FAIL" if ratio > args.tolerance else (
+            "ok  " if ratio >= 1.0 else "ok ^"  # ^ = faster than baseline
+        )
+        print(
+            f"  [{verdict}] {metric:10s} N={size:>5s}  "
+            f"baseline {base_value:10.3f}  candidate {cand_value:10.3f}  "
+            f"ratio {ratio:5.2f}x"
+        )
+    if failures:
+        print("\nregressions beyond tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,22 +7,35 @@ numbers: query success stays in the paper's 95-100% band while a
 quarter of the population is offline at any moment.
 
 The declarative spec lives in :mod:`repro.scenarios.library`; this
-script is deliberately a thin client of
-:class:`repro.scenarios.runner.ScenarioRunner`.  For the full
-message-level five-phase deployment (join/replicate/construct/query/
-churn with every byte on the simulated wire), see
-:func:`repro.simnet.experiment.run_experiment`.
+script is deliberately a thin client of the scenario engine and can run
+the same spec on either backend:
+
+* ``backend="dataplane"`` (default): synchronous data-plane queries --
+  the fast engine, seconds even at N=4096;
+* ``backend="message"``: the same phases over message-passing nodes
+  with wire latency, loss, timeouts and retries -- the report then
+  carries query latency percentiles and drop accounting in
+  ``report.message_level``.
+
+For the full message-level five-phase deployment (join/replicate/
+construct/query/churn with construction itself on the simulated wire),
+see :func:`repro.simnet.experiment.run_experiment`.
 """
 
-from repro.scenarios import ScenarioRunner, scenario
+from repro.scenarios import run_scenario, scenario
 
 
-def run(n_peers: int = 128, seed: int = 23, duration_scale: float = 0.5):
+def run(
+    n_peers: int = 128,
+    seed: int = 23,
+    duration_scale: float = 0.5,
+    backend: str = "dataplane",
+):
     """Execute the Sec. 5.1 churn scenario; returns the ScenarioReport."""
     spec = scenario(
         "paper-sec51-churn", n_peers=n_peers, seed=seed, duration_scale=duration_scale
     )
-    return ScenarioRunner(spec).run()
+    return run_scenario(spec, backend=backend)
 
 
 def main() -> None:
@@ -43,6 +56,23 @@ def main() -> None:
     assert static["success_rate"] > 0.95
     assert churn["success_rate"] > 0.8
     assert report.totals["final_coverage"] == 1.0
+
+    # The same spec, message-level: every query pays wire latency and
+    # loss, so the report gains latency percentiles and drop counts.
+    wire = run(n_peers=64, duration_scale=0.25, backend="message")
+    latency = wire.message_level["latency_s"]
+    drops = wire.message_level["drops"]
+    print(f"\nmessage-level backend ({wire.n_peers_start} peers, "
+          f"{wire.duration_s / 60:.0f} simulated minutes)")
+    print(f"  query success rate:                 {wire.totals['success_rate']:12.3f}")
+    if latency["count"]:  # percentiles exist only when something succeeded
+        print(f"  lookup latency p50/p99 (s):         "
+              f"{latency['p50']:10.3f} / {latency['p99']:.3f}")
+    print(f"  timeouts / retries:                 "
+          f"{wire.message_level['timeouts']:6d} / {wire.message_level['retries']}")
+    print(f"  drops (offline/loss):               "
+          f"{drops['offline']:6d} / {drops['loss']}")
+    assert wire.totals["success_rate"] > 0.7
 
 
 if __name__ == "__main__":

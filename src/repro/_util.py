@@ -55,6 +55,33 @@ def scaled(n: int, minimum: int = 1) -> int:
     return max(minimum, int(round(n * env_scale())))
 
 
+def sample_online(items, is_online, rand, probes: int = 8):
+    """A uniformly random member of ``items`` satisfying ``is_online``.
+
+    Rejection-samples an indexable sequence (uniform among online
+    members by construction) instead of materializing the online list
+    per call; falls back to the full filtered scan when the random
+    probes keep missing (heavy churn).  Returns ``None`` when nothing
+    is online.  Shared by :meth:`PGridNetwork.random_online_peer` and
+    the message scenario backend's origin selection -- the draw
+    sequence (``probes`` uniforms, then one ``randrange`` on the
+    fallback) is part of the golden-trace determinism contract.
+    """
+    if not items:
+        return None
+    n = len(items)
+    for _ in range(probes):
+        # min() guards the half-ulp case where random()*n rounds up to
+        # exactly n (possible for n not a power of two).
+        item = items[min(int(rand.random() * n), n - 1)]
+        if is_online(item):
+            return item
+    online = [item for item in items if is_online(item)]
+    if not online:
+        return None
+    return online[rand.randrange(len(online))]
+
+
 def ensure_monotonic(times, what: str = "phases") -> None:
     """Validate that ``times`` is non-decreasing (a sane phase timeline).
 

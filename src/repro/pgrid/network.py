@@ -18,7 +18,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .._util import RngLike, make_rng, mean
+from .._util import RngLike, make_rng, mean, sample_online
 from ..exceptions import PartitionError, RoutingError
 from .bits import Path
 from .keyspace import KEY_BITS, float_to_key, string_to_key
@@ -219,25 +219,14 @@ class PGridNetwork:
     def random_online_peer(self, rng: RngLike = None) -> Optional[PGridPeer]:
         """A uniformly random online peer, or ``None`` if all are offline.
 
-        Rejection-samples the cached peer tuple (uniform among online
-        peers by construction) instead of materializing the online list
-        per query -- the old O(N) scan dominated lookup latency at a few
-        thousand peers.  Falls back to the full scan when the random
-        probes keep hitting offline peers (heavy churn).
+        Rejection-samples the cached peer tuple
+        (:func:`repro._util.sample_online`) instead of materializing
+        the online list per query -- the old O(N) scan dominated lookup
+        latency at a few thousand peers.
         """
-        peers = self._peer_tuple()
-        if not peers:
-            return None
-        rand = make_rng(rng)
-        n = len(peers)
-        for _ in range(8):
-            peer = peers[int(rand.random() * n)]
-            if peer.online:
-                return peer
-        online = [p for p in peers if p.online]
-        if not online:
-            return None
-        return online[rand.randrange(len(online))]
+        return sample_online(
+            self._peer_tuple(), lambda peer: peer.online, make_rng(rng)
+        )
 
     def online_count(self) -> int:
         """Number of currently online peers (the live population)."""

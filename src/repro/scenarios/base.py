@@ -1,0 +1,520 @@
+"""Shared scenario compilation: one spec, two execution backends.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` can be executed by two
+backends that share this module's phase compiler:
+
+* the **data-plane backend** (:class:`repro.scenarios.runner.ScenarioRunner`)
+  calls :class:`~repro.pgrid.network.PGridNetwork` synchronously -- queries
+  are ~10us, so N=4096 scenarios run in seconds; the simulator only
+  provides the timeline for churn/membership/maintenance interleaving;
+* the **message-level backend**
+  (:class:`repro.scenarios.message_runner.MessageScenarioRunner`) compiles
+  the same phases onto :class:`~repro.simnet.node.PGridNode` protocol
+  nodes communicating through :class:`~repro.simnet.transport.Network`,
+  so every query pays latency, loss, timeouts and retries on the
+  simulated wire (the paper's Sec. 5 PlanetLab conditions).
+
+:class:`ScenarioRunnerBase` owns everything backend-independent: the
+master-RNG stream derivation (**fixed order** -- the determinism
+contract), workload generation, the per-phase event compilation
+(membership waves, churn processes, maintenance cadence, query arrival
+processes), per-bin sampling and report assembly.  Backends implement a
+small hook surface (`_setup`, `_join`, `_run_maintenance`,
+`_run_one_query`, `_sample_state`, ...).
+
+Determinism
+-----------
+One master RNG seeds independent per-concern streams (workload, overlay
+build, queries, churn, membership, maintenance) in a fixed order;
+backends may append *extra* streams at the end only
+(:meth:`_derive_extra_streams`).  The simulator breaks ties by sequence
+number and no iteration order depends on hash randomization, so the
+same spec + seed + backend reproduces a byte-identical report
+(golden-trace tested per backend).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .._util import make_rng, mean, std
+from ..pgrid.network import PGridNetwork
+from ..simnet.churn import start_churn
+from ..simnet.engine import Simulator
+from ..workloads.datasets import workload_keys
+from ..workloads.distributions import distribution
+from ..workloads.queries import POINT, QuerySampler
+from .report import ScenarioReport
+from .spec import Phase, ScenarioSpec
+
+__all__ = ["ScenarioRunnerBase", "_Tally"]
+
+
+class _Tally:
+    """Per-bin and per-phase accumulation during a run."""
+
+    def __init__(self, bin_s: float, n_phases: int):
+        self.bin_s = bin_s
+        # bin -> [issued, succeeded, hops_on_point_success, point_successes, bytes]
+        self.query_bins: Dict[int, List[float]] = defaultdict(lambda: [0, 0, 0, 0, 0])
+        self.maint_bins: Dict[int, float] = defaultdict(float)
+        # bin -> (online, partition_availability, mean_online_replicas)
+        self.samples: Dict[int, tuple] = {}
+        self.phase_counters: List[Dict[str, float]] = [
+            {"queries": 0, "successes": 0, "points": 0, "ranges": 0, "bytes": 0}
+            for _ in range(n_phases)
+        ]
+        self.load: Dict[int, int] = defaultdict(int)
+        self.messages = 0
+        self.query_bytes = 0
+        self.maint_bytes = 0
+        self.repairs = 0
+        self.keys_moved = 0
+        self.range_incomplete = 0
+        self.churn_transitions = 0
+        self.joins = 0
+        self.failed_joins = 0
+        self.leaves = 0
+
+    def _bin(self, t: float) -> int:
+        return int(t // self.bin_s)
+
+    def record_query(
+        self,
+        t: float,
+        phase_idx: int,
+        *,
+        kind: str,
+        success: bool,
+        hops: int,
+        messages: int,
+        size: int,
+    ) -> None:
+        row = self.query_bins[self._bin(t)]
+        row[0] += 1
+        counters = self.phase_counters[phase_idx]
+        counters["queries"] += 1
+        counters["bytes"] += size
+        if kind == POINT:
+            counters["points"] += 1
+        else:
+            counters["ranges"] += 1
+        if success:
+            row[1] += 1
+            counters["successes"] += 1
+            if kind == POINT:
+                row[2] += hops
+                row[3] += 1
+        row[4] += size
+        self.messages += messages
+        self.query_bytes += size
+
+    def record_maintenance(self, t: float, *, messages: int, size: int) -> None:
+        self.maint_bins[self._bin(t)] += size
+        self.messages += messages
+        self.maint_bytes += size
+
+    def record_sample(
+        self, t: float, online: int, availability: float, mean_online_replicas: float
+    ) -> None:
+        self.samples[self._bin(t)] = (online, availability, mean_online_replicas)
+
+
+class ScenarioRunnerBase:
+    """Backend-independent scenario execution skeleton.
+
+    Subclasses implement the hook surface documented on each ``_``-method;
+    :meth:`run` drives the common lifecycle: derive RNG streams, build
+    the workload, compile every phase onto simulator events, execute,
+    assemble the :class:`~repro.scenarios.report.ScenarioReport`.
+    """
+
+    #: Safety bound on simulator events per run.
+    MAX_EVENTS = 20_000_000
+
+    #: Human-readable backend tag (set by subclasses).
+    backend = "abstract"
+
+    def __init__(self, spec: ScenarioSpec):
+        spec.validate()
+        self.spec = spec
+        self.simulator: Optional[Simulator] = None
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        spec = self.spec
+        master = make_rng(spec.seed)
+        # Fixed derivation order -- append new streams at the end only,
+        # or every golden trace changes.
+        keys_rng = make_rng(master.randrange(2**31))
+        build_rng = make_rng(master.randrange(2**31))
+        query_rng = make_rng(master.randrange(2**31))
+        churn_rng = make_rng(master.randrange(2**31))
+        member_rng = make_rng(master.randrange(2**31))
+        maint_rng = make_rng(master.randrange(2**31))
+        self._derive_extra_streams(master)
+
+        peer_keys = workload_keys(
+            spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
+        )
+        sim = Simulator()
+        self.simulator = sim
+        self._setup(peer_keys, build_rng)
+
+        tally = _Tally(spec.report_bin_s, len(spec.phases))
+        departed: Set[int] = set()
+        dist = distribution(spec.distribution)
+        boundaries = spec.boundaries()
+        total_end = spec.duration_s
+
+        # Join id allocation shared by all phase closures.
+        id_box = [self._first_free_id()]
+
+        def alloc_id() -> int:
+            pid = id_box[0]
+            id_box[0] += 1
+            return pid
+
+        self._alloc_id = alloc_id
+
+        # -- per-phase compilation ----------------------------------------
+        for idx, (phase, (start, end)) in enumerate(zip(spec.phases, boundaries)):
+            sampler = phase.mix.to_sampler()
+            sim.schedule(
+                start,
+                self._make_phase_start(
+                    sim, tally, phase, idx, start, end,
+                    sampler=sampler,
+                    dist=dist,
+                    departed=departed,
+                    query_rng=query_rng,
+                    churn_rng=churn_rng,
+                    member_rng=member_rng,
+                    maint_rng=maint_rng,
+                ),
+            )
+
+        # -- per-bin replication-health sampling ---------------------------
+        def sample() -> None:
+            online, availability, live_reps = self._sample_state()
+            tally.record_sample(sim.now, online, availability, live_reps)
+            if sim.now < total_end:
+                sim.schedule(spec.report_bin_s, sample)
+
+        sim.schedule(0.0, sample)
+
+        sim.run_until(total_end, max_events=self.MAX_EVENTS)
+        self._finish(tally)
+        return self._assemble(tally, boundaries)
+
+    # -- backend hook surface ----------------------------------------------
+
+    def _derive_extra_streams(self, master) -> None:
+        """Derive backend-specific RNG streams (after the six shared ones)."""
+
+    def _setup(self, peer_keys: Sequence[Sequence[int]], build_rng) -> None:
+        """Materialize the backend's overlay for the generated workload."""
+        raise NotImplementedError
+
+    def _first_free_id(self) -> int:
+        """First peer id available for phase joins."""
+        raise NotImplementedError
+
+    def _online_ids(self, departed: Set[int]) -> List[int]:
+        """Sorted ids of online peers that have not departed for good."""
+        raise NotImplementedError
+
+    def _depart(self, pid: int) -> None:
+        """Take a peer offline permanently (membership wave departure)."""
+        raise NotImplementedError
+
+    def _churn_toggle(self, pid: int, tally: _Tally) -> Callable[[bool], None]:
+        """An availability-toggle callback for one churned peer."""
+        raise NotImplementedError
+
+    def _join(self, pid: int, keys: List[int], rng, tally: _Tally) -> bool:
+        """Attempt one phase-boundary join; return True on success."""
+        raise NotImplementedError
+
+    def _run_maintenance(self, tally: _Tally, rng) -> None:
+        """Execute one maintenance tick."""
+        raise NotImplementedError
+
+    def _run_one_query(
+        self, tally: _Tally, phase: Phase, idx: int, sampler: QuerySampler, rng
+    ) -> None:
+        """Issue (and for synchronous backends, complete) one query."""
+        raise NotImplementedError
+
+    def _sample_state(self) -> Tuple[int, float, float]:
+        """``(online, partition_availability, mean_online_replicas)`` now."""
+        raise NotImplementedError
+
+    def _finish(self, tally: _Tally) -> None:
+        """Post-run hook (e.g. drain in-flight messages)."""
+
+    # -- assembly hooks ----------------------------------------------------
+
+    def _extra_bins(self) -> Set[int]:
+        """Additional report bins the backend observed traffic in."""
+        return set()
+
+    def _bin_bandwidth(self, tally: _Tally, b: int) -> Tuple[float, float]:
+        """``(query_Bps, maint_Bps)`` for one report bin."""
+        issued_row = tally.query_bins.get(b)
+        qbytes = issued_row[4] if issued_row else 0
+        return qbytes / tally.bin_s, tally.maint_bins.get(b, 0.0) / tally.bin_s
+
+    def _phase_bytes(self, counters: Dict[str, float], start: float, end: float) -> int:
+        """Query bytes attributed to one phase."""
+        return int(counters["bytes"])
+
+    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int]:
+        """``(messages, bytes_query, bytes_maintenance)`` for the run."""
+        return tally.messages, tally.query_bytes, tally.maint_bytes
+
+    def _load_by_peer(self, tally: _Tally) -> List[int]:
+        """Per-peer load counts, in stable (sorted peer id) order."""
+        raise NotImplementedError
+
+    def _final_state(self) -> Dict[str, float]:
+        """End-of-run structural aggregates: ``final_online``,
+        ``final_partition_availability``, ``final_coverage``,
+        ``n_peers_end``."""
+        raise NotImplementedError
+
+    def _message_section(self) -> Optional[dict]:
+        """The report's optional ``message_level`` section (message
+        backend only)."""
+        return None
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _build_blueprint(
+        self, peer_keys: Sequence[Sequence[int]], build_rng
+    ) -> PGridNetwork:
+        """The ideal (Algorithm 1) overlay both backends start from."""
+        spec = self.spec
+        flat = [k for keys in peer_keys for k in keys]
+        return PGridNetwork.ideal(
+            flat,
+            spec.n_peers,
+            d_max=spec.d_max,
+            n_min=spec.n_min,
+            max_refs=spec.max_refs,
+            rng=build_rng,
+        )
+
+    @staticmethod
+    def _group_health(groups: Dict, online_of) -> Tuple[int, float, float]:
+        """Shared replication-health aggregation over replica groups.
+
+        ``groups`` maps a partition key to member ids; ``online_of(pid)``
+        reports liveness.  Returns ``(online, availability,
+        mean_online_replicas)``.
+        """
+        online = 0
+        groups_alive = 0
+        n_groups = 0
+        live_counts: List[int] = []
+        for group in groups.values():
+            n_groups += 1
+            live = sum(1 for pid in group if online_of(pid))
+            online += live
+            live_counts.append(live)
+            if live:
+                groups_alive += 1
+        availability = groups_alive / n_groups if n_groups else 0.0
+        return online, availability, mean(live_counts) if live_counts else 0.0
+
+    # -- phase machinery ---------------------------------------------------
+
+    def _make_phase_start(
+        self,
+        sim: Simulator,
+        tally: _Tally,
+        phase: Phase,
+        idx: int,
+        start: float,
+        end: float,
+        *,
+        sampler: QuerySampler,
+        dist,
+        departed: Set[int],
+        query_rng,
+        churn_rng,
+        member_rng,
+        maint_rng,
+    ) -> Callable[[], None]:
+        spec = self.spec
+
+        def begin_phase() -> None:
+            # -- membership wave at the boundary ---------------------------
+            if phase.leave_peers:
+                online_ids = self._online_ids(departed)
+                leaving = member_rng.sample(
+                    online_ids, min(phase.leave_peers, len(online_ids))
+                )
+                for pid in leaving:
+                    self._depart(pid)
+                    departed.add(pid)
+                tally.leaves += len(leaving)
+            for _ in range(phase.join_peers):
+                pid = self._alloc_id()
+                keys = dist.sample_keys(spec.keys_per_peer, member_rng)
+                if self._join(pid, keys, member_rng, tally):
+                    tally.joins += 1
+                else:
+                    tally.failed_joins += 1
+
+            # -- churn processes for this phase ----------------------------
+            if phase.churn is not None:
+                candidates = self._online_ids(departed)
+                count = max(1, round(phase.churn.fraction * len(candidates)))
+                if count < len(candidates):
+                    chosen = churn_rng.sample(candidates, count)
+                else:
+                    chosen = candidates
+                start_churn(
+                    sim,
+                    [self._churn_toggle(pid, tally) for pid in chosen],
+                    config=phase.churn.to_config(),
+                    until=end,
+                    stagger=True,
+                    rng=churn_rng,
+                )
+
+            # -- maintenance cadence ---------------------------------------
+            if phase.maintenance_interval_s is not None:
+                interval = phase.maintenance_interval_s
+
+                def maintenance_tick() -> None:
+                    if sim.now >= end:
+                        return
+                    self._run_maintenance(tally, maint_rng)
+                    sim.schedule(interval, maintenance_tick)
+
+                sim.schedule(interval, maintenance_tick)
+
+            # -- query arrival process -------------------------------------
+            if phase.query_rate > 0:
+
+                def query_tick() -> None:
+                    if sim.now >= end:
+                        return
+                    self._run_one_query(tally, phase, idx, sampler, query_rng)
+                    sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
+
+                sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
+
+        return begin_phase
+
+    # -- report assembly ---------------------------------------------------
+
+    def _assemble(self, tally: _Tally, boundaries) -> ScenarioReport:
+        spec = self.spec
+        bin_s = spec.report_bin_s
+
+        bins = sorted(
+            set(tally.samples)
+            | set(tally.query_bins)
+            | set(tally.maint_bins)
+            | self._extra_bins()
+        )
+        series: List[dict] = []
+        for b in bins:
+            issued, ok, hops, point_ok, _qbytes = tally.query_bins.get(
+                b, (0, 0, 0, 0, 0)
+            )
+            online, availability, live_reps = tally.samples.get(b, (None, None, None))
+            query_bps, maint_bps = self._bin_bandwidth(tally, b)
+            series.append(
+                {
+                    "minute": b * bin_s / 60.0,
+                    "online": online,
+                    "queries": issued,
+                    "successes": ok,
+                    "success_rate": (ok / issued) if issued else None,
+                    "mean_hops": (hops / point_ok) if point_ok else None,
+                    "query_Bps": query_bps,
+                    "maint_Bps": maint_bps,
+                    "partition_availability": availability,
+                    "mean_online_replicas": live_reps,
+                }
+            )
+
+        phases = []
+        for phase, (start, end), counters in zip(
+            spec.phases, boundaries, tally.phase_counters
+        ):
+            issued = counters["queries"]
+            phases.append(
+                {
+                    "name": phase.name,
+                    "start_min": start / 60.0,
+                    "end_min": end / 60.0,
+                    "queries": int(issued),
+                    "point_queries": int(counters["points"]),
+                    "range_queries": int(counters["ranges"]),
+                    "success_rate": (counters["successes"] / issued) if issued else None,
+                    "query_bytes": self._phase_bytes(counters, start, end),
+                }
+            )
+
+        total_issued = sum(c["queries"] for c in tally.phase_counters)
+        total_ok = sum(c["successes"] for c in tally.phase_counters)
+        all_hops = sum(row[2] for row in tally.query_bins.values())
+        point_ok = sum(row[3] for row in tally.query_bins.values())
+        messages, bytes_query, bytes_maint = self._traffic_totals(tally)
+        final = self._final_state()
+
+        loads = self._load_by_peer(tally)
+        load_mean = mean(loads) if loads else 0.0
+        load_max = max(loads) if loads else 0
+        load_cv = std(loads) / load_mean if load_mean > 0 else 0.0
+
+        totals = {
+            "queries": int(total_issued),
+            "successes": int(total_ok),
+            "success_rate": (total_ok / total_issued) if total_issued else None,
+            "point_queries": int(sum(c["points"] for c in tally.phase_counters)),
+            "range_queries": int(sum(c["ranges"] for c in tally.phase_counters)),
+            "range_incomplete": tally.range_incomplete,
+            # Hop means only aggregate successful point lookups: range
+            # messages measure fan-out, not path length.
+            "mean_hops": (all_hops / point_ok) if point_ok else None,
+            "messages": messages,
+            "bytes_query": bytes_query,
+            "bytes_maintenance": bytes_maint,
+            "bytes_total": bytes_query + bytes_maint,
+            "repairs": tally.repairs,
+            "keys_moved": tally.keys_moved,
+            "joins": tally.joins,
+            "failed_joins": tally.failed_joins,
+            "leaves": tally.leaves,
+            "churn_transitions": tally.churn_transitions,
+            "final_online": final["final_online"],
+            "final_partition_availability": final["final_partition_availability"],
+            "final_coverage": final["final_coverage"],
+        }
+
+        return ScenarioReport(
+            scenario=spec.name,
+            seed=spec.seed,
+            n_peers_start=spec.n_peers,
+            n_peers_end=int(final["n_peers_end"]),
+            duration_s=spec.duration_s,
+            bin_s=bin_s,
+            phases=phases,
+            series=series,
+            totals=totals,
+            load={
+                "mean": load_mean,
+                "max": load_max,
+                "cv": load_cv,
+                "max_over_mean": (load_max / load_mean) if load_mean else 0.0,
+            },
+            message_level=self._message_section(),
+        )

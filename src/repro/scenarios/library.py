@@ -25,7 +25,9 @@ Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
 ``seed`` and ``duration_scale`` (time-dilates the whole scenario; CI
 uses ~0.25).  ``scenario(name, ...)`` looks factories up by name;
 ``SCENARIOS`` is the registry that ``benchmarks/bench_scenarios.py``
-iterates.
+iterates.  Every scenario runs on both execution backends
+(``repro.scenarios.run_scenario(spec, backend="dataplane" | "message")``);
+the bench script records them as separate snapshot sections.
 """
 
 from __future__ import annotations

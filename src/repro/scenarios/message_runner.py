@@ -1,0 +1,535 @@
+"""The message-level scenario backend: every query pays wire latency.
+
+:class:`MessageScenarioRunner` executes the *same*
+:class:`~repro.scenarios.spec.ScenarioSpec` phases as the data-plane
+:class:`~repro.scenarios.runner.ScenarioRunner` (shared compiler in
+:mod:`repro.scenarios.base`), but over
+:class:`~repro.simnet.node.PGridNode` protocol nodes communicating
+through :class:`~repro.simnet.transport.Network` -- with configurable
+(per-link) latency distributions, message loss, timeouts and retries.
+This is the backend for the paper's Sec. 5 questions: hop counts alone
+hide the latency/loss behavior that dominates real overlay performance.
+
+How phases compile here
+-----------------------
+* **Queries** become :meth:`~repro.simnet.node.PGridNode.issue_query` /
+  :meth:`~repro.simnet.node.PGridNode.issue_range_query` calls from a
+  random online origin; outcomes arrive asynchronously via the node
+  observer callbacks and are tallied at their *issue* time (same
+  binning semantics as the data-plane backend).
+* **Churn** toggles :meth:`~repro.simnet.node.PGridNode.set_online`
+  through the shared :func:`~repro.simnet.churn.start_churn`
+  orchestration -- offline nodes drop every message.
+* **Joins** are sponsored: the newcomer clones a random online
+  sponsor's partition position (path/routing/replica beliefs) and ships
+  its sampled keys over the wire in a ``store`` message; keys outside
+  its partition travel via the protocol's outbox piggy-backing.  Other
+  replicas learn about the newcomer through ordinary anti-entropy
+  exchanges, never by fiat.
+* **Maintenance** ticks make a configurable fraction of online nodes
+  initiate one protocol exchange (anti-entropy with a replica, or a
+  random peer when a node knows none), so repair traffic is real
+  messages, unlike the data-plane backend's nominal byte model.
+
+The overlay starts from the same Algorithm-1 blueprint as the
+data-plane backend (scenarios stress *operation*, not construction;
+for construction-over-the-wire see
+:mod:`repro.simnet.experiment`).
+
+Determinism: the backend derives two extra RNG streams (transport,
+per-node seeds) *after* the six shared ones, and all bookkeeping uses
+sorted iteration -- same spec + seed reproduces a byte-identical
+report, golden-trace tested like the data-plane backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .._util import make_rng, mean, sample_online
+from ..pgrid.bits import Path
+from ..pgrid.network import PGridNetwork
+from ..pgrid.peer import PGridPeer
+from ..pgrid.routing import RoutingTable
+from ..simnet import protocol as P
+from ..simnet.node import NodeConfig, PGridNode, QueryOutcome
+from ..simnet.stats import StatsCollector
+from ..simnet.transport import LatencyModel, LogNormalLatency, Network
+from ..workloads.queries import POINT, RANGE, QuerySampler
+from .base import ScenarioRunnerBase, _Tally
+from .report import ScenarioReport
+from .spec import Phase, ScenarioSpec
+
+__all__ = ["MessageNetConfig", "MessageScenarioRunner", "run_message_scenario"]
+
+
+@dataclass
+class MessageNetConfig:
+    """Wire-level knobs of the message backend (times in seconds).
+
+    The defaults mirror the Sec. 5 experiment driver: heavy-tailed
+    PlanetLab-ish latency (log-normal, 120ms median) and 1% uniform
+    loss.  Swap ``latency`` for a
+    :class:`~repro.simnet.transport.PerLinkLatency` to give every link
+    its own characteristic delay, or a
+    :class:`~repro.simnet.transport.ConstantLatency` for analytically
+    predictable tests.
+    """
+
+    latency: LatencyModel = field(
+        default_factory=lambda: LogNormalLatency(median=0.12)
+    )
+    loss_rate: float = 0.01
+    #: Origin-side query timeout before a retry (retries come from
+    #: ``ScenarioSpec.query_retries``, shared with the data plane).
+    query_timeout_s: float = 30.0
+    #: Fraction of online nodes initiating one anti-entropy exchange
+    #: per maintenance tick.
+    maintenance_fraction: float = 0.05
+    #: Extra simulated seconds after the last phase for in-flight
+    #: queries to resolve; ``None`` = one full timeout*attempts window.
+    drain_s: Optional[float] = None
+
+
+class MessageScenarioRunner(ScenarioRunnerBase):
+    """Executes one :class:`ScenarioSpec` over message-passing nodes.
+
+    After :meth:`run`, ``self.nodes`` (id -> :class:`PGridNode`),
+    ``self.transport`` and ``self.stats`` stay available for
+    inspection; :meth:`as_network` converts the final node states into
+    a :class:`~repro.pgrid.network.PGridNetwork` so the structural
+    invariant checks of :mod:`repro.scenarios.invariants` apply to this
+    backend too.
+    """
+
+    backend = "message"
+
+    def __init__(self, spec: ScenarioSpec, *, net_config: Optional[MessageNetConfig] = None):
+        super().__init__(spec)
+        self.net_config = net_config or MessageNetConfig()
+        self.nodes: Dict[int, PGridNode] = {}
+        self.transport: Optional[Network] = None
+        self.stats: Optional[StatsCollector] = None
+        self._node_tuple: Optional[Tuple[PGridNode, ...]] = None
+        # qid -> (phase index, query kind, issue time)
+        self._meta: Dict[int, Tuple[int, str, float]] = {}
+        self._tally: Optional[_Tally] = None
+        self._point_latencies: List[float] = []
+        self._range_latencies: List[float] = []
+        self._timeouts = 0
+        self._retries = 0
+        self._moot = 0
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def _derive_extra_streams(self, master) -> None:
+        # Appended after the six shared streams (determinism contract).
+        self._transport_rng = make_rng(master.randrange(2**31))
+        self._node_seed_rng = make_rng(master.randrange(2**31))
+
+    def _setup(self, peer_keys, build_rng) -> None:
+        spec, cfg, sim = self.spec, self.net_config, self.simulator
+        blueprint = self._build_blueprint(peer_keys, build_rng)
+        self.stats = StatsCollector(bin_seconds=spec.report_bin_s)
+        self.transport = Network(
+            sim,
+            latency=cfg.latency,
+            loss_rate=cfg.loss_rate,
+            rng=self._transport_rng,
+            stats=self.stats,
+        )
+        self._node_config = NodeConfig(
+            n_min=spec.n_min,
+            d_max=spec.d_max,
+            query_timeout=cfg.query_timeout_s,
+            query_retries=spec.query_retries,
+            max_refs_per_level=spec.max_refs,
+        )
+        for pid in sorted(blueprint.peers):
+            peer = blueprint.peers[pid]
+            node = self._spawn_node(pid)
+            node.path = peer.path
+            node.keys = set(peer.keys)
+            node.original_keys = set(peer.keys)
+            node.routing = {
+                level: list(refs)
+                for level, refs in sorted(peer.routing.levels.items())
+                if refs
+            }
+            node.replicas = set(peer.replicas)
+
+    def _spawn_node(self, pid: int) -> PGridNode:
+        node = PGridNode(
+            pid,
+            self.simulator,
+            self.transport,
+            config=self._node_config,
+            rng=make_rng(self._node_seed_rng.randrange(2**31)),
+        )
+        node.joined = True
+        node.on_query_done = self._query_done
+        node.on_range_done = self._range_done
+        self.nodes[pid] = node
+        self._node_tuple = None
+        return node
+
+    def _first_free_id(self) -> int:
+        return max(self.nodes) + 1 if self.nodes else 0
+
+    def _online_ids(self, departed: Set[int]) -> List[int]:
+        return sorted(
+            pid
+            for pid, node in self.nodes.items()
+            if node.online and pid not in departed
+        )
+
+    def _depart(self, pid: int) -> None:
+        self.nodes[pid].set_online(False)
+
+    def _churn_toggle(self, pid: int, tally: _Tally) -> Callable[[bool], None]:
+        node = self.nodes[pid]
+
+        def toggle(online: bool) -> None:
+            node.set_online(online)
+            tally.churn_transitions += 1
+
+        return toggle
+
+    def _join(self, pid: int, keys: List[int], rng, tally: _Tally) -> bool:
+        """Sponsored join: clone a random online sponsor's position and
+        ship the newcomer's keys over the wire."""
+        sponsor = self._random_online_node(rng)
+        if sponsor is None:
+            return False
+        node = self._spawn_node(pid)
+        node.path = sponsor.path
+        node.routing = {
+            level: list(refs) for level, refs in sorted(sponsor.routing.items())
+        }
+        node.replicas = set(sponsor.replicas) | {sponsor.node_id}
+        node.original_keys = set(keys)
+        node.keys = {k for k in keys if node.responsible_for(k)}
+        node.outbox = set(keys) - node.keys
+        # The one wire interaction of the join: hand the sponsor our key
+        # sample; its store handler keeps what belongs to the partition
+        # and outboxes the rest toward the responsible owners.
+        node.send(
+            sponsor.node_id,
+            P.STORE,
+            {"keys": sorted(keys)},
+            n_keys=len(keys),
+        )
+        return True
+
+    def _run_maintenance(self, tally: _Tally, rng) -> None:
+        online = [pid for pid in sorted(self.nodes) if self.nodes[pid].online]
+        if len(online) < 2:
+            return
+        count = max(
+            1, int(round(self.net_config.maintenance_fraction * len(online)))
+        )
+        initiators = rng.sample(online, min(count, len(online)))
+        exchanges = 0
+        for pid in initiators:
+            node = self.nodes[pid]
+            partner = self._pick_partner(node, rng)
+            if partner is not None:
+                node.initiate_exchange(partner)
+                exchanges += 1
+        # For this backend "repairs" counts initiated anti-entropy
+        # exchanges; bytes are accounted by the transport, not here.
+        tally.repairs += exchanges
+
+    def _pick_partner(self, node: PGridNode, rng) -> Optional[int]:
+        known = sorted(r for r in node.replicas if r in self.nodes)
+        if known:
+            return known[rng.randrange(len(known))]
+        others = [pid for pid in sorted(self.nodes) if pid != node.node_id]
+        if not others:
+            return None
+        return others[rng.randrange(len(others))]
+
+    def _groups(self) -> Dict[Path, List[int]]:
+        """Structural replica groups: nodes sharing a path, sorted ids."""
+        groups: Dict[Path, List[int]] = {}
+        for pid in sorted(self.nodes):
+            groups.setdefault(self.nodes[pid].path, []).append(pid)
+        return groups
+
+    def _sample_state(self):
+        return self._group_health(self._groups(), lambda pid: self.nodes[pid].online)
+
+    # -- query issuance (asynchronous) -------------------------------------
+
+    def _random_online_node(self, rng) -> Optional[PGridNode]:
+        nodes = self._node_tuple
+        if nodes is None or len(nodes) != len(self.nodes):
+            nodes = tuple(self.nodes[pid] for pid in sorted(self.nodes))
+            self._node_tuple = nodes
+        return sample_online(nodes, lambda node: node.online, rng)
+
+    def _run_one_query(
+        self, tally: _Tally, phase: Phase, idx: int, sampler: QuerySampler, rng
+    ) -> None:
+        kind = sampler.draw_kind(rng)
+        if kind == POINT:
+            key = sampler.draw_point_key(rng)
+            origin = self._random_online_node(rng)
+            if origin is None:
+                tally.record_query(
+                    self.simulator.now, idx, kind=POINT, success=False,
+                    hops=0, messages=0, size=0,
+                )
+                return
+            qid = origin.issue_query(key)
+        else:
+            lo, hi = sampler.draw_range(rng)
+            origin = self._random_online_node(rng)
+            if origin is None:
+                tally.range_incomplete += 1
+                tally.record_query(
+                    self.simulator.now, idx, kind=RANGE, success=False,
+                    hops=0, messages=0, size=0,
+                )
+                return
+            qid = origin.issue_range_query(lo, hi)
+        self._meta[qid] = (idx, kind, self.simulator.now)
+
+    def _query_done(self, node_id: int, qid: int, outcome: QueryOutcome) -> None:
+        meta = self._meta.pop(qid, None)
+        if meta is None:
+            return
+        idx = meta[0]
+        self._observe(outcome)
+        if outcome.moot:
+            # The *origin* churned offline: the overlay never failed the
+            # query and it could never be answered, so it stays out of
+            # the success statistics (mirroring the node-level stats);
+            # visible in message_level["moot_queries"].
+            return
+        if outcome.success:
+            self._point_latencies.append(outcome.latency)
+        self._tally.record_query(
+            outcome.issued_at,
+            idx,
+            kind=POINT,
+            success=outcome.success,
+            hops=outcome.hops,
+            messages=outcome.messages,
+            size=0,  # wire bytes are accounted by the transport
+        )
+
+    def _range_done(self, node_id: int, qid: int, outcome: QueryOutcome) -> None:
+        meta = self._meta.pop(qid, None)
+        if meta is None:
+            return
+        idx = meta[0]
+        self._observe(outcome)
+        if outcome.moot:
+            return  # see _query_done: not an overlay failure
+        if outcome.success:
+            self._range_latencies.append(outcome.latency)
+        else:
+            self._tally.range_incomplete += 1
+        self._tally.record_query(
+            outcome.issued_at,
+            idx,
+            kind=RANGE,
+            success=outcome.success,
+            hops=outcome.messages,
+            messages=outcome.messages,
+            size=0,
+        )
+
+    def _observe(self, outcome: QueryOutcome) -> None:
+        self._retries += max(outcome.attempts - 1, 0)
+        self._timeouts += outcome.timeouts
+        if outcome.moot:
+            self._moot += 1
+
+    # -- run wiring --------------------------------------------------------
+
+    def _make_phase_start(self, sim, tally, *args, **kwargs):
+        self._tally = tally  # observer callbacks tally into the live run
+        return super()._make_phase_start(sim, tally, *args, **kwargs)
+
+    def _finish(self, tally: _Tally) -> None:
+        # Let in-flight queries resolve: every pending query is bounded
+        # by (retries + 1) timeout windows.  All phase generators have
+        # stopped (they check phase end), so only completions run.
+        cfg = self.net_config
+        drain = cfg.drain_s
+        if drain is None:
+            drain = cfg.query_timeout_s * (self.spec.query_retries + 1) + 1.0
+        self.simulator.run_until(
+            self.spec.duration_s + drain, max_events=self.MAX_EVENTS
+        )
+        # Anything still unresolved (possible only when drain_s is set
+        # shorter than the timeout window) counts as a failure of its
+        # real kind, binned at its real issue time.
+        for qid, (idx, kind, issued_at) in sorted(self._meta.items()):
+            if kind == RANGE:
+                tally.range_incomplete += 1
+            tally.record_query(
+                issued_at, idx, kind=kind, success=False,
+                hops=0, messages=0, size=0,
+            )
+        self._meta.clear()
+
+    # -- assembly hooks ----------------------------------------------------
+
+    def _extra_bins(self) -> Set[int]:
+        bins: Set[int] = set()
+        for per_bin in self.stats.bytes_by_category.values():
+            bins.update(per_bin)
+        return bins
+
+    def _bin_bandwidth(self, tally: _Tally, b: int) -> Tuple[float, float]:
+        query = self.stats.bytes_by_category.get(P.QUERY_TRAFFIC, {}).get(b, 0)
+        maint = self.stats.bytes_by_category.get(P.MAINTENANCE, {}).get(b, 0)
+        return query / tally.bin_s, maint / tally.bin_s
+
+    def _phase_bytes(self, counters, start: float, end: float) -> int:
+        # Wire bytes per phase: sum the query-category bins inside the
+        # phase window.  Bin-granular -- a bin straddling a phase
+        # boundary counts toward the later phase (the library's phases
+        # are exact bin multiples, so this only matters for custom
+        # specs).  The final phase also absorbs the drain tail (replies
+        # still in flight at duration end), keeping the per-phase sum
+        # consistent with ``totals.bytes_query``.
+        per_bin = self.stats.bytes_by_category.get(P.QUERY_TRAFFIC, {})
+        bin_s = self.spec.report_bin_s
+        lo = int(start // bin_s)
+        if end >= self.spec.duration_s:
+            return int(sum(size for b, size in per_bin.items() if lo <= b))
+        hi = int(end // bin_s)
+        return int(
+            sum(size for b, size in per_bin.items() if lo <= b < hi)
+        )
+
+    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int]:
+        query = sum(
+            self.stats.bytes_by_category.get(P.QUERY_TRAFFIC, {}).values()
+        )
+        maint = sum(
+            self.stats.bytes_by_category.get(P.MAINTENANCE, {}).values()
+        )
+        return self.transport.messages_sent, int(query), int(maint)
+
+    def _load_by_peer(self, tally: _Tally) -> List[int]:
+        delivered = self.transport.delivered
+        return [delivered.get(pid, 0) for pid in sorted(self.nodes)]
+
+    def _final_state(self) -> Dict[str, float]:
+        groups = self._groups()
+        covered = total = 0
+        alive_groups = 0
+        for members in groups.values():
+            online = [pid for pid in members if self.nodes[pid].online]
+            if not online:
+                continue
+            alive_groups += 1
+            union: Set[int] = set()
+            for pid in members:
+                union |= self.nodes[pid].keys
+            live: Set[int] = set()
+            for pid in online:
+                live |= self.nodes[pid].keys
+            total += len(union)
+            covered += len(union & live)
+        return {
+            "final_online": sum(1 for n in self.nodes.values() if n.online),
+            "final_partition_availability": (
+                alive_groups / len(groups) if groups else 0.0
+            ),
+            "final_coverage": (covered / total) if total else 1.0,
+            "n_peers_end": len(self.nodes),
+        }
+
+    def _message_section(self) -> dict:
+        transport = self.transport
+        cfg = self.net_config
+        links = transport.link_bytes
+        link_sizes = sorted(links.values())
+        top = sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        return {
+            "latency_s": _latency_stats(self._point_latencies),
+            "range_latency_s": _latency_stats(self._range_latencies),
+            "timeouts": self._timeouts,
+            "retries": self._retries,
+            "moot_queries": self._moot,
+            "messages_sent": transport.messages_sent,
+            "messages_dropped": transport.messages_dropped,
+            "drops": {
+                "offline": transport.drops_offline,
+                "loss": transport.drops_loss,
+                "partition": transport.drops_partition,
+            },
+            "inflight_peak": transport.inflight_peak,
+            "links": {
+                "used": len(links),
+                "max_bytes": link_sizes[-1] if link_sizes else 0,
+                "mean_bytes": mean(link_sizes) if link_sizes else 0.0,
+                "top": [[src, dst, size] for (src, dst), size in top],
+            },
+            "config": {
+                "latency_model": type(cfg.latency).__name__,
+                "loss_rate": cfg.loss_rate,
+                "query_timeout_s": cfg.query_timeout_s,
+                "maintenance_fraction": cfg.maintenance_fraction,
+            },
+        }
+
+    # -- inspection --------------------------------------------------------
+
+    def as_network(self) -> PGridNetwork:
+        """The final node states as a :class:`PGridNetwork`.
+
+        Lets the structural invariant checks
+        (:mod:`repro.scenarios.invariants`) audit the message-level end
+        state exactly like the data-plane one.
+        """
+        net = PGridNetwork()
+        for pid in sorted(self.nodes):
+            node = self.nodes[pid]
+            peer = PGridPeer(
+                peer_id=pid,
+                path=node.path,
+                keys=sorted(node.keys),
+                replicas=set(node.replicas),
+                routing=RoutingTable(max_refs_per_level=self.spec.max_refs),
+                online=node.online,
+            )
+            for level, refs in sorted(node.routing.items()):
+                for ref in refs:
+                    peer.routing.add(level, ref)
+            net.peers[pid] = peer
+        net._prune_dangling_routes()
+        return net
+
+
+def _latency_stats(samples: List[float]) -> dict:
+    """Deterministic percentile summary of successful-query latencies."""
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+
+    def pct(q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    return {
+        "count": len(ordered),
+        "mean": mean(ordered),
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "p99": pct(0.99),
+        "max": ordered[-1],
+    }
+
+
+def run_message_scenario(
+    spec: ScenarioSpec, *, net_config: Optional[MessageNetConfig] = None
+) -> ScenarioReport:
+    """One-shot convenience: ``MessageScenarioRunner(spec).run()``."""
+    return MessageScenarioRunner(spec, net_config=net_config).run()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["ScenarioReport", "HEADER_BYTES", "KEY_BYTES"]
 
@@ -66,25 +66,32 @@ class ScenarioReport:
     series: List[Dict[str, Any]] = field(default_factory=list)
     totals: Dict[str, Any] = field(default_factory=dict)
     load: Dict[str, Any] = field(default_factory=dict)
+    #: Message-level backend section (query latency percentiles,
+    #: timeout/retry counts, drop breakdown, in-flight peak, per-link
+    #: bandwidth).  ``None`` for data-plane runs -- and *omitted* from
+    #: the serialized form then, so data-plane golden traces are
+    #: unaffected by the section's existence.
+    message_level: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-type dict with canonicalized floats (JSON-ready)."""
-        return _canonical(
-            {
-                "scenario": self.scenario,
-                "seed": self.seed,
-                "n_peers_start": self.n_peers_start,
-                "n_peers_end": self.n_peers_end,
-                "duration_s": self.duration_s,
-                "bin_s": self.bin_s,
-                "phases": self.phases,
-                "series": self.series,
-                "totals": self.totals,
-                "load": self.load,
-            }
-        )
+        payload = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "n_peers_start": self.n_peers_start,
+            "n_peers_end": self.n_peers_end,
+            "duration_s": self.duration_s,
+            "bin_s": self.bin_s,
+            "phases": self.phases,
+            "series": self.series,
+            "totals": self.totals,
+            "load": self.load,
+        }
+        if self.message_level is not None:
+            payload["message_level"] = self.message_level
+        return _canonical(payload)
 
     def to_json(self) -> str:
         """Deterministic JSON: sorted keys, compact separators."""

@@ -1,47 +1,38 @@
-"""Compile a :class:`ScenarioSpec` onto simulator events and execute it.
+"""The data-plane scenario backend: synchronous queries, simulated clock.
 
-The runner is the bridge between the declarative scenario layer and the
-operational overlay: it materializes a
-:class:`~repro.pgrid.network.PGridNetwork` for the spec's workload,
-translates every phase into :class:`~repro.simnet.engine.Simulator`
-events (query arrivals, churn processes via
-:func:`repro.simnet.churn.start_churn`, maintenance ticks, membership
-waves), runs the event loop once, and assembles a
-:class:`~repro.scenarios.report.ScenarioReport`.
+:class:`ScenarioRunner` is the fast backend of the two-backend scenario
+architecture (see :mod:`repro.scenarios.base` for the shared phase
+compiler and :mod:`repro.scenarios.message_runner` for the
+message-level sibling): it materializes a
+:class:`~repro.pgrid.network.PGridNetwork` for the spec's workload and
+executes queries *synchronously* on the data plane, while churn,
+arrivals and maintenance genuinely interleave on the simulated clock.
 
 Design notes
 ------------
-* The **simulator provides the timeline**, not message latency: queries
-  execute synchronously on the data plane (the PR-1 fast paths make a
-  lookup ~10us even at N=4096), while churn, arrivals and maintenance
-  genuinely interleave on the simulated clock.  This is what makes
-  N=4096 scenarios run in seconds where the full message-level simnet
-  would take minutes.
-* **Determinism**: one master RNG seeds independent per-concern streams
-  (workload, overlay build, queries, churn, membership, maintenance) in
-  a fixed order; the simulator breaks ties by sequence number; no
-  iteration order depends on hash randomization.  The same spec + seed
-  therefore reproduces a byte-identical report (golden-trace tested).
+* The **simulator provides the timeline**, not message latency: the
+  PR-1 fast paths make a lookup ~10us even at N=4096, which is what
+  makes N=4096 scenarios run in seconds where the full message-level
+  simnet pays per-hop wire latency.  Use the message backend when
+  latency/loss/timeout behavior is the question.
+* **Determinism**: inherited from the base runner -- same spec + seed
+  reproduces a byte-identical report (golden-trace tested).
 * **Bandwidth** uses the nominal byte model of
   :mod:`repro.scenarios.report` (`HEADER_BYTES` per message, `KEY_BYTES`
-  per shipped key).
+  per shipped key); the message backend accounts real wire bytes
+  instead.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set
 
-from .._util import make_rng, mean, std
 from ..exceptions import RoutingError
 from ..pgrid.maintenance import repair_routes, sequential_join
 from ..pgrid.network import PGridNetwork
 from ..pgrid.replication import anti_entropy_sweep
-from ..simnet.churn import start_churn
-from ..simnet.engine import Simulator
-from ..workloads.datasets import workload_keys
-from ..workloads.distributions import distribution
 from ..workloads.queries import POINT, QuerySampler
+from .base import ScenarioRunnerBase, _Tally
 from .invariants import live_key_coverage
 from .report import HEADER_BYTES, KEY_BYTES, ScenarioReport
 from .spec import Phase, ScenarioSpec
@@ -49,77 +40,7 @@ from .spec import Phase, ScenarioSpec
 __all__ = ["ScenarioRunner", "run_scenario"]
 
 
-class _Tally:
-    """Per-bin and per-phase accumulation during a run."""
-
-    def __init__(self, bin_s: float, n_phases: int):
-        self.bin_s = bin_s
-        # bin -> [issued, succeeded, hops_on_point_success, point_successes, bytes]
-        self.query_bins: Dict[int, List[float]] = defaultdict(lambda: [0, 0, 0, 0, 0])
-        self.maint_bins: Dict[int, float] = defaultdict(float)
-        # bin -> (online, partition_availability, mean_online_replicas)
-        self.samples: Dict[int, tuple] = {}
-        self.phase_counters: List[Dict[str, float]] = [
-            {"queries": 0, "successes": 0, "points": 0, "ranges": 0, "bytes": 0}
-            for _ in range(n_phases)
-        ]
-        self.load: Dict[int, int] = defaultdict(int)
-        self.messages = 0
-        self.query_bytes = 0
-        self.maint_bytes = 0
-        self.repairs = 0
-        self.keys_moved = 0
-        self.range_incomplete = 0
-        self.churn_transitions = 0
-        self.joins = 0
-        self.failed_joins = 0
-        self.leaves = 0
-
-    def _bin(self, t: float) -> int:
-        return int(t // self.bin_s)
-
-    def record_query(
-        self,
-        t: float,
-        phase_idx: int,
-        *,
-        kind: str,
-        success: bool,
-        hops: int,
-        messages: int,
-        size: int,
-    ) -> None:
-        row = self.query_bins[self._bin(t)]
-        row[0] += 1
-        counters = self.phase_counters[phase_idx]
-        counters["queries"] += 1
-        counters["bytes"] += size
-        if kind == POINT:
-            counters["points"] += 1
-        else:
-            counters["ranges"] += 1
-        if success:
-            row[1] += 1
-            counters["successes"] += 1
-            if kind == POINT:
-                row[2] += hops
-                row[3] += 1
-        row[4] += size
-        self.messages += messages
-        self.query_bytes += size
-
-    def record_maintenance(self, t: float, *, messages: int, size: int) -> None:
-        self.maint_bins[self._bin(t)] += size
-        self.messages += messages
-        self.maint_bytes += size
-
-    def record_sample(
-        self, t: float, online: int, availability: float, mean_online_replicas: float
-    ) -> None:
-        self.samples[self._bin(t)] = (online, availability, mean_online_replicas)
-
-
-class ScenarioRunner:
+class ScenarioRunner(ScenarioRunnerBase):
     """Executes one :class:`ScenarioSpec` over a fresh overlay.
 
     After :meth:`run` the overlay and simulator remain available as
@@ -127,228 +48,84 @@ class ScenarioRunner:
     tests use this to audit the post-scenario structure).
     """
 
-    #: Safety bound on simulator events per run.
-    MAX_EVENTS = 20_000_000
+    backend = "dataplane"
 
     def __init__(self, spec: ScenarioSpec):
-        spec.validate()
-        self.spec = spec
+        super().__init__(spec)
         self.network: Optional[PGridNetwork] = None
-        self.simulator: Optional[Simulator] = None
 
-    # -- public API --------------------------------------------------------
+    # -- lifecycle hooks ---------------------------------------------------
 
-    def run(self) -> ScenarioReport:
-        spec = self.spec
-        master = make_rng(spec.seed)
-        # Fixed derivation order -- append new streams at the end only,
-        # or every golden trace changes.
-        keys_rng = make_rng(master.randrange(2**31))
-        build_rng = make_rng(master.randrange(2**31))
-        query_rng = make_rng(master.randrange(2**31))
-        churn_rng = make_rng(master.randrange(2**31))
-        member_rng = make_rng(master.randrange(2**31))
-        maint_rng = make_rng(master.randrange(2**31))
+    def _setup(self, peer_keys, build_rng) -> None:
+        self.network = self._build_blueprint(peer_keys, build_rng)
 
-        peer_keys = workload_keys(
-            spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
+    def _first_free_id(self) -> int:
+        net = self.network
+        return max(net.peers) + 1 if net.peers else 0
+
+    def _online_ids(self, departed: Set[int]) -> List[int]:
+        return sorted(
+            pid
+            for pid, p in self.network.peers.items()
+            if p.online and pid not in departed
         )
-        flat = [k for keys in peer_keys for k in keys]
-        net = PGridNetwork.ideal(
-            flat,
-            spec.n_peers,
-            d_max=spec.d_max,
-            n_min=spec.n_min,
-            max_refs=spec.max_refs,
-            rng=build_rng,
-        )
-        sim = Simulator()
-        self.network = net
-        self.simulator = sim
 
-        tally = _Tally(spec.report_bin_s, len(spec.phases))
-        departed: Set[int] = set()
-        dist = distribution(spec.distribution)
-        boundaries = spec.boundaries()
-        total_end = spec.duration_s
+    def _depart(self, pid: int) -> None:
+        self.network.peers[pid].online = False
 
-        # Join id allocation shared by all phase closures.
-        id_box = [max(net.peers) + 1 if net.peers else 0]
+    def _churn_toggle(self, pid: int, tally: _Tally) -> Callable[[bool], None]:
+        peer = self.network.peers[pid]
 
-        def alloc_id() -> int:
-            pid = id_box[0]
-            id_box[0] += 1
-            return pid
+        def toggle(online: bool) -> None:
+            peer.online = online
+            tally.churn_transitions += 1
 
-        self._alloc_id = alloc_id
+        return toggle
 
-        # -- per-phase compilation ----------------------------------------
-        for idx, (phase, (start, end)) in enumerate(zip(spec.phases, boundaries)):
-            sampler = phase.mix.to_sampler()
-            sim.schedule(
-                start,
-                self._make_phase_start(
-                    sim, net, tally, phase, idx, start, end,
-                    sampler=sampler,
-                    dist=dist,
-                    departed=departed,
-                    query_rng=query_rng,
-                    churn_rng=churn_rng,
-                    member_rng=member_rng,
-                    maint_rng=maint_rng,
-                ),
-            )
-
-        # -- per-bin replication-health sampling ---------------------------
-        def sample() -> None:
-            online = 0
-            groups_alive = 0
-            groups = 0
-            live_counts: List[int] = []
-            for group in net.partitions().values():
-                groups += 1
-                live = sum(1 for pid in group if net.peers[pid].online)
-                online += live
-                live_counts.append(live)
-                if live:
-                    groups_alive += 1
-            availability = groups_alive / groups if groups else 0.0
-            tally.record_sample(
-                sim.now, online, availability, mean(live_counts) if live_counts else 0.0
-            )
-            if sim.now < total_end:
-                sim.schedule(spec.report_bin_s, sample)
-
-        sim.schedule(0.0, sample)
-
-        sim.run_until(total_end, max_events=self.MAX_EVENTS)
-        return self._assemble(net, tally, boundaries)
-
-    # -- phase machinery ---------------------------------------------------
-
-    def _make_phase_start(
-        self,
-        sim: Simulator,
-        net: PGridNetwork,
-        tally: _Tally,
-        phase: Phase,
-        idx: int,
-        start: float,
-        end: float,
-        *,
-        sampler: QuerySampler,
-        dist,
-        departed: Set[int],
-        query_rng,
-        churn_rng,
-        member_rng,
-        maint_rng,
-    ) -> Callable[[], None]:
+    def _join(self, pid: int, keys: List[int], rng, tally: _Tally) -> bool:
         spec = self.spec
+        try:
+            stats = sequential_join(
+                self.network,
+                pid,
+                keys,
+                d_max=spec.d_max,
+                n_min=spec.n_min,
+                rng=rng,
+                max_refs=spec.max_refs,
+            )
+        except RoutingError:
+            return False
+        tally.record_maintenance(
+            self.simulator.now,
+            messages=stats.messages,
+            size=stats.messages * HEADER_BYTES,
+        )
+        return True
 
-        def begin_phase() -> None:
-            # -- membership wave at the boundary ---------------------------
-            if phase.leave_peers:
-                online_ids = sorted(
-                    pid for pid, p in net.peers.items() if p.online and pid not in departed
-                )
-                leaving = member_rng.sample(
-                    online_ids, min(phase.leave_peers, len(online_ids))
-                )
-                for pid in leaving:
-                    net.peers[pid].online = False
-                    departed.add(pid)
-                tally.leaves += len(leaving)
-            for _ in range(phase.join_peers):
-                pid = self._alloc_id()
-                keys = dist.sample_keys(spec.keys_per_peer, member_rng)
-                try:
-                    stats = sequential_join(
-                        net,
-                        pid,
-                        keys,
-                        d_max=spec.d_max,
-                        n_min=spec.n_min,
-                        rng=member_rng,
-                        max_refs=spec.max_refs,
-                    )
-                except RoutingError:
-                    tally.failed_joins += 1
-                    continue
-                tally.joins += 1
-                tally.record_maintenance(
-                    sim.now, messages=stats.messages, size=stats.messages * HEADER_BYTES
-                )
+    def _run_maintenance(self, tally: _Tally, rng) -> None:
+        repaired = repair_routes(self.network, rng=rng)
+        moved = anti_entropy_sweep(self.network, rounds=1, rng=rng)
+        tally.repairs += repaired
+        tally.keys_moved += moved
+        tally.record_maintenance(
+            self.simulator.now,
+            messages=repaired,
+            size=repaired * HEADER_BYTES + moved * KEY_BYTES,
+        )
 
-            # -- churn processes for this phase ----------------------------
-            if phase.churn is not None:
-                candidates = sorted(
-                    pid for pid, p in net.peers.items() if p.online and pid not in departed
-                )
-                count = max(1, round(phase.churn.fraction * len(candidates)))
-                if count < len(candidates):
-                    chosen = churn_rng.sample(candidates, count)
-                else:
-                    chosen = candidates
+    def _sample_state(self):
+        net = self.network
+        return self._group_health(
+            net.partitions(), lambda pid: net.peers[pid].online
+        )
 
-                def make_toggle(peer):
-                    def toggle(online: bool) -> None:
-                        peer.online = online
-                        tally.churn_transitions += 1
-
-                    return toggle
-
-                start_churn(
-                    sim,
-                    [make_toggle(net.peers[pid]) for pid in chosen],
-                    config=phase.churn.to_config(),
-                    until=end,
-                    stagger=True,
-                    rng=churn_rng,
-                )
-
-            # -- maintenance cadence ---------------------------------------
-            if phase.maintenance_interval_s is not None:
-                interval = phase.maintenance_interval_s
-
-                def maintenance_tick() -> None:
-                    if sim.now >= end:
-                        return
-                    repaired = repair_routes(net, rng=maint_rng)
-                    moved = anti_entropy_sweep(net, rounds=1, rng=maint_rng)
-                    tally.repairs += repaired
-                    tally.keys_moved += moved
-                    tally.record_maintenance(
-                        sim.now,
-                        messages=repaired,
-                        size=repaired * HEADER_BYTES + moved * KEY_BYTES,
-                    )
-                    sim.schedule(interval, maintenance_tick)
-
-                sim.schedule(interval, maintenance_tick)
-
-            # -- query arrival process -------------------------------------
-            if phase.query_rate > 0:
-
-                def query_tick() -> None:
-                    if sim.now >= end:
-                        return
-                    self._run_one_query(net, tally, phase, idx, sampler, query_rng)
-                    sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
-
-                sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
-
-        return begin_phase
+    # -- query execution (synchronous) -------------------------------------
 
     def _run_one_query(
-        self,
-        net: PGridNetwork,
-        tally: _Tally,
-        phase: Phase,
-        idx: int,
-        sampler: QuerySampler,
-        rng,
+        self, tally: _Tally, phase: Phase, idx: int, sampler: QuerySampler, rng
     ) -> None:
+        net = self.network
         sim = self.simulator
         attempts = 1 + self.spec.query_retries
         kind = sampler.draw_kind(rng)
@@ -405,112 +182,32 @@ class ScenarioRunner:
                 size=size,
             )
 
-    # -- report assembly ---------------------------------------------------
+    # -- assembly hooks ----------------------------------------------------
 
-    def _assemble(
-        self, net: PGridNetwork, tally: _Tally, boundaries
-    ) -> ScenarioReport:
-        spec = self.spec
-        bin_s = spec.report_bin_s
+    def _load_by_peer(self, tally: _Tally) -> List[int]:
+        return [tally.load.get(pid, 0) for pid in sorted(self.network.peers)]
 
-        bins = sorted(set(tally.samples) | set(tally.query_bins) | set(tally.maint_bins))
-        series: List[dict] = []
-        for b in bins:
-            issued, ok, hops, point_ok, qbytes = tally.query_bins.get(b, (0, 0, 0, 0, 0))
-            online, availability, live_reps = tally.samples.get(b, (None, None, None))
-            series.append(
-                {
-                    "minute": b * bin_s / 60.0,
-                    "online": online,
-                    "queries": issued,
-                    "successes": ok,
-                    "success_rate": (ok / issued) if issued else None,
-                    "mean_hops": (hops / point_ok) if point_ok else None,
-                    "query_Bps": qbytes / bin_s,
-                    "maint_Bps": tally.maint_bins.get(b, 0.0) / bin_s,
-                    "partition_availability": availability,
-                    "mean_online_replicas": live_reps,
-                }
-            )
-
-        phases = []
-        for phase, (start, end), counters in zip(spec.phases, boundaries, tally.phase_counters):
-            issued = counters["queries"]
-            phases.append(
-                {
-                    "name": phase.name,
-                    "start_min": start / 60.0,
-                    "end_min": end / 60.0,
-                    "queries": int(issued),
-                    "point_queries": int(counters["points"]),
-                    "range_queries": int(counters["ranges"]),
-                    "success_rate": (counters["successes"] / issued) if issued else None,
-                    "query_bytes": int(counters["bytes"]),
-                }
-            )
-
-        total_issued = sum(c["queries"] for c in tally.phase_counters)
-        total_ok = sum(c["successes"] for c in tally.phase_counters)
-        all_hops = sum(row[2] for row in tally.query_bins.values())
-        point_ok = sum(row[3] for row in tally.query_bins.values())
+    def _final_state(self) -> Dict[str, float]:
+        net = self.network
         covered, total_keys = live_key_coverage(net)
-        final_online = net.online_count()
         groups = net.partitions()
         alive_groups = sum(
             1 for g in groups.values() if any(net.peers[p].online for p in g)
         )
-
-        loads = [tally.load.get(pid, 0) for pid in sorted(net.peers)]
-        load_mean = mean(loads) if loads else 0.0
-        load_max = max(loads) if loads else 0
-        load_cv = std(loads) / load_mean if load_mean > 0 else 0.0
-
-        totals = {
-            "queries": int(total_issued),
-            "successes": int(total_ok),
-            "success_rate": (total_ok / total_issued) if total_issued else None,
-            "point_queries": int(sum(c["points"] for c in tally.phase_counters)),
-            "range_queries": int(sum(c["ranges"] for c in tally.phase_counters)),
-            "range_incomplete": tally.range_incomplete,
-            # Hop means only aggregate successful point lookups: range
-            # messages measure fan-out, not path length.
-            "mean_hops": (all_hops / point_ok) if point_ok else None,
-            "messages": tally.messages,
-            "bytes_query": tally.query_bytes,
-            "bytes_maintenance": tally.maint_bytes,
-            "bytes_total": tally.query_bytes + tally.maint_bytes,
-            "repairs": tally.repairs,
-            "keys_moved": tally.keys_moved,
-            "joins": tally.joins,
-            "failed_joins": tally.failed_joins,
-            "leaves": tally.leaves,
-            "churn_transitions": tally.churn_transitions,
-            "final_online": final_online,
+        return {
+            "final_online": net.online_count(),
             "final_partition_availability": (
                 alive_groups / len(groups) if groups else 0.0
             ),
             "final_coverage": (covered / total_keys) if total_keys else 1.0,
+            "n_peers_end": len(net.peers),
         }
-
-        return ScenarioReport(
-            scenario=spec.name,
-            seed=spec.seed,
-            n_peers_start=spec.n_peers,
-            n_peers_end=len(net.peers),
-            duration_s=spec.duration_s,
-            bin_s=bin_s,
-            phases=phases,
-            series=series,
-            totals=totals,
-            load={
-                "mean": load_mean,
-                "max": load_max,
-                "cv": load_cv,
-                "max_over_mean": (load_max / load_mean) if load_mean else 0.0,
-            },
-        )
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
-    """One-shot convenience: ``ScenarioRunner(spec).run()``."""
+    """One-shot convenience: ``ScenarioRunner(spec).run()``.
+
+    For backend selection use :func:`repro.scenarios.run_scenario`,
+    which accepts ``backend="dataplane" | "message"``.
+    """
     return ScenarioRunner(spec).run()

@@ -4,10 +4,16 @@ A :class:`ScenarioSpec` describes a complete overlay stress experiment as
 data: the initial population and key workload, then a sequence of
 :class:`Phase` objects, each combining peer arrivals/departures, a churn
 regime, a query mix (point lookups and range scans, optionally focused
-on a flash-crowd hotspot) and a maintenance/repair cadence.  The runner
-(:mod:`repro.scenarios.runner`) compiles a spec onto
-:class:`repro.simnet.engine.Simulator` events and executes it over a
-:class:`repro.pgrid.network.PGridNetwork` overlay.
+on a flash-crowd hotspot) and a maintenance/repair cadence.  The shared
+compiler (:mod:`repro.scenarios.base`) turns a spec into
+:class:`repro.simnet.engine.Simulator` events for either execution
+backend: the synchronous data plane
+(:class:`repro.scenarios.runner.ScenarioRunner` over a
+:class:`repro.pgrid.network.PGridNetwork`) or the message level
+(:class:`repro.scenarios.message_runner.MessageScenarioRunner` over
+:class:`repro.simnet.node.PGridNode` protocol nodes with latency and
+loss).  ``query_retries`` maps to synchronous re-routing attempts on
+the first backend and to timeout-driven wire retries on the second.
 
 Specs are plain frozen dataclasses so they can be constructed inline,
 shipped in the library (:mod:`repro.scenarios.library`) and compared for

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from .._util import RngLike, make_rng
 from ..core.estimators import (
@@ -28,7 +28,7 @@ from . import protocol as P
 from .engine import Simulator
 from .transport import Message, Network
 
-__all__ = ["PGridNode", "NodeConfig"]
+__all__ = ["PGridNode", "NodeConfig", "QueryOutcome"]
 
 
 @dataclass
@@ -50,8 +50,62 @@ class _PendingQuery:
     key: int
     issued_at: float
     attempts: int = 0
+    timeouts: int = 0
     done: bool = False
     hops: int = 0
+
+
+@dataclass
+class _PendingRange:
+    """Origin-side state of one range query (sequential traversal)."""
+
+    lo: int
+    hi: int
+    issued_at: float
+    attempts: int = 0
+    timeouts: int = 0
+    done: bool = False
+    parts: int = 0
+    chain_hops: int = 0
+    keys: Set[int] = field(default_factory=set)
+    #: Slice intervals received so far (any attempt -- every attempt
+    #: restarts from ``lo`` and keys deduplicate, so all slices are
+    #: valid completeness evidence).  Checked before accepting ``done``.
+    covered: List[tuple] = field(default_factory=list)
+
+
+def _intervals_cover(intervals: List[tuple], lo: int, hi: int) -> bool:
+    """True iff the union of half-open ``intervals`` covers ``[lo, hi)``."""
+    cursor = lo
+    for start, end in sorted(intervals):
+        if start > cursor:
+            return False
+        if end > cursor:
+            cursor = end
+    return cursor >= hi
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Terminal record of one (point or range) query, as handed to the
+    ``on_query_done`` / ``on_range_done`` observer callbacks.
+
+    ``messages`` approximates the wire messages the query caused from
+    the origin's viewpoint: routed hops of the final attempt plus, for
+    ranges, one result slice per traversed partition.  ``moot`` marks
+    queries voided because the *origin* went offline mid-flight -- the
+    overlay did not fail them, they could never be answered.
+    """
+
+    issued_at: float
+    latency: float
+    hops: int
+    success: bool
+    attempts: int
+    timeouts: int
+    messages: int = 0
+    keys_found: int = 0
+    moot: bool = False
 
 
 class PGridNode:
@@ -91,8 +145,16 @@ class PGridNode:
         self._inflight_exchange: Optional[tuple[int, str]] = None
         # query bookkeeping
         self._queries: Dict[int, _PendingQuery] = {}
+        self._ranges: Dict[int, _PendingRange] = {}
         self._query_seq = 0
         self.query_results: List[tuple[float, float, int, bool]] = []
+        self.range_results: List[QueryOutcome] = []
+        # Optional observers (the message-level scenario backend hooks
+        # these): called with (node_id, qid, QueryOutcome) whenever a
+        # query reaches a terminal state -- hit, exhausted retries, or
+        # voided by the origin going offline.
+        self.on_query_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
+        self.on_range_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
         network.register(self)
 
     # -- helpers -----------------------------------------------------------
@@ -652,62 +714,119 @@ class PGridNode:
         q = min(max(q, 1.0 / (4.0 * m_eff)), 0.5)
         return decision_probabilities(q, m=m_eff), minority
 
+    def initiate_exchange(self, partner: int) -> None:
+        """Start one construction/anti-entropy exchange with ``partner``.
+
+        Public entry point for external drivers (the message-level
+        scenario backend's maintenance cadence); internally the same
+        handshake the periodic interaction timer launches.
+        """
+        self._begin_exchange(partner)
+
     # -- queries --------------------------------------------------------------------
 
-    def issue_query(self, key: int) -> None:
-        """Originate an exact-match query for ``key``."""
+    def issue_query(self, key: int) -> int:
+        """Originate an exact-match query for ``key``; returns its qid.
+
+        The first attempt runs as a zero-delay simulator event, never
+        re-entrantly inside this call: a query the origin can answer
+        itself would otherwise complete -- and invoke the observer
+        callbacks -- before the caller even learned its qid.
+        """
         self._query_seq += 1
         qid = (self.node_id << 20) | self._query_seq
         pending = _PendingQuery(key=key, issued_at=self.sim.now)
         self._queries[qid] = pending
-        self._send_query_attempt(qid)
+        self.sim.schedule(0.0, lambda: self._send_query_attempt(qid))
+        return qid
 
     def _send_query_attempt(self, qid: int) -> None:
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
         pending.attempts += 1
+        attempt = pending.attempts
         self._route_query(
             {
                 "key": pending.key,
                 "origin": self.node_id,
                 "qid": qid,
+                "attempt": attempt,
                 "hops": 0,
             }
         )
+        # The timer is bound to *this* attempt: a dead-end reply that
+        # already triggered a retry supersedes it, otherwise stale
+        # timers would burn the retry budget against newer attempts.
         self.sim.schedule(
-            self.config.query_timeout, lambda: self._query_timeout(qid)
+            self.config.query_timeout, lambda: self._query_timeout(qid, attempt)
         )
 
-    def _query_timeout(self, qid: int) -> None:
+    def _finish_query(
+        self,
+        qid: int,
+        pending: _PendingQuery,
+        hops: int,
+        success: bool,
+        *,
+        moot: bool = False,
+    ) -> None:
+        """Terminal bookkeeping shared by every point-query outcome."""
+        pending.done = True
+        pending.hops = hops
+        self._queries.pop(qid, None)
+        latency = self.sim.now - pending.issued_at
+        if not moot:
+            # Moot queries (origin went offline) are invisible to the
+            # experiment-level success statistics, as before.
+            self.query_results.append((pending.issued_at, latency, hops, success))
+        if self.on_query_done is not None:
+            self.on_query_done(
+                self.node_id,
+                qid,
+                QueryOutcome(
+                    issued_at=pending.issued_at,
+                    latency=latency,
+                    hops=hops,
+                    success=success,
+                    attempts=pending.attempts,
+                    timeouts=pending.timeouts,
+                    messages=hops + (1 if hops else 0),
+                    moot=moot,
+                ),
+            )
+
+    def _query_timeout(self, qid: int, attempt: int) -> None:
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
+        if pending.attempts != attempt:
+            return  # superseded: a newer attempt owns the clock
+        pending.timeouts += 1
         if not self.online:
             # The origin itself went offline: the query is moot, not a
             # failure of the overlay (it could never receive the reply).
-            pending.done = True
-            del self._queries[qid]
+            self._finish_query(qid, pending, pending.hops, False, moot=True)
             return
         if pending.attempts <= self.config.query_retries:
             self._send_query_attempt(qid)
         else:
-            pending.done = True
-            self.query_results.append(
-                (pending.issued_at, self.sim.now - pending.issued_at, pending.hops, False)
-            )
+            self._finish_query(qid, pending, pending.hops, False)
 
     def _route_query(self, payload: dict) -> None:
         key = payload["key"]
         if self.responsible_for(key):
-            found = key in self.keys
+            # Reaching an online responsible peer IS query success, the
+            # same semantics as the data plane's LookupResult.found --
+            # whether the key is stored is a data property, not a
+            # routing outcome.
             if payload["origin"] == self.node_id:
                 self._complete_query(payload["qid"], payload["hops"], True)
             else:
                 self.send(
                     payload["origin"],
                     P.QUERY_HIT,
-                    {"qid": payload["qid"], "hops": payload["hops"], "found": found},
+                    {"qid": payload["qid"], "hops": payload["hops"]},
                     category=P.QUERY_TRAFFIC,
                 )
             return
@@ -717,7 +836,11 @@ class PGridNode:
                 self.send(
                     payload["origin"],
                     P.QUERY_MISS,
-                    {"qid": payload["qid"], "hops": payload["hops"]},
+                    {
+                        "qid": payload["qid"],
+                        "hops": payload["hops"],
+                        "attempt": payload.get("attempt", 0),
+                    },
                     category=P.QUERY_TRAFFIC,
                 )
             return
@@ -737,20 +860,198 @@ class PGridNode:
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
+        if msg.payload.get("attempt", pending.attempts) != pending.attempts:
+            return  # dead end of a superseded attempt; a newer one is out
         if pending.attempts <= self.config.query_retries:
             self._send_query_attempt(qid)
         else:
-            pending.done = True
-            self.query_results.append(
-                (pending.issued_at, self.sim.now - pending.issued_at, pending.hops, False)
-            )
+            self._finish_query(qid, pending, pending.hops, False)
 
     def _complete_query(self, qid: int, hops: int, success: bool) -> None:
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
-        pending.done = True
-        pending.hops = hops
-        self.query_results.append(
-            (pending.issued_at, self.sim.now - pending.issued_at, hops, success)
+        self._finish_query(qid, pending, hops, success)
+
+    # -- range queries (sequential key-order traversal, Sec. 2.3) ---------------
+
+    def issue_range_query(self, lo: int, hi: int) -> int:
+        """Originate a range query over ``[lo, hi)``; returns its qid.
+
+        Implements the *sequential* range algorithm over the trie: the
+        query routes to the partition containing ``lo``; each
+        responsible node ships its slice of the range back to the
+        origin (``range_part``) and forwards the remainder to the next
+        partition in key order, until a slice arrives flagged ``done``.
+        Each slice carries its interval bounds, and the origin accepts
+        ``done`` only when the current attempt's slices cover the whole
+        of ``[lo, hi)`` -- a result slice lost on the wire triggers a
+        retry instead of a silently incomplete "success".  Dead ends
+        (``stuck``) and timeouts trigger whole-range retries too; the
+        origin de-duplicates keys across attempts.
+        """
+        self._query_seq += 1
+        qid = (self.node_id << 20) | self._query_seq
+        self._ranges[qid] = _PendingRange(lo=lo, hi=hi, issued_at=self.sim.now)
+        # Zero-delay first attempt, for the same reason as issue_query.
+        self.sim.schedule(0.0, lambda: self._send_range_attempt(qid))
+        return qid
+
+    def _send_range_attempt(self, qid: int) -> None:
+        pending = self._ranges.get(qid)
+        if pending is None or pending.done:
+            return
+        pending.attempts += 1
+        attempt = pending.attempts
+        self._route_range(
+            {
+                "lo": pending.lo,
+                "hi": pending.hi,
+                "cursor": pending.lo,
+                "origin": self.node_id,
+                "qid": qid,
+                "attempt": attempt,
+                "hops": 0,
+            }
         )
+        # Attempt-bound timer, like _send_query_attempt.
+        self.sim.schedule(
+            self.config.query_timeout, lambda: self._range_timeout(qid, attempt)
+        )
+
+    def _route_range(self, payload: dict) -> None:
+        cursor = payload["cursor"]
+        origin = payload["origin"]
+        if not self.responsible_for(cursor):
+            nxt = self.route_for_key(cursor)
+            if nxt is None:
+                self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
+                return
+            payload = dict(payload)
+            payload["hops"] += 1
+            self.send(nxt, P.RANGE_QUERY, payload, category=P.QUERY_TRAFFIC)
+            return
+        # Responsible for the cursor: ship this partition's slice home,
+        # then forward the remainder to the next partition in key order.
+        part_hi = self.path.key_range(KEY_BITS)[1]
+        hi = payload["hi"]
+        upper = min(hi, part_hi)
+        matches = sorted(k for k in self.keys if cursor <= k < upper)
+        done = part_hi >= hi
+        self._send_range_part(
+            origin, payload, keys=matches, done=done, stuck=False,
+            slice_bounds=(cursor, upper),
+        )
+        if not done:
+            nxt = self.route_for_key(part_hi)
+            if nxt is None:
+                self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
+                return
+            forward = dict(payload)
+            forward["cursor"] = part_hi
+            forward["hops"] = payload["hops"] + 1
+            self.send(nxt, P.RANGE_QUERY, forward, category=P.QUERY_TRAFFIC)
+
+    def _send_range_part(
+        self,
+        origin: int,
+        payload: dict,
+        *,
+        keys: List[int],
+        done: bool,
+        stuck: bool,
+        slice_bounds: Optional[tuple] = None,
+    ) -> None:
+        part = {
+            "qid": payload["qid"],
+            "keys": keys,
+            "done": done,
+            "stuck": stuck,
+            "attempt": payload.get("attempt", 0),
+            "hops": payload["hops"],
+            "slice": slice_bounds,
+        }
+        if origin == self.node_id:
+            self._absorb_range_part(part)
+        else:
+            self.send(
+                origin, P.RANGE_PART, part, n_keys=len(keys), category=P.QUERY_TRAFFIC
+            )
+
+    def _on_range_query(self, msg: Message) -> None:
+        self._route_range(msg.payload)
+
+    def _on_range_part(self, msg: Message) -> None:
+        self._absorb_range_part(msg.payload)
+
+    def _absorb_range_part(self, payload: dict) -> None:
+        qid = payload["qid"]
+        pending = self._ranges.get(qid)
+        if pending is None or pending.done:
+            return
+        # Result slices are welcome from any attempt (keys deduplicate
+        # and every attempt restarts from lo, so each slice is genuine
+        # coverage evidence); only retry *control* is attempt-gated.
+        pending.parts += 1
+        pending.keys.update(payload["keys"])
+        if payload["hops"] > pending.chain_hops:
+            pending.chain_hops = payload["hops"]
+        if payload.get("slice") is not None:
+            pending.covered.append(tuple(payload["slice"]))
+        current = payload.get("attempt", pending.attempts) == pending.attempts
+        if payload["done"]:
+            if _intervals_cover(pending.covered, pending.lo, pending.hi):
+                self._finish_range(qid, pending, True)
+            elif current:
+                # The chain finished but a result slice was lost on the
+                # wire: an incomplete answer is a retry, not a success.
+                self._retry_or_fail_range(qid, pending)
+            # A stale done with a coverage gap proves nothing about the
+            # current attempt; let the live attempt decide.
+        elif payload["stuck"]:
+            if not current:
+                return  # dead end of a superseded attempt
+            # Dead end mid-traversal: retry early, like a query miss.
+            self._retry_or_fail_range(qid, pending)
+
+    def _retry_or_fail_range(self, qid: int, pending: _PendingRange) -> None:
+        if pending.attempts <= self.config.query_retries:
+            self._send_range_attempt(qid)
+        else:
+            self._finish_range(qid, pending, False)
+
+    def _range_timeout(self, qid: int, attempt: int) -> None:
+        pending = self._ranges.get(qid)
+        if pending is None or pending.done:
+            return
+        if pending.attempts != attempt:
+            return  # superseded: a newer attempt owns the clock
+        pending.timeouts += 1
+        if not self.online:
+            self._finish_range(qid, pending, False, moot=True)
+            return
+        if pending.attempts <= self.config.query_retries:
+            self._send_range_attempt(qid)
+        else:
+            self._finish_range(qid, pending, False)
+
+    def _finish_range(
+        self, qid: int, pending: _PendingRange, success: bool, *, moot: bool = False
+    ) -> None:
+        pending.done = True
+        self._ranges.pop(qid, None)
+        outcome = QueryOutcome(
+            issued_at=pending.issued_at,
+            latency=self.sim.now - pending.issued_at,
+            hops=pending.chain_hops,
+            success=success,
+            attempts=pending.attempts,
+            timeouts=pending.timeouts,
+            messages=pending.parts + pending.chain_hops,
+            keys_found=len(pending.keys),
+            moot=moot,
+        )
+        if not moot:
+            self.range_results.append(outcome)
+        if self.on_range_done is not None:
+            self.on_range_done(self.node_id, qid, outcome)

@@ -17,6 +17,8 @@ __all__ = [
     "QUERY",
     "QUERY_HIT",
     "QUERY_MISS",
+    "RANGE_QUERY",
+    "RANGE_PART",
     "VOTE_REQ",
     "VOTE_RESP",
     "MAINTENANCE",
@@ -35,6 +37,8 @@ EXCHANGE_RESP = "exchange_resp"  #: construction interaction response
 QUERY = "query"  #: exact-match query being routed
 QUERY_HIT = "query_hit"  #: responsible peer -> origin
 QUERY_MISS = "query_miss"  #: routing dead-end -> origin
+RANGE_QUERY = "range_query"  #: range query traversing partitions in key order
+RANGE_PART = "range_part"  #: partition result slice -> origin (``done``/``stuck``)
 VOTE_REQ = "vote_req"  #: index-initiation vote flood (Sec. 4.1)
 VOTE_RESP = "vote_resp"  #: aggregated vote reply
 

@@ -89,19 +89,36 @@ class UnstructuredOverlay:
             current = options[rand.randrange(len(options))]
         return current
 
+    def components(self) -> List[Set[int]]:
+        """Connected components, each a set of node ids.
+
+        Ordered by smallest member for determinism.  A partitioned
+        overlay (e.g. after the nodes bridging two regions leave) shows
+        up as multiple components; random walks can never cross between
+        them, so peer sampling -- and with it construction progress --
+        is confined to the walker's own component.
+        """
+        out: List[Set[int]] = []
+        seen: Set[int] = set()
+        for start in self.neighbors:
+            if start in seen:
+                continue
+            component: Set[int] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self.neighbors[node] - component)
+            seen |= component
+            out.append(component)
+        out.sort(key=min)
+        return out
+
     def is_connected(self) -> bool:
         """Whole-graph connectivity check (used by tests)."""
-        if not self.neighbors:
-            return True
-        seen: Set[int] = set()
-        stack = [next(iter(self.neighbors))]
-        while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            stack.extend(self.neighbors[node] - seen)
-        return len(seen) == len(self.neighbors)
+        return len(self.components()) <= 1
 
     def __len__(self) -> int:
         return len(self.neighbors)

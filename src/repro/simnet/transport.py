@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
 from .._util import RngLike, make_rng
 from ..exceptions import SimulationError
@@ -30,6 +30,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "LogNormalLatency",
+    "PerLinkLatency",
     "Message",
     "Network",
     "HEADER_BYTES",
@@ -48,6 +49,15 @@ class LatencyModel:
 
     def sample(self, rng) -> float:
         raise NotImplementedError
+
+    def sample_link(self, src: int, dst: int, rng) -> float:
+        """Delay for one message on the ``src -> dst`` link.
+
+        The default ignores the endpoints (one shared distribution);
+        :class:`PerLinkLatency` overrides this to give every link its
+        own deterministic base delay.
+        """
+        return self.sample(rng)
 
 
 @dataclass
@@ -88,6 +98,61 @@ class LogNormalLatency(LatencyModel):
         return min(value, self.cap)
 
 
+def _mix32(value: int) -> int:
+    """A small deterministic 32-bit integer mixer (no Python ``hash``,
+    which is randomized per process)."""
+    value &= 0xFFFFFFFF
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & 0xFFFFFFFF
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & 0xFFFFFFFF
+    value ^= value >> 16
+    return value
+
+
+@dataclass
+class PerLinkLatency(LatencyModel):
+    """Heterogeneous links: a fixed per-link base delay plus jitter.
+
+    PlanetLab-style testbeds pair fast LAN-ish links with slow
+    intercontinental ones; a single shared distribution hides that each
+    *pair* of nodes keeps its characteristic RTT across messages.  Each
+    undirected link gets a base delay drawn deterministically (a seeded
+    integer mix of the endpoint ids -- stable across runs and Python
+    processes) from ``[lo, hi]``; an optional ``jitter`` model adds a
+    per-message component on top.  ``overrides`` pins specific links,
+    keyed by the (unordered) endpoint pair.
+    """
+
+    lo: float = 0.02
+    hi: float = 0.2
+    jitter: Optional[LatencyModel] = None
+    seed: int = 0
+    overrides: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def link_delay(self, src: int, dst: int) -> float:
+        """The deterministic base delay of the ``{src, dst}`` link."""
+        a, b = (src, dst) if src <= dst else (dst, src)
+        pinned = self.overrides.get((a, b))
+        if pinned is None:
+            pinned = self.overrides.get((b, a))  # either key order pins
+        if pinned is not None:
+            return pinned
+        h = _mix32(a * 2654435761 + b * 40503 + self.seed * 1013904223)
+        return self.lo + (self.hi - self.lo) * (h / 2**32)
+
+    def sample(self, rng) -> float:
+        # Without endpoints there is no link identity; fall back to a
+        # uniform draw over the base-delay range.
+        return self.lo + (self.hi - self.lo) * rng.random()
+
+    def sample_link(self, src: int, dst: int, rng) -> float:
+        delay = self.link_delay(src, dst)
+        if self.jitter is not None:
+            delay += self.jitter.sample(rng)
+        return delay
+
+
 @dataclass
 class Message:
     """One message on the wire."""
@@ -104,8 +169,21 @@ class Network:
     """Delivers messages between registered nodes via the simulator.
 
     ``loss_rate`` drops messages uniformly at random; messages to offline
-    nodes are always dropped (churn).  All traffic is reported to the
-    optional stats collector.
+    nodes are always dropped (churn); while a partition is installed
+    (:meth:`set_partitions`) messages crossing a partition boundary are
+    dropped too.  All traffic is reported to the optional stats
+    collector, and the network keeps its own operational accounting:
+
+    * ``messages_dropped`` with a per-cause breakdown
+      (``drops_offline`` / ``drops_loss`` / ``drops_partition``),
+    * ``inflight`` / ``inflight_peak`` -- messages currently on the wire
+      and the run's high-water mark,
+    * ``link_bytes`` -- *offered* bytes per directed ``(src, dst)``
+      link, counted at send time like the stats collector's category
+      totals (drops included -- compare against ``delivered`` for
+      carried load),
+    * ``delivered`` -- messages handled per destination node (the
+      message-level notion of per-peer load).
     """
 
     def __init__(
@@ -127,12 +205,53 @@ class Network:
         self.nodes: Dict[int, "SimNode"] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.drops_offline = 0
+        self.drops_loss = 0
+        self.drops_partition = 0
+        self.inflight = 0
+        self.inflight_peak = 0
+        self.link_bytes: Dict[Tuple[int, int], int] = {}
+        self.delivered: Dict[int, int] = {}
+        self._partition_of: Optional[Dict[int, int]] = None
 
     def register(self, node: "SimNode") -> None:
         """Attach a node; its ``node_id`` becomes its address."""
         if node.node_id in self.nodes:
             raise SimulationError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
+
+    # -- network partitions -------------------------------------------------
+
+    def set_partitions(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network: messages between different groups are dropped.
+
+        ``groups`` lists disjoint sets of node ids; a node absent from
+        every group forms its own singleton partition (it can reach
+        nothing and nothing reaches it).  Messages already on the wire
+        when the partition appears still arrive -- only new sends are
+        filtered, like a real cut severing links, not queues.
+        """
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in mapping:
+                    raise SimulationError(
+                        f"node {node_id} appears in more than one partition group"
+                    )
+                mapping[node_id] = index
+        self._partition_of = mapping
+
+    def heal_partitions(self) -> None:
+        """Remove the installed partition; all links work again."""
+        self._partition_of = None
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        mapping = self._partition_of
+        if mapping is None:
+            return False
+        return mapping.get(src, -1 - src) != mapping.get(dst, -1 - dst)
+
+    # -- sending ------------------------------------------------------------
 
     def send(
         self,
@@ -158,22 +277,36 @@ class Network:
         self.messages_sent += 1
         if self.stats is not None:
             self.stats.record_bytes(self.sim.now, category, size)
+        link = (src, dst)
+        self.link_bytes[link] = self.link_bytes.get(link, 0) + size
         sender = self.nodes.get(src)
         if sender is not None and not sender.online:
             # A node that just went offline cannot transmit.
             self.messages_dropped += 1
+            self.drops_offline += 1
+            return
+        if self._partitioned(src, dst):
+            self.messages_dropped += 1
+            self.drops_partition += 1
             return
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.messages_dropped += 1
+            self.drops_loss += 1
             return
-        delay = self.latency.sample(self.rng)
+        delay = self.latency.sample_link(src, dst, self.rng)
+        self.inflight += 1
+        if self.inflight > self.inflight_peak:
+            self.inflight_peak = self.inflight
         self.sim.schedule(delay, lambda: self._deliver(message))
 
     def _deliver(self, message: Message) -> None:
+        self.inflight -= 1
         node = self.nodes.get(message.dst)
         if node is None or not node.online:
             self.messages_dropped += 1
+            self.drops_offline += 1
             return
+        self.delivered[message.dst] = self.delivered.get(message.dst, 0) + 1
         node.receive(message)
 
     def online_count(self) -> int:

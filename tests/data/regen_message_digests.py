@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate ``scenario_message_digests.json`` (deliberate only!).
+
+The digests pin message-backend determinism at full population; any
+change to RNG stream derivation, transport accounting, the node
+protocol or report assembly shifts them.  Regenerate only when such a
+change is intentional, and say so in the commit message::
+
+    PYTHONPATH=src python tests/data/regen_message_digests.py
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.scenarios import SCENARIOS, run_scenario, scenario  # noqa: E402
+
+PARAMS = dict(n_peers=1024, seed=5, duration_scale=0.1)
+OUT = pathlib.Path(__file__).parent / "scenario_message_digests.json"
+
+
+def main() -> None:
+    digests = {}
+    for name in sorted(SCENARIOS):
+        spec = scenario(name, **PARAMS)
+        report = run_scenario(spec, backend="message")
+        digests[name] = hashlib.sha256(report.to_json().encode()).hexdigest()
+    payload = {
+        "_comment": [
+            "SHA-256 digests of ScenarioReport.to_json() for every library scenario",
+            "run under MessageScenarioRunner at n_peers=1024, seed=5, duration_scale=0.1.",
+            "Pins full-population message-level determinism without storing megabyte",
+            "reports. Regenerate deliberately with:",
+            "  PYTHONPATH=src python tests/data/regen_message_digests.py",
+        ],
+        **PARAMS,
+        "digests": digests,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""CI gate plumbing: the perf-regression check and snapshot merging.
+
+The ``perf-smoke`` job's promise is behavioral: it must *fail* on a
+perf regression beyond tolerance and *pass* on unchanged numbers, and
+``BENCH_core.json`` must come out the same whichever benchmark script
+writes it first.  These tests drive the actual scripts
+(``benchmarks/check_regression.py``, ``perf_harness.emit``,
+``bench_scenarios.merge_into_snapshot``) against synthetic snapshots.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import bench_scenarios  # noqa: E402
+import check_regression  # noqa: E402
+import perf_harness  # noqa: E402
+
+
+def snapshot(lookup=5.0, rng=75.0, build=0.11, extra=None):
+    payload = {
+        "schema": "bench-core/v1",
+        "results": {
+            "lookup_us": {"256": lookup, "1024": lookup * 1.4},
+            "range_us": {"256": rng, "1024": rng * 3.6},
+            "build_s": {"256": build, "1024": build * 6},
+        },
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCheckRegression:
+    def test_identical_snapshots_pass(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot())
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot(lookup=5.0 * 2.0))
+        code = check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "FAIL" in out.out
+        assert "lookup_us" in out.err
+
+    def test_noise_inside_tolerance_passes(self, tmp_path):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot(lookup=5.0 * 1.4, rng=75.0 * 1.45))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_tolerance_is_configurable(self, tmp_path):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot(lookup=5.0 * 1.4))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand), "--tolerance", "1.2"]
+        ) == 1
+
+    def test_improvements_never_fail(self, tmp_path):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot(lookup=1.0, rng=10.0, build=0.01))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_quick_candidate_compares_overlapping_sizes_only(self, tmp_path):
+        # The committed full snapshot has N=4096; the quick run does not.
+        full = snapshot(extra=None)
+        full["results"]["lookup_us"]["4096"] = 9.5
+        base = write(tmp_path, "base.json", full)
+        cand = write(tmp_path, "cand.json", snapshot())
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_no_overlap_is_a_gate_error(self, tmp_path):
+        base = write(tmp_path, "base.json", {"results": {"lookup_us": {"512": 5.0}}})
+        cand = write(tmp_path, "cand.json", snapshot())
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 2
+
+    def test_unreadable_snapshot_is_a_gate_error(self, tmp_path):
+        base = tmp_path / "missing.json"
+        cand = write(tmp_path, "cand.json", snapshot())
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 2
+
+    @pytest.mark.parametrize("metric", check_regression.METRICS)
+    def test_every_gated_metric_can_trip(self, tmp_path, metric):
+        base = write(tmp_path, "base.json", snapshot())
+        bad = snapshot()
+        bad["results"][metric]["1024"] *= 10
+        cand = write(tmp_path, "cand.json", bad)
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+
+
+class TestSnapshotMergeOrder:
+    """The BENCH_core.json ordering footgun: either script may run first."""
+
+    SCEN = {"backend": "dataplane", "results": {"uniform-baseline": {"queries": 1}}}
+    MSG = {"backend": "message", "results": {"uniform-baseline": {"queries": 1}}}
+
+    def both_orders(self, tmp_path):
+        a = tmp_path / "a.json"
+        perf_harness.emit(snapshot(), a)
+        bench_scenarios.merge_into_snapshot(dict(self.SCEN), a, "scenarios")
+        bench_scenarios.merge_into_snapshot(dict(self.MSG), a, "scenarios_message")
+
+        b = tmp_path / "b.json"
+        bench_scenarios.merge_into_snapshot(dict(self.SCEN), b, "scenarios")
+        bench_scenarios.merge_into_snapshot(dict(self.MSG), b, "scenarios_message")
+        perf_harness.emit(snapshot(), b)
+        return json.loads(a.read_text()), json.loads(b.read_text())
+
+    def test_sections_survive_either_order(self, tmp_path):
+        first, second = self.both_orders(tmp_path)
+        for payload in (first, second):
+            assert payload["scenarios"]["backend"] == "dataplane"
+            assert payload["scenarios_message"]["backend"] == "message"
+            assert payload["results"]["lookup_us"]["256"] == 5.0
+
+    def test_content_identical_across_orders(self, tmp_path):
+        first, second = self.both_orders(tmp_path)
+        assert first == second
+
+    def test_perf_suite_refresh_replaces_its_own_sections(self, tmp_path):
+        path = tmp_path / "c.json"
+        perf_harness.emit(snapshot(lookup=9.9), path)
+        bench_scenarios.merge_into_snapshot(dict(self.SCEN), path, "scenarios")
+        perf_harness.emit(snapshot(lookup=4.4), path)  # fresh numbers win
+        payload = json.loads(path.read_text())
+        assert payload["results"]["lookup_us"]["256"] == 4.4
+        assert "scenarios" in payload  # foreign section preserved

@@ -21,7 +21,7 @@ import pathlib
 
 import pytest
 
-from repro.scenarios import ScenarioRunner, scenario
+from repro.scenarios import run_scenario, scenario
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "scenario_golden.json"
 
@@ -29,10 +29,11 @@ GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "scenario_golden.json"
 GOLDEN_SPEC = dict(n_peers=24, seed=11, duration_scale=0.2)
 
 
-def run_json(name, **kwargs):
-    return ScenarioRunner(scenario(name, **kwargs)).run().to_json()
+def run_json(name, backend="dataplane", **kwargs):
+    return run_scenario(scenario(name, **kwargs), backend=backend).to_json()
 
 
+@pytest.mark.parametrize("backend", ["dataplane", "message"])
 @pytest.mark.parametrize(
     "name, kwargs",
     [
@@ -41,8 +42,8 @@ def run_json(name, **kwargs):
         ("mass-join", dict(n_peers=32, seed=3, duration_scale=0.1)),
     ],
 )
-def test_same_seed_reproduces_byte_identical_reports(name, kwargs):
-    assert run_json(name, **kwargs) == run_json(name, **kwargs)
+def test_same_seed_reproduces_byte_identical_reports(name, kwargs, backend):
+    assert run_json(name, backend, **kwargs) == run_json(name, backend, **kwargs)
 
 
 def test_different_seeds_differ():

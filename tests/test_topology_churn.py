@@ -62,6 +62,57 @@ class TestOverlay:
             assert end in alive or end == 0
 
 
+class TestPartitionBehavior:
+    """Topology-level partitions: what a severed bootstrap graph does."""
+
+    def split_overlay(self):
+        # Two islands bridged only by node 4: {0,1,2,3,4} -- {4,5,6,7}.
+        overlay = UnstructuredOverlay()
+        overlay.neighbors = {
+            0: {1, 2},
+            1: {0, 3},
+            2: {0, 3},
+            3: {1, 2, 4},
+            4: {3, 5},
+            5: {4, 6, 7},
+            6: {5, 7},
+            7: {5, 6},
+        }
+        return overlay
+
+    def test_components_of_connected_graph(self):
+        overlay = self.split_overlay()
+        assert overlay.is_connected()
+        assert overlay.components() == [set(range(8))]
+
+    def test_bridge_departure_partitions_the_graph(self):
+        overlay = self.split_overlay()
+        overlay.leave(4)
+        assert not overlay.is_connected()
+        assert overlay.components() == [{0, 1, 2, 3}, {5, 6, 7}]
+
+    def test_walks_cannot_cross_a_partition(self):
+        overlay = self.split_overlay()
+        overlay.leave(4)
+        for seed in range(60):
+            assert overlay.random_walk(0, length=20, rng=seed) in {0, 1, 2, 3}
+            assert overlay.random_walk(7, length=20, rng=seed) in {5, 6, 7}
+
+    def test_offline_bridge_confines_live_walks(self):
+        # The bridge stays in the graph but offline: alive-filtered
+        # walks (how peer sampling really behaves under churn) are
+        # confined exactly like a structural partition.
+        overlay = self.split_overlay()
+        alive = set(range(8)) - {4}
+        for seed in range(60):
+            end = overlay.random_walk(1, length=20, rng=seed, alive=alive)
+            assert end in {0, 1, 2, 3}
+
+    def test_empty_overlay_has_no_components(self):
+        assert UnstructuredOverlay().components() == []
+        assert UnstructuredOverlay().is_connected()
+
+
 class TestChurn:
     def test_alternates_online_offline(self):
         sim = Simulator()

@@ -13,6 +13,7 @@ from repro.simnet.transport import (
     ConstantLatency,
     LogNormalLatency,
     Network,
+    PerLinkLatency,
     UniformLatency,
 )
 
@@ -136,3 +137,183 @@ class TestLatencyModels:
         assert all(x <= 2.0 for x in xs)
         assert statistics.median(xs) == pytest.approx(0.1, rel=0.3)
         assert max(xs) > 5 * statistics.median(xs)  # heavy tail
+
+
+class TestPerLinkLatency:
+    def test_link_delay_deterministic_and_bounded(self):
+        model = PerLinkLatency(lo=0.01, hi=0.5, seed=7)
+        delays = {(a, b): model.link_delay(a, b) for a in range(6) for b in range(6) if a != b}
+        for value in delays.values():
+            assert 0.01 <= value <= 0.5
+        # Stable across instances with the same seed...
+        again = PerLinkLatency(lo=0.01, hi=0.5, seed=7)
+        assert all(again.link_delay(a, b) == v for (a, b), v in delays.items())
+        # ...heterogeneous across links, symmetric per pair.
+        assert len(set(delays.values())) > 10
+        assert delays[(1, 2)] == delays[(2, 1)]
+
+    def test_seed_changes_the_link_map(self):
+        a = PerLinkLatency(seed=1)
+        b = PerLinkLatency(seed=2)
+        assert any(a.link_delay(i, i + 1) != b.link_delay(i, i + 1) for i in range(8))
+
+    def test_overrides_pin_specific_links_symmetrically(self):
+        model = PerLinkLatency(lo=0.01, hi=0.5, overrides={(1, 2): 3.0})
+        assert model.link_delay(1, 2) == 3.0
+        assert model.link_delay(2, 1) == 3.0
+        # A descending-order override key pins the link just the same.
+        reversed_key = PerLinkLatency(lo=0.01, hi=0.5, overrides={(2, 1): 3.0})
+        assert reversed_key.link_delay(1, 2) == 3.0
+        assert reversed_key.link_delay(2, 1) == 3.0
+        import random
+
+        rng = random.Random(4)
+        assert model.sample_link(1, 2, rng) == 3.0  # no jitter configured
+
+    def test_jitter_adds_on_top_of_base(self):
+        import random
+
+        model = PerLinkLatency(lo=0.1, hi=0.1, jitter=ConstantLatency(0.05))
+        assert model.sample_link(0, 1, random.Random(1)) == pytest.approx(0.15)
+
+    def test_sample_without_link_context_falls_back_to_uniform(self):
+        import random
+
+        model = PerLinkLatency(lo=0.2, hi=0.4)
+        rng = random.Random(9)
+        for _ in range(50):
+            assert 0.2 <= model.sample(rng) <= 0.4
+
+
+class TestDeliveryOrdering:
+    def test_fast_links_overtake_slow_ones(self):
+        # A slow 0->1 link and a fast 2->1 link: the later message wins.
+        model = PerLinkLatency(overrides={(0, 1): 0.5, (1, 2): 0.05})
+        sim = Simulator()
+        net = Network(sim, latency=model, rng=1)
+        receiver = Recorder(1)
+        for node in (Recorder(0), receiver, Recorder(2)):
+            net.register(node)
+        net.send(0, 1, "slow", {})
+        net.send(2, 1, "fast", {})
+        sim.run_all()
+        assert [m.kind for m in receiver.inbox] == ["fast", "slow"]
+
+    def test_random_latency_delivers_in_delay_order(self):
+        sim = Simulator()
+        net = Network(sim, latency=UniformLatency(0.01, 1.0), rng=3)
+        a, b = Recorder(0), Recorder(1)
+        net.register(a)
+        net.register(b)
+        arrivals = []
+        b.receive = lambda m: arrivals.append((sim.now, m.payload["i"]))
+        for i in range(50):
+            net.send(0, 1, "seq", {"i": i})
+        sim.run_all()
+        assert len(arrivals) == 50
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        # Random latency genuinely reorders the send sequence.
+        assert [i for _, i in arrivals] != list(range(50))
+
+
+class TestDropAccounting:
+    def test_breakdown_sums_to_total(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01), loss_rate=0.3, rng=5)
+        a, b, c = Recorder(0), Recorder(1), Recorder(2)
+        for node in (a, b, c):
+            net.register(node)
+        b.online = False
+        for _ in range(100):
+            # Dropped at delivery (offline dst) unless loss ate it first.
+            net.send(0, 1, "to-offline", {})
+            net.send(0, 2, "maybe", {})  # ~30% loss
+        sim.run_all()
+        assert b.inbox == []  # every to-offline message was dropped somehow
+        assert 50 < net.drops_offline <= 100
+        assert 30 < net.drops_loss < 100  # ~30% of 200 sends
+        assert net.drops_partition == 0
+        assert (
+            net.drops_offline + net.drops_loss + net.drops_partition
+            == net.messages_dropped
+        )
+
+    def test_inflight_peak_tracks_concurrent_messages(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(1.0), rng=1)
+        a, b = Recorder(0), Recorder(1)
+        net.register(a)
+        net.register(b)
+        for _ in range(7):
+            net.send(0, 1, "burst", {})
+        assert net.inflight == 7
+        sim.run_all()
+        assert net.inflight == 0
+        assert net.inflight_peak == 7
+
+    def test_link_bytes_and_delivered_accounting(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01), rng=1)
+        a, b = Recorder(0), Recorder(1)
+        net.register(a)
+        net.register(b)
+        net.send(0, 1, "k", {}, n_keys=3)
+        net.send(0, 1, "k", {})
+        net.send(1, 0, "k", {})
+        sim.run_all()
+        assert net.link_bytes[(0, 1)] == 2 * HEADER_BYTES + 3 * KEY_BYTES
+        assert net.link_bytes[(1, 0)] == HEADER_BYTES
+        assert net.delivered == {1: 2, 0: 1}
+
+
+class TestPartitions:
+    def make_net(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01), rng=1)
+        nodes = [Recorder(i) for i in range(4)]
+        for node in nodes:
+            net.register(node)
+        return sim, net, nodes
+
+    def test_cross_partition_messages_dropped(self):
+        sim, net, nodes = self.make_net()
+        net.set_partitions([{0, 1}, {2, 3}])
+        net.send(0, 1, "intra", {})
+        net.send(0, 2, "inter", {})
+        net.send(3, 2, "intra", {})
+        sim.run_all()
+        assert [m.kind for m in nodes[1].inbox] == ["intra"]
+        assert nodes[2].inbox and nodes[2].inbox[0].src == 3
+        assert net.drops_partition == 1
+
+    def test_unlisted_nodes_are_isolated(self):
+        sim, net, nodes = self.make_net()
+        net.set_partitions([{0, 1}])
+        net.send(2, 3, "both-unlisted", {})
+        net.send(0, 2, "into-void", {})
+        sim.run_all()
+        assert nodes[3].inbox == []
+        assert nodes[2].inbox == []
+        assert net.drops_partition == 2
+
+    def test_heal_restores_full_connectivity(self):
+        sim, net, nodes = self.make_net()
+        net.set_partitions([{0, 1}, {2, 3}])
+        net.send(0, 2, "cut", {})
+        net.heal_partitions()
+        net.send(0, 2, "healed", {})
+        sim.run_all()
+        assert [m.kind for m in nodes[2].inbox] == ["healed"]
+
+    def test_inflight_messages_survive_a_new_partition(self):
+        sim, net, nodes = self.make_net()
+        net.send(0, 2, "already-flying", {})
+        net.set_partitions([{0, 1}, {2, 3}])
+        sim.run_all()
+        assert [m.kind for m in nodes[2].inbox] == ["already-flying"]
+
+    def test_overlapping_groups_rejected(self):
+        sim, net, nodes = self.make_net()
+        with pytest.raises(SimulationError):
+            net.set_partitions([{0, 1}, {1, 2}])
