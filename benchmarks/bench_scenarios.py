@@ -3,9 +3,9 @@
 
 Executes every scenario registered in :mod:`repro.scenarios.library`
 (uniform-baseline, pareto-hotspot, flash-crowd, mass-join, mass-leave,
-paper-sec51-churn) on one or both execution backends and merges the
-results into the repo's perf snapshot, so the stress trajectory travels
-with the perf trajectory:
+paper-sec51-churn, regional-outage, correlated-churn) on one or both
+execution backends and merges the results into the repo's perf
+snapshot, so the stress trajectory travels with the perf trajectory:
 
 * ``--backend dataplane`` (default) -> the ``scenarios`` section:
   synchronous data-plane queries, nominal byte model.

@@ -21,8 +21,20 @@ baseline.  Improvements are reported but never fail the gate.  Exit
 codes: 0 ok, 1 regression, 2 unusable input (no overlapping metrics --
 a misconfigured gate must not pass silently).
 
+Besides the perf metrics, the gate also guards the **message-backend
+scenario success rates** (the ``scenarios_message`` section written by
+``bench_scenarios.py --backend message|both``): a scenario whose
+``success_rate`` drops more than ``--scenario-tolerance`` (default
+0.05, absolute) below the committed snapshot fails the gate -- e.g.
+``mass-leave`` sliding back toward the unrepaired ~0.64 would be caught
+even if raw perf is fine.  Scenario sections are only compared when
+both snapshots ran the same population and duration scale (the quick CI
+candidate at N=256 is incomparable to the committed N=4096 section and
+is skipped with a note; the nightly full run compares for real).
+
 Guards: the PR-1 data-plane speedups (sorted key stores, memoized
-inversions, query fast paths) as committed in ``BENCH_core.json``.
+inversions, query fast paths) and the PR-4 message-level route-repair
+success floor, as committed in ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -31,7 +43,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -40,6 +52,12 @@ METRICS = ("lookup_us", "range_us", "build_s")
 
 #: Default regression tolerance (candidate/baseline ratio).
 DEFAULT_TOLERANCE = 1.5
+
+#: Max allowed absolute drop in a message-backend scenario success rate.
+DEFAULT_SCENARIO_TOLERANCE = 0.05
+
+#: Snapshot section holding the message-backend scenario results.
+SCENARIO_SECTION = "scenarios_message"
 
 
 def compare(
@@ -68,6 +86,57 @@ def compare(
     return rows, failures
 
 
+def compare_scenarios(
+    baseline: dict, candidate: dict, tolerance: float
+) -> Tuple[List[Tuple[str, float, float]], List[str], Optional[str]]:
+    """Compare message-backend scenario success rates.
+
+    Returns ``(rows, failures, skip_reason)``: ``rows`` are
+    ``(scenario, baseline_rate, candidate_rate)`` for every comparable
+    scenario, ``failures`` one message per breach, and ``skip_reason``
+    a human-readable note when the sections are absent or incomparable
+    (different population / duration scale), in which case the scenario
+    gate is a no-op rather than an error -- the perf-smoke job's quick
+    candidate legitimately cannot be compared to the committed full run.
+    """
+    base = baseline.get(SCENARIO_SECTION)
+    cand = candidate.get(SCENARIO_SECTION)
+    if not base or not cand:
+        return [], [], "no scenarios_message section in both snapshots"
+    for knob in ("n_peers", "duration_scale", "seed"):
+        if base.get(knob) != cand.get(knob):
+            return [], [], (
+                f"scenario sections incomparable: {knob} "
+                f"{base.get(knob)} vs {cand.get(knob)}"
+            )
+    rows: List[Tuple[str, float, float]] = []
+    failures: List[str] = []
+    base_results = base.get("results", {})
+    cand_results = cand.get("results", {})
+    # A scenario the baseline gated but the candidate never ran is a
+    # gate failure, not a silent skip -- a partial bench run must not
+    # pass by omitting exactly the scenario that regressed.  (Scenarios
+    # new in the candidate are fine: nothing pins them yet.)
+    for name in sorted(set(base_results) - set(cand_results)):
+        if base_results[name].get("success_rate") is not None:
+            failures.append(
+                f"{name} present in baseline but missing from candidate "
+                "scenarios_message results"
+            )
+    for name in sorted(set(base_results) & set(cand_results)):
+        base_rate = base_results[name].get("success_rate")
+        cand_rate = cand_results[name].get("success_rate")
+        if base_rate is None or cand_rate is None:
+            continue  # a run without (point) queries pins nothing
+        rows.append((name, float(base_rate), float(cand_rate)))
+        if float(cand_rate) < float(base_rate) - tolerance:
+            failures.append(
+                f"{name} success_rate: {cand_rate:.4f} vs baseline "
+                f"{base_rate:.4f} (drop > {tolerance:g})"
+            )
+    return rows, failures, None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -81,6 +150,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help=f"max allowed candidate/baseline ratio (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--scenario-tolerance", type=float, default=DEFAULT_SCENARIO_TOLERANCE,
+        help="max allowed absolute drop in message-backend scenario "
+        f"success rates (default {DEFAULT_SCENARIO_TOLERANCE})",
     )
     args = parser.parse_args(argv)
 
@@ -110,6 +184,28 @@ def main(argv=None) -> int:
             f"baseline {base_value:10.3f}  candidate {cand_value:10.3f}  "
             f"ratio {ratio:5.2f}x"
         )
+
+    scen_rows, scen_failures, skip = compare_scenarios(
+        baseline, candidate, args.scenario_tolerance
+    )
+    if skip is not None:
+        print(f"scenario success gate: skipped ({skip})")
+    else:
+        print(
+            f"scenario success gate (message backend, "
+            f"tolerance -{args.scenario_tolerance:g})"
+        )
+        for name, base_rate, cand_rate in scen_rows:
+            bad = cand_rate < base_rate - args.scenario_tolerance
+            verdict = "FAIL" if bad else (
+                "ok  " if cand_rate <= base_rate else "ok ^"
+            )
+            print(
+                f"  [{verdict}] {name:18s}  baseline {base_rate:6.4f}  "
+                f"candidate {cand_rate:6.4f}"
+            )
+    failures += scen_failures
+
     if failures:
         print("\nregressions beyond tolerance:", file=sys.stderr)
         for failure in failures:

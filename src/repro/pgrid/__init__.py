@@ -21,6 +21,12 @@ Sub-modules
 ``maintenance``
     The standard *sequential* maintenance model (joins/leaves) used as
     the construction baseline, plus failure repair.
+``liveness``
+    The shared route-repair subsystem: :class:`~repro.pgrid.liveness.
+    RouteRepairPolicy` knobs, the evidence-driven
+    :class:`~repro.pgrid.liveness.LivenessTracker` state machine used by
+    the message backend, and the oracle-evidence ``repair_routes`` sweep
+    used by the data plane.
 ``replication``
     Anti-entropy reconciliation between replicas.
 """
@@ -29,6 +35,7 @@ from . import (  # noqa: F401
     bits,
     keyspace,
     keystore,
+    liveness,
     maintenance,
     network,
     peer,

@@ -1,0 +1,244 @@
+"""Routing-reference liveness: one repair subsystem, two evidence sources.
+
+The paper's PlanetLab results (Sec. 5, 95-100% query success under
+churn) assume peers *repair* their routing tables when references die.
+Operationally that is two separable concerns:
+
+* a **policy** -- when is a reference suspect, how hard do we probe it,
+  when do we give up and evict, and how do replacements travel
+  (:class:`RouteRepairPolicy`);
+* a **mechanism** -- the bookkeeping that turns failure/liveness
+  evidence into those decisions.
+
+Both execution layers share this module but differ in where their
+evidence comes from:
+
+* the **data plane** (:mod:`repro.pgrid.maintenance`) has oracle
+  evidence -- ``peer.online`` is globally visible -- so its mechanism is
+  the synchronous :func:`repair_routes` sweep: drop dead references,
+  replenish depleted levels from the live population;
+* the **message backend** (:mod:`repro.simnet.node`) must infer
+  liveness from the traffic it already sends, Kademlia-style: every
+  query timeout or partition-refused send marks the used reference
+  suspect, every delivered message refreshes the sender, suspects are
+  probed with ``ping``/``pong`` and evicted after
+  :attr:`RouteRepairPolicy.evict_after` silent probes, and evicted
+  references are replaced by candidate references gossiped on
+  anti-entropy exchanges.  :class:`LivenessTracker` is that state
+  machine (per node, simulator-agnostic -- the node supplies timers and
+  messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .._util import RngLike, make_rng
+from .network import PGridNetwork
+
+__all__ = ["RouteRepairPolicy", "LivenessTracker", "repair_routes"]
+
+
+@dataclass(frozen=True)
+class RouteRepairPolicy:
+    """Knobs of the shared route-repair subsystem.
+
+    ``enabled`` gates the whole machinery (``False`` reproduces the
+    repair-less PR-3 wire behavior and skips the data plane's repair
+    sweep).  The remaining knobs drive the evidence-based mechanism of
+    the message backend; the oracle mechanism only reads ``enabled``.
+    """
+
+    #: Master switch: ``False`` = route blindly (the degradation baseline).
+    enabled: bool = True
+    #: Strikes (failure evidence + silent probes) before eviction.
+    evict_after: int = 2
+    #: Seconds a probe waits for its ``pong`` before striking.
+    probe_timeout_s: float = 10.0
+    #: Re-confirm a reference in active use after this many seconds of
+    #: silence (confirm-on-use: probes track traffic, not a global clock).
+    confirm_interval_s: float = 60.0
+    #: Stale references probed per node per maintenance tick (the
+    #: Kademlia-style bucket refresh, stalest first; 0 disables).
+    #: Confirm-on-use alone discovers a dead reference only by paying a
+    #: query timeout for it; the refresh budget drains the reservoir of
+    #: never-used dead references at a bounded maintenance cost.
+    refresh_probes: int = 8
+    #: Candidate references gossiped per routing level on every
+    #: anti-entropy exchange and every ``pong`` (0 disables gossip
+    #: replenishment).
+    gossip_refs: int = 2
+    #: Seconds during which gossip may not re-install a reference this
+    #: node just evicted (a negative cache: peers that have not noticed
+    #: the death yet keep gossiping it; direct traffic from the
+    #: reference clears the tombstone early).
+    readd_cooldown_s: float = 60.0
+
+
+class LivenessTracker:
+    """Evidence-driven liveness state machine for one node's references.
+
+    States per reference: *live* (no strikes), *suspect* (>=1 strike;
+    queries route around it while a probe chain decides), *evicted*
+    (removed from the routing table; only gossip re-adds it).  The
+    tracker is pure bookkeeping -- the owning node sends the pings,
+    schedules the timeouts and mutates its routing table -- so the same
+    class is unit-testable without a simulator.
+
+    Counters (``suspects``, ``probes``, ``evictions``, ``replacements``,
+    ``repair_bytes``) feed the scenario report's ``message_level.repair``
+    section.
+    """
+
+    def __init__(self, policy: RouteRepairPolicy):
+        self.policy = policy
+        #: Accumulated failure evidence per reference.
+        self.strikes: Dict[int, int] = {}
+        #: Outstanding probe nonce per reference (at most one in flight).
+        self.probe_nonce: Dict[int, int] = {}
+        #: Last time any message from the reference was delivered to us.
+        self.last_confirmed: Dict[int, float] = {}
+        #: Eviction tombstones: when each reference was last evicted.
+        self.evicted_at: Dict[int, float] = {}
+        self._nonce = 0
+        # -- counters ------------------------------------------------------
+        self.suspects = 0
+        self.probes = 0
+        self.evictions = 0
+        self.replacements = 0
+        self.repair_bytes = 0
+
+    # -- evidence ----------------------------------------------------------
+
+    def suspected(self, ref: int) -> bool:
+        """True while ``ref`` has unresolved failure evidence."""
+        return self.strikes.get(ref, 0) >= 1
+
+    def note_alive(self, ref: int, now: float) -> None:
+        """A message from ``ref`` was delivered: refresh, clear suspicion."""
+        self.last_confirmed[ref] = now
+        self.evicted_at.pop(ref, None)  # demonstrably back: clear tombstone
+        if ref in self.strikes or ref in self.probe_nonce:
+            self.strikes.pop(ref, None)
+            self.probe_nonce.pop(ref, None)
+
+    def note_failure(self, ref: int) -> bool:
+        """Record failure evidence; returns True if a probe should start."""
+        strikes = self.strikes.get(ref, 0)
+        self.strikes[ref] = strikes + 1
+        if strikes == 0:
+            self.suspects += 1
+        return ref not in self.probe_nonce
+
+    def needs_confirmation(self, ref: int, now: float) -> bool:
+        """Confirm-on-use: should forwarding to ``ref`` trigger a ping?"""
+        if ref in self.probe_nonce:
+            return False
+        last = self.last_confirmed.get(ref, 0.0)
+        return now - last >= self.policy.confirm_interval_s
+
+    # -- probe chain -------------------------------------------------------
+
+    def begin_probe(self, ref: int) -> int:
+        """Register one in-flight probe; returns its nonce."""
+        self._nonce += 1
+        self.probe_nonce[ref] = self._nonce
+        self.probes += 1
+        return self._nonce
+
+    def probe_expired(self, ref: int, nonce: int) -> str:
+        """Probe timer fired: ``""`` (stale), ``"probe"`` or ``"evict"``."""
+        if self.probe_nonce.get(ref) != nonce:
+            return ""  # answered or superseded in the meantime
+        del self.probe_nonce[ref]
+        strikes = self.strikes.get(ref, 0) + 1
+        self.strikes[ref] = strikes
+        if strikes >= self.policy.evict_after:
+            return "evict"
+        return "probe"
+
+    def cancel_probe(self, ref: int, nonce: int) -> None:
+        """Void an in-flight probe without striking (e.g. we went
+        offline and could never have heard the pong)."""
+        if self.probe_nonce.get(ref) == nonce:
+            del self.probe_nonce[ref]
+
+    def note_evicted(self, ref: int, now: float = 0.0) -> None:
+        """The owner removed ``ref`` from its table: reset its state (a
+        gossip re-add starts fresh) and leave a tombstone so gossip from
+        slower peers cannot re-install it immediately."""
+        self.evictions += 1
+        self.strikes.pop(ref, None)
+        self.probe_nonce.pop(ref, None)
+        self.last_confirmed.pop(ref, None)
+        self.evicted_at[ref] = now
+
+    def recently_evicted(self, ref: int, now: float) -> bool:
+        """True while ``ref``'s eviction tombstone blocks gossip re-adds."""
+        evicted = self.evicted_at.get(ref)
+        return (
+            evicted is not None
+            and now - evicted < self.policy.readd_cooldown_s
+        )
+
+    def note_replacement(self, n: int = 1) -> None:
+        """Count references installed from gossip."""
+        self.replacements += n
+
+
+def repair_routes(
+    network: PGridNetwork,
+    *,
+    policy: Optional[RouteRepairPolicy] = None,
+    rng: RngLike = None,
+) -> int:
+    """Oracle-evidence repair: correction on use *with replenishment*.
+
+    The data plane's policy instance -- liveness evidence is the global
+    ``peer.online`` flag, so one synchronous sweep can replace dead
+    references with live peers from the same complementary subtree and
+    top depleted levels back up toward the table's redundancy bound.
+
+    Replenishment matters under sustained churn: replacing only the dead
+    references a level still holds makes degradation absorbing -- a deep
+    outage strips a level to zero and nothing ever refills it, leaving
+    the overlay permanently partitioned even after every peer returns
+    (the scenario engine's Sec. 5.1 churn runs surfaced exactly this).
+    Returns the number of reference replacements/additions made; a
+    disabled ``policy`` makes the sweep a no-op (the degradation
+    baseline).
+    """
+    if policy is not None and not policy.enabled:
+        return 0
+    rand = make_rng(rng)
+    alive_by_prefix: dict = {}
+    for peer in network.peers.values():
+        if not peer.online:
+            continue
+        for length in range(peer.path.length + 1):
+            alive_by_prefix.setdefault(peer.path.prefix(length), []).append(peer.peer_id)
+    repaired = 0
+    peers = network.peers
+    for peer in peers.values():
+        max_refs = peer.routing.max_refs_per_level
+        for level in range(peer.path.length):
+            refs = peer.routing.levels.get(level)
+            if refs is None:
+                refs = []
+            dead = [r for r in refs if not peers[r].online]
+            if not dead and len(refs) >= max_refs:
+                continue
+            comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
+            candidates = [c for c in alive_by_prefix.get(comp, ()) if c not in refs]
+            for d in dead:
+                refs.remove(d)
+            # Only actual reference installations count as repairs: the
+            # scenario engine bills network traffic per repair, and a
+            # local dead-ref deletion costs no messages.
+            while len(refs) < max_refs and candidates:
+                refs.append(candidates.pop(rand.randrange(len(candidates))))
+                repaired += 1
+            if refs and level not in peer.routing.levels:
+                peer.routing.levels[level] = refs
+    return repaired

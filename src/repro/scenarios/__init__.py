@@ -24,15 +24,18 @@ This package turns the repo's stress ingredients -- churn processes
     with per-link latency, loss, timeouts and retries; adds a
     ``message_level`` report section (latency percentiles,
     timeout/retry counts, drop breakdown, in-flight peak, per-link
-    bandwidth).
+    bandwidth, and the route-repair counters).  Route repair is
+    configured per run via ``MessageNetConfig(repair=RouteRepairPolicy
+    (...))`` -- see :mod:`repro.pgrid.liveness`.
 ``report``
     :class:`ScenarioReport`: hop counts, success under churn,
     message/bandwidth totals, per-peer load imbalance and replication
     health over time, with byte-stable JSON for golden-trace testing.
 ``library``
-    Six named scenarios (uniform-baseline, pareto-hotspot, flash-crowd,
-    mass-join, mass-leave, paper-sec51-churn) runnable at N=4096 on
-    either backend.
+    Eight named scenarios (uniform-baseline, pareto-hotspot,
+    flash-crowd, mass-join, mass-leave, paper-sec51-churn,
+    regional-outage, correlated-churn) runnable at N=4096 on either
+    backend.
 ``invariants``
     Structural checks (prefix-complete partition, complementary routing,
     live key coverage) for the randomized invariant test layer.
@@ -52,13 +55,21 @@ the determinism tests pick it up automatically on both backends.
 """
 
 from . import base, invariants, library, message_runner, report, runner, spec  # noqa: F401
+from ..pgrid.liveness import RouteRepairPolicy  # noqa: F401
 from .base import ScenarioRunnerBase  # noqa: F401
 from .invariants import check_invariants, live_key_coverage  # noqa: F401
 from .library import SCENARIOS, scenario  # noqa: F401
 from .message_runner import MessageNetConfig, MessageScenarioRunner  # noqa: F401
 from .report import ScenarioReport  # noqa: F401
 from .runner import ScenarioRunner  # noqa: F401
-from .spec import ChurnSpec, Hotspot, Phase, QueryMix, ScenarioSpec  # noqa: F401
+from .spec import (  # noqa: F401
+    ChurnSpec,
+    Hotspot,
+    PartitionSpec,
+    Phase,
+    QueryMix,
+    ScenarioSpec,
+)
 
 from ..exceptions import DomainError
 
@@ -98,6 +109,8 @@ __all__ = [
     "QueryMix",
     "Hotspot",
     "ChurnSpec",
+    "PartitionSpec",
+    "RouteRepairPolicy",
     "ScenarioRunnerBase",
     "ScenarioRunner",
     "MessageScenarioRunner",

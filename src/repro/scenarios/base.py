@@ -140,6 +140,8 @@ class ScenarioRunnerBase:
         spec.validate()
         self.spec = spec
         self.simulator: Optional[Simulator] = None
+        #: True while a phase's regional cut is installed.
+        self._partition_active = False
 
     # -- public API --------------------------------------------------------
 
@@ -206,6 +208,11 @@ class ScenarioRunnerBase:
         sim.schedule(0.0, sample)
 
         sim.run_until(total_end, max_events=self.MAX_EVENTS)
+        if self._partition_active:
+            # A final-phase cut heals at scenario end, before the drain:
+            # in-flight queries resolve against a reunited network.
+            self._heal_partitions()
+            self._partition_active = False
         self._finish(tally)
         return self._assemble(tally, boundaries)
 
@@ -240,6 +247,18 @@ class ScenarioRunnerBase:
 
     def _run_maintenance(self, tally: _Tally, rng) -> None:
         """Execute one maintenance tick."""
+        raise NotImplementedError
+
+    def _all_ids(self) -> List[int]:
+        """Sorted ids of every peer the backend knows (for partitioning)."""
+        raise NotImplementedError
+
+    def _set_partitions(self, groups: List[List[int]]) -> None:
+        """Install one phase's regional cut (``groups[0]`` = majority)."""
+        raise NotImplementedError
+
+    def _heal_partitions(self) -> None:
+        """Remove the installed regional cut."""
         raise NotImplementedError
 
     def _run_one_query(
@@ -351,6 +370,14 @@ class ScenarioRunnerBase:
         spec = self.spec
 
         def begin_phase() -> None:
+            # -- heal the previous phase's regional cut --------------------
+            # (phase-start events order before same-timestamp events
+            # scheduled mid-run, so healing here keeps cut lifetimes
+            # exactly one phase without floating-point boundary tricks)
+            if self._partition_active:
+                self._heal_partitions()
+                self._partition_active = False
+
             # -- membership wave at the boundary ---------------------------
             if phase.leave_peers:
                 online_ids = self._online_ids(departed)
@@ -368,6 +395,20 @@ class ScenarioRunnerBase:
                     tally.joins += 1
                 else:
                     tally.failed_joins += 1
+
+            # -- regional cut for this phase -------------------------------
+            if phase.partitions is not None:
+                ids = self._all_ids()
+                shuffled = member_rng.sample(ids, len(ids))
+                groups: List[List[int]] = []
+                cursor = 0
+                for frac in phase.partitions.fractions[:-1]:
+                    size = int(round(frac * len(ids)))
+                    groups.append(sorted(shuffled[cursor:cursor + size]))
+                    cursor += size
+                groups.append(sorted(shuffled[cursor:]))
+                self._set_partitions(groups)
+                self._partition_active = True
 
             # -- churn processes for this phase ----------------------------
             if phase.churn is not None:

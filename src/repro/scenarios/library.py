@@ -1,6 +1,6 @@
 """Named, ready-to-run stress scenarios (the ISSUE-2 library).
 
-Six scenarios cover the stress axes of the paper's evaluation and the
+Eight scenarios cover the stress axes of the paper's evaluation and the
 ROADMAP's "as many scenarios as you can imagine" ambition:
 
 ==================  ====================================================
@@ -19,6 +19,12 @@ ROADMAP's "as many scenarios as you can imagine" ambition:
 ``paper-sec51-churn`` the paper's Sec. 5.1 schedule: every peer offline
                       1-5 minutes every 5-10 minutes, with periodic
                       repair -- the query-success-under-churn headline
+``regional-outage``   a 20% region is cut off for five minutes, then
+                      heals -- on the message backend a true transport
+                      partition driving the route-repair machinery
+``correlated-churn``  three waves, each severing a different random 15%
+                      region with recovery gaps -- correlated failures,
+                      not the independent-churn idealization
 ==================  ====================================================
 
 Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
@@ -35,7 +41,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from ..exceptions import DomainError
-from .spec import ChurnSpec, Hotspot, Phase, QueryMix, ScenarioSpec
+from .spec import ChurnSpec, Hotspot, PartitionSpec, Phase, QueryMix, ScenarioSpec
 
 __all__ = [
     "SCENARIOS",
@@ -46,6 +52,8 @@ __all__ = [
     "mass_join",
     "mass_leave",
     "paper_sec51_churn",
+    "regional_outage",
+    "correlated_churn",
 ]
 
 #: Default population: the ROADMAP's 4096-peer scale point.
@@ -192,6 +200,69 @@ def paper_sec51_churn(
     )
 
 
+def regional_outage(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """A 20% region is cut off for five minutes, then the cut heals.
+
+    On the message backend this is a true transport partition
+    (``Network.set_partitions``): sends crossing the boundary are
+    refused, which the route-repair subsystem observes as failure
+    evidence -- suspects, probes, evictions and gossip replacements all
+    fire.  The data plane approximates the cut as a correlated
+    mass-departure of the minority region with a guaranteed return.
+    """
+    return _build(
+        "regional-outage",
+        [
+            Phase(name="steady", duration_s=300.0, maintenance_interval_s=120.0),
+            Phase(
+                name="outage",
+                duration_s=300.0,
+                partitions=PartitionSpec(fractions=(0.8, 0.2)),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="healed", duration_s=300.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def correlated_churn(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Peers fail in correlated waves, not independently.
+
+    Independent-churn models (``paper-sec51-churn``) understate how
+    overlays die in practice: co-located peers share racks, ASes and
+    power.  Three two-minute waves each cut off a *different* random 15%
+    region (fresh deterministic draw per wave), separated by recovery
+    gaps with faster maintenance -- repair must keep (re)converging on a
+    moving target rather than absorb one stationary regime.
+    """
+    wave = PartitionSpec(fractions=(0.85, 0.15))
+    return _build(
+        "correlated-churn",
+        [
+            Phase(name="steady", duration_s=240.0, maintenance_interval_s=120.0),
+            Phase(name="wave-1", duration_s=120.0, partitions=wave,
+                  maintenance_interval_s=60.0),
+            Phase(name="respite-1", duration_s=120.0, maintenance_interval_s=60.0),
+            Phase(name="wave-2", duration_s=120.0, partitions=wave,
+                  maintenance_interval_s=60.0),
+            Phase(name="respite-2", duration_s=120.0, maintenance_interval_s=60.0),
+            Phase(name="wave-3", duration_s=120.0, partitions=wave,
+                  maintenance_interval_s=60.0),
+            Phase(name="recovered", duration_s=240.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
 #: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
 SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "uniform-baseline": uniform_baseline,
@@ -200,6 +271,8 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "mass-join": mass_join,
     "mass-leave": mass_leave,
     "paper-sec51-churn": paper_sec51_churn,
+    "regional-outage": regional_outage,
+    "correlated-churn": correlated_churn,
 }
 
 

@@ -29,7 +29,12 @@ How phases compile here
 * **Maintenance** ticks make a configurable fraction of online nodes
   initiate one protocol exchange (anti-entropy with a replica, or a
   random peer when a node knows none), so repair traffic is real
-  messages, unlike the data-plane backend's nominal byte model.
+  messages, unlike the data-plane backend's nominal byte model.  With
+  route repair enabled (:class:`~repro.pgrid.liveness.RouteRepairPolicy`
+  via ``MessageNetConfig.repair``) the tick also runs each node's
+  stale-reference refresh probes and lets route-deficient nodes (an
+  emptied level) initiate an extra exchange -- gossip on exchanges and
+  pongs is how evicted references get replaced.
 
 The overlay starts from the same Algorithm-1 blueprint as the
 data-plane backend (scenarios stress *operation*, not construction;
@@ -49,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .._util import make_rng, mean, sample_online
 from ..pgrid.bits import Path
+from ..pgrid.liveness import RouteRepairPolicy
 from ..pgrid.network import PGridNetwork
 from ..pgrid.peer import PGridPeer
 from ..pgrid.routing import RoutingTable
@@ -90,6 +96,14 @@ class MessageNetConfig:
     #: Extra simulated seconds after the last phase for in-flight
     #: queries to resolve; ``None`` = one full timeout*attempts window.
     drain_s: Optional[float] = None
+    #: Evidence-driven liveness & route repair
+    #: (:class:`~repro.pgrid.liveness.RouteRepairPolicy`):
+    #: timeouts/partition refusals mark the used reference suspect,
+    #: suspects are ping-probed and routed around, silent suspects are
+    #: evicted, and anti-entropy exchanges gossip replacement candidates.
+    #: ``RouteRepairPolicy(enabled=False)`` reproduces the repair-less
+    #: blind-routing degradation baseline.
+    repair: RouteRepairPolicy = field(default_factory=RouteRepairPolicy)
 
 
 class MessageScenarioRunner(ScenarioRunnerBase):
@@ -145,6 +159,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             query_timeout=cfg.query_timeout_s,
             query_retries=spec.query_retries,
             max_refs_per_level=spec.max_refs,
+            repair=cfg.repair,
         )
         for pid in sorted(blueprint.peers):
             peer = blueprint.peers[pid]
@@ -229,14 +244,35 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         count = max(
             1, int(round(self.net_config.maintenance_fraction * len(online)))
         )
-        initiators = rng.sample(online, min(count, len(online)))
+        initiators = set(rng.sample(online, min(count, len(online))))
         exchanges = 0
-        for pid in initiators:
+        for pid in sorted(initiators):
             node = self.nodes[pid]
             partner = self._pick_partner(node, rng)
             if partner is not None:
                 node.initiate_exchange(partner)
                 exchanges += 1
+        if self.net_config.repair.enabled:
+            for pid in online:
+                node = self.nodes[pid]
+                # The periodic half of the route-repair policy: probe
+                # the stalest references (bounded per tick), so dead
+                # references are discovered by maintenance instead of
+                # each costing a query its timeout.
+                node.refresh_routes()
+                # Route-deficient nodes (an empty level means some keys
+                # are unreachable -- e.g. after an outage evicted a
+                # whole region) ask for anti-entropy *now*: exchange
+                # gossip is how replacements travel, and waiting for the
+                # sampled cadence would leave them dark for ticks.
+                if pid not in initiators and any(
+                    not node.routing.get(level)
+                    for level in range(node.path.length)
+                ):
+                    partner = self._pick_partner(node, rng)
+                    if partner is not None:
+                        node.initiate_exchange(partner)
+                        exchanges += 1
         # For this backend "repairs" counts initiated anti-entropy
         # exchanges; bytes are accounted by the transport, not here.
         tally.repairs += exchanges
@@ -249,6 +285,18 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         if not others:
             return None
         return others[rng.randrange(len(others))]
+
+    def _all_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def _set_partitions(self, groups: List[List[int]]) -> None:
+        # A real cut: the transport refuses messages crossing region
+        # boundaries at send time, which the nodes' liveness tracking
+        # observes as failure evidence (see PGridNode.send).
+        self.transport.set_partitions(groups)
+
+    def _heal_partitions(self) -> None:
+        self.transport.heal_partitions()
 
     def _groups(self) -> Dict[Path, List[int]]:
         """Structural replica groups: nodes sharing a path, sorted ids."""
@@ -453,7 +501,19 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         links = transport.link_bytes
         link_sizes = sorted(links.values())
         top = sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        trackers = [self.nodes[pid].liveness for pid in sorted(self.nodes)]
+        repair = {
+            "enabled": cfg.repair.enabled,
+            "suspects": sum(t.suspects for t in trackers),
+            "probes": sum(t.probes for t in trackers),
+            "evictions": sum(t.evictions for t in trackers),
+            "replacements": sum(t.replacements for t in trackers),
+            # Ping/pong and gossip bytes; already folded into the
+            # maintenance side of the Fig. 8 bandwidth split.
+            "repair_bytes": sum(t.repair_bytes for t in trackers),
+        }
         return {
+            "repair": repair,
             "latency_s": _latency_stats(self._point_latencies),
             "range_latency_s": _latency_stats(self._range_latencies),
             "timeouts": self._timeouts,
@@ -478,6 +538,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 "loss_rate": cfg.loss_rate,
                 "query_timeout_s": cfg.query_timeout_s,
                 "maintenance_fraction": cfg.maintenance_fraction,
+                "repair_enabled": cfg.repair.enabled,
             },
         }
 

@@ -28,7 +28,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from ..exceptions import RoutingError
-from ..pgrid.maintenance import repair_routes, sequential_join
+from ..pgrid.liveness import RouteRepairPolicy, repair_routes
+from ..pgrid.maintenance import sequential_join
 from ..pgrid.network import PGridNetwork
 from ..pgrid.replication import anti_entropy_sweep
 from ..workloads.queries import POINT, QuerySampler
@@ -50,9 +51,19 @@ class ScenarioRunner(ScenarioRunnerBase):
 
     backend = "dataplane"
 
-    def __init__(self, spec: ScenarioSpec):
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        repair_policy: Optional[RouteRepairPolicy] = None,
+    ):
         super().__init__(spec)
         self.network: Optional[PGridNetwork] = None
+        #: Maintenance runs through the shared route-repair policy
+        #: (oracle-evidence instance); disable it to reproduce the
+        #: blind-routing degradation baseline on this backend too.
+        self.repair_policy = repair_policy or RouteRepairPolicy()
+        self._partition_cut: List[int] = []
 
     # -- lifecycle hooks ---------------------------------------------------
 
@@ -104,7 +115,7 @@ class ScenarioRunner(ScenarioRunnerBase):
         return True
 
     def _run_maintenance(self, tally: _Tally, rng) -> None:
-        repaired = repair_routes(self.network, rng=rng)
+        repaired = repair_routes(self.network, policy=self.repair_policy, rng=rng)
         moved = anti_entropy_sweep(self.network, rounds=1, rng=rng)
         tally.repairs += repaired
         tally.keys_moved += moved
@@ -113,6 +124,30 @@ class ScenarioRunner(ScenarioRunnerBase):
             messages=repaired,
             size=repaired * HEADER_BYTES + moved * KEY_BYTES,
         )
+
+    def _all_ids(self) -> List[int]:
+        return sorted(self.network.peers)
+
+    def _set_partitions(self, groups: List[List[int]]) -> None:
+        # No per-link transport on this backend: approximate the cut
+        # from the majority region's viewpoint by taking every minority
+        # peer offline for the phase (a correlated departure wave with a
+        # guaranteed return at the heal).
+        cut: List[int] = []
+        for group in groups[1:]:
+            for pid in group:
+                peer = self.network.peers.get(pid)
+                if peer is not None and peer.online:
+                    peer.online = False
+                    cut.append(pid)
+        self._partition_cut = cut
+
+    def _heal_partitions(self) -> None:
+        for pid in self._partition_cut:
+            peer = self.network.peers.get(pid)
+            if peer is not None:
+                peer.online = True
+        self._partition_cut = []
 
     def _sample_state(self):
         net = self.network

@@ -31,7 +31,49 @@ from ..simnet.churn import ChurnConfig
 from ..workloads.distributions import DISTRIBUTIONS
 from ..workloads.queries import QuerySampler
 
-__all__ = ["ChurnSpec", "Hotspot", "QueryMix", "Phase", "ScenarioSpec"]
+__all__ = [
+    "ChurnSpec",
+    "Hotspot",
+    "PartitionSpec",
+    "QueryMix",
+    "Phase",
+    "ScenarioSpec",
+]
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A correlated regional cut lasting one phase.
+
+    At the phase boundary the population is split into
+    ``len(fractions)`` disjoint regions (a deterministic seeded shuffle
+    sized by ``fractions``); the cut heals at the phase end.  The
+    message backend installs a real transport partition
+    (:meth:`repro.simnet.transport.Network.set_partitions` -- messages
+    crossing a region boundary are refused at send time), exercising the
+    route-repair subsystem's partition evidence.  The data plane has no
+    per-link transport, so it approximates the cut from the majority
+    region's viewpoint: every peer outside region 0 is unavailable for
+    the duration -- a correlated mass-departure with a guaranteed
+    return.
+    """
+
+    #: Relative region sizes; region 0 is the majority/reference region.
+    fractions: Tuple[float, ...] = (0.8, 0.2)
+
+    def __post_init__(self):
+        if not isinstance(self.fractions, tuple):
+            object.__setattr__(self, "fractions", tuple(self.fractions))
+
+    def validate(self) -> None:
+        if len(self.fractions) < 2:
+            raise SimulationError("a partition needs at least two regions")
+        if any(f <= 0.0 for f in self.fractions):
+            raise SimulationError("partition region fractions must be positive")
+        if abs(sum(self.fractions) - 1.0) > 1e-9:
+            raise SimulationError(
+                f"partition region fractions must sum to 1, got {self.fractions}"
+            )
 
 
 @dataclass(frozen=True)
@@ -119,9 +161,10 @@ class Phase:
     At the phase boundary ``join_peers`` new peers arrive (sequential
     maintenance joins) and ``leave_peers`` online peers depart for good;
     during the phase queries arrive at ``query_rate`` per simulated
-    second, churn (if configured) toggles availability, and every
-    ``maintenance_interval_s`` the overlay runs one repair + anti-entropy
-    round.
+    second, churn (if configured) toggles availability, a regional
+    ``partitions`` cut (if configured) severs the population for the
+    phase, and every ``maintenance_interval_s`` the overlay runs one
+    repair + anti-entropy round.
     """
 
     name: str
@@ -132,6 +175,7 @@ class Phase:
     join_peers: int = 0
     leave_peers: int = 0
     maintenance_interval_s: Optional[float] = None
+    partitions: Optional[PartitionSpec] = None
 
     def validate(self) -> None:
         if self.duration_s <= 0:
@@ -147,6 +191,8 @@ class Phase:
         self.mix.validate()
         if self.churn is not None:
             self.churn.validate()
+        if self.partitions is not None:
+            self.partitions.validate()
 
 
 @dataclass(frozen=True)

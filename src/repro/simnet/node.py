@@ -24,9 +24,10 @@ from ..core.estimators import (
 from ..core.probabilities import decision_probabilities
 from ..pgrid.bits import Path, ROOT
 from ..pgrid.keyspace import KEY_BITS, bit_at
+from ..pgrid.liveness import LivenessTracker, RouteRepairPolicy
 from . import protocol as P
 from .engine import Simulator
-from .transport import Message, Network
+from .transport import HEADER_BYTES, Message, Network, REF_BYTES
 
 __all__ = ["PGridNode", "NodeConfig", "QueryOutcome"]
 
@@ -43,6 +44,10 @@ class NodeConfig:
     query_timeout: float = 30.0
     query_retries: int = 4
     max_refs_per_level: int = 4
+    #: Evidence-driven liveness & route repair (see
+    #: :mod:`repro.pgrid.liveness`); ``RouteRepairPolicy(enabled=False)``
+    #: reproduces the repair-less blind-routing behavior.
+    repair: RouteRepairPolicy = field(default_factory=RouteRepairPolicy)
 
 
 @dataclass
@@ -53,6 +58,9 @@ class _PendingQuery:
     timeouts: int = 0
     done: bool = False
     hops: int = 0
+    #: First-hop reference the current attempt left through (liveness
+    #: evidence: a timed-out attempt marks it suspect).
+    via: Optional[int] = None
 
 
 @dataclass
@@ -67,6 +75,8 @@ class _PendingRange:
     done: bool = False
     parts: int = 0
     chain_hops: int = 0
+    #: First-hop reference of the current attempt (liveness evidence).
+    via: Optional[int] = None
     keys: Set[int] = field(default_factory=set)
     #: Slice intervals received so far (any attempt -- every attempt
     #: restarts from ``lo`` and keys deduplicate, so all slices are
@@ -138,6 +148,9 @@ class PGridNode:
         # newcomers to existing nodes after our own join completed.
         self.overlay = None
         self.joined = False
+        # Evidence-driven liveness of routing references (suspect ->
+        # probe -> evict -> replace-from-gossip; see pgrid.liveness).
+        self.liveness = LivenessTracker(self.config.repair)
         # construction activity control
         self.constructing = False
         self.idle_strikes = 0
@@ -160,17 +173,40 @@ class PGridNode:
     # -- helpers -----------------------------------------------------------
 
     def send(self, dst: int, kind: str, payload: dict, *, n_keys: int = 0,
-             category: str = P.MAINTENANCE) -> None:
-        """Transmit a message through the network (byte-accounted)."""
-        self.network.send(
-            self.node_id, dst, kind, payload, n_keys=n_keys, category=category
+             n_refs: int = 0, category: str = P.MAINTENANCE) -> Optional[str]:
+        """Transmit a message through the network (byte-accounted).
+
+        Returns the transport's send-time drop cause (or ``None``).  A
+        ``"refused"`` or ``"partition"`` failure is evidence the sender
+        really observes -- the connect failed -- so it feeds the
+        liveness tracker exactly like a timeout; random loss and
+        in-flight drops stay invisible, as on a real wire.
+        """
+        cause = self.network.send(
+            self.node_id, dst, kind, payload, n_keys=n_keys, n_refs=n_refs,
+            category=category,
         )
+        if cause in ("refused", "partition"):
+            self._suspect_ref(dst)
+        return cause
 
     def set_online(self, online: bool) -> None:
-        """Churn hook: toggling availability clears in-flight handshakes."""
+        """Churn hook: toggling availability clears in-flight handshakes.
+
+        Coming back online restarts the probe chain of every suspect
+        whose probes were voided by our own absence -- otherwise a
+        reference could stay suspect (and routed around) forever.
+        """
         self.online = online
         if not online:
             self._inflight_exchange = None
+        elif self.config.repair.enabled:
+            for ref in sorted(self.liveness.strikes):
+                if (
+                    self.liveness.strikes[ref] >= 1
+                    and ref not in self.liveness.probe_nonce
+                ):
+                    self._send_probe(ref)
 
     def add_route(self, level: int, other: int) -> None:
         """Record a complementary-subtree reference at ``level``."""
@@ -183,12 +219,21 @@ class PGridNode:
 
     def route_for_key(self, key: int) -> Optional[int]:
         """Next hop for ``key``: a random live-believed reference at the
-        first unresolved level (``None`` when responsible or stuck)."""
+        first unresolved level (``None`` when responsible or stuck).
+
+        With repair enabled, suspect references are routed around while
+        a probe chain decides their fate -- unless every reference at
+        the level is suspect, in which case we gamble on one rather
+        than dead-end.
+        """
         for level in range(self.path.length):
             if bit_at(key, level) != self.path.bit(level):
                 refs = self.routing.get(level)
                 if not refs:
                     return None
+                if self.config.repair.enabled:
+                    trusted = [r for r in refs if not self.liveness.suspected(r)]
+                    refs = trusted or refs
                 return refs[self.rng.randrange(len(refs))]
         return None  # responsible
 
@@ -196,10 +241,221 @@ class PGridNode:
         """True iff ``key`` lies in this node's partition."""
         return self.path.contains_key(key, KEY_BITS)
 
+    # -- liveness & route repair (pgrid.liveness, evidence-driven) -----------
+    #
+    # suspect: failure evidence (query timeout, partition-refused send)
+    #          -> route around the reference, start a ping probe chain;
+    # probe:   unanswered pings strike until ``evict_after``;
+    # evict:   drop the reference from every level;
+    # replace: anti-entropy exchanges gossip candidate references per
+    #          level, refilling depleted levels (the wire analogue of the
+    #          data plane's replenishment sweep).
+
+    def _suspect_ref(self, ref: int) -> None:
+        """Failure evidence against ``ref``: suspect it and start probing."""
+        if not self.config.repair.enabled or ref == self.node_id:
+            return
+        if not any(ref in refs for refs in self.routing.values()):
+            return  # not a routing reference; nothing to repair
+        if self.liveness.note_failure(ref) and self.online:
+            self._send_probe(ref)
+
+    def _confirm_on_use(self, ref: int) -> None:
+        """Forwarding through ``ref``: re-confirm it if it has been
+        silent for a while (probing tracks the traffic we actually
+        send, not a global scan)."""
+        if (
+            self.config.repair.enabled
+            and self.online
+            and self.liveness.needs_confirmation(ref, self.sim.now)
+        ):
+            self._send_probe(ref)
+
+    def _send_probe(self, ref: int) -> None:
+        nonce = self.liveness.begin_probe(ref)
+        self.liveness.repair_bytes += HEADER_BYTES
+        cause = self.send(ref, P.PING, {"nonce": nonce, "origin": self.node_id})
+        if cause in ("refused", "partition"):
+            # The connect itself failed: the probe's verdict is in
+            # already, no need to wait out the timeout.  (Bounded
+            # recursion: each round strikes once, evict_after caps it.)
+            self._probe_verdict(ref, nonce)
+            return
+        self.sim.schedule(
+            self.config.repair.probe_timeout_s,
+            lambda: self._probe_timeout(ref, nonce),
+        )
+
+    def _probe_verdict(self, ref: int, nonce: int) -> None:
+        action = self.liveness.probe_expired(ref, nonce)
+        if action == "probe":
+            self._send_probe(ref)
+        elif action == "evict":
+            self._evict_ref(ref)
+
+    def _probe_timeout(self, ref: int, nonce: int) -> None:
+        if not self.online:
+            # We could never have heard the pong: void, don't strike.
+            self.liveness.cancel_probe(ref, nonce)
+            return
+        self._probe_verdict(ref, nonce)
+
+    def _evict_ref(self, ref: int) -> None:
+        """Remove a dead-believed reference from every routing level."""
+        removed = False
+        for refs in self.routing.values():
+            if ref in refs:
+                refs.remove(ref)
+                removed = True
+        if removed:
+            self.liveness.note_evicted(ref, self.sim.now)
+        else:
+            # Already gone (e.g. displaced by newer references); just
+            # clear the tracker state so a gossip re-add starts fresh.
+            self.liveness.strikes.pop(ref, None)
+            self.liveness.probe_nonce.pop(ref, None)
+
+    def _on_ping(self, msg: Message) -> None:
+        # The pong proves liveness and -- Kademlia-style, every RPC
+        # carries routing info -- gossips replacement candidates back to
+        # the prober, who is probing precisely because it suspects its
+        # table.
+        gossip = self._gossip_refs()
+        n_refs = sum(len(refs) for refs in gossip.values())
+        self.liveness.repair_bytes += HEADER_BYTES + n_refs * REF_BYTES
+        self.send(
+            msg.src,
+            P.PONG,
+            {
+                "nonce": msg.payload["nonce"],
+                "path": str(self.path) if self.path.length else "",
+                "gossip": gossip,
+            },
+            n_refs=n_refs,
+        )
+
+    def _on_pong(self, msg: Message) -> None:
+        # Proof of life is recorded generically in ``receive``; absorb
+        # the piggybacked replacement candidates.
+        gossip = msg.payload.get("gossip")
+        path = msg.payload.get("path", "")
+        if gossip and path:
+            self._accept_gossip(Path.from_string(path), gossip)
+
+    def refresh_routes(self) -> int:
+        """Probe up to ``refresh_probes`` stalest routing references.
+
+        The periodic half of failure detection (the maintenance cadence
+        calls this): confirm-on-use only ever probes references traffic
+        happens to pick, so rarely-used dead references would linger and
+        each cost a query its timeout on discovery.  Returns the number
+        of probes launched.
+        """
+        policy = self.config.repair
+        if not policy.enabled or policy.refresh_probes <= 0 or not self.online:
+            return 0
+        now = self.sim.now
+        stale = []
+        seen = set()
+        for level in sorted(self.routing):
+            for ref in self.routing[level]:
+                if ref in seen:
+                    continue
+                seen.add(ref)
+                if self.liveness.needs_confirmation(ref, now):
+                    stale.append((self.liveness.last_confirmed.get(ref, 0.0), ref))
+        stale.sort()
+        for _, ref in stale[: policy.refresh_probes]:
+            self._send_probe(ref)
+        return min(len(stale), policy.refresh_probes)
+
+    def _forward_toward(self, key: int, kind: str, payload: dict) -> Optional[int]:
+        """Pick a reference toward ``key`` and put ``payload`` on the wire.
+
+        Returns the reference the message left through (loss is silent
+        to the sender, so a lost message still counts as forwarded) or
+        ``None`` on a dead end.  With repair enabled, a send-time
+        refusal (offline or partitioned destination: the connect
+        visibly failed) marks the reference suspect -- usually evicting
+        it on the spot via the probe cascade -- and immediately
+        re-picks: the paper's lazy *correction on use* applied at the
+        wire, bounded by the table's per-level redundancy.
+        """
+        for _ in range(self.config.max_refs_per_level + 1):
+            nxt = self.route_for_key(key)
+            if nxt is None:
+                return None
+            self._confirm_on_use(nxt)
+            cause = self.send(nxt, kind, payload, category=P.QUERY_TRAFFIC)
+            if not self.config.repair.enabled:
+                return nxt  # blind routing: one shot, timeouts judge it
+            if cause in (None, "loss", "offline"):
+                return nxt
+            # refused/partition: try another reference.
+        return None
+
+    def _gossip_refs(self) -> dict:
+        """Candidate references per level for anti-entropy gossip.
+
+        Only live-believed references travel: gossiping a suspect would
+        spread exactly the staleness repair exists to remove.
+        """
+        policy = self.config.repair
+        if not policy.enabled or policy.gossip_refs <= 0:
+            return {}
+        out = {}
+        for level in sorted(self.routing):
+            refs = [
+                r for r in self.routing[level] if not self.liveness.suspected(r)
+            ]
+            if refs:
+                out[level] = refs[: policy.gossip_refs]
+        return out
+
+    def _accept_gossip(self, their_path: Path, gossip: dict) -> None:
+        """Install gossiped candidates into depleted routing levels.
+
+        A candidate at the sender's level ``l`` is known to live under
+        the prefix ``their_path[:l] + ~their_path[l]``; placing it for
+        *us* means finding where that prefix diverges from our own path.
+        Candidates whose known prefix does not diverge from our path are
+        skipped (their deeper position is unknown).  Only levels below
+        the redundancy bound accept candidates -- gossip replenishes, it
+        never displaces a reference we still trust.
+        """
+        policy = self.config.repair
+        if not policy.enabled or not gossip:
+            return
+        max_refs = self.config.max_refs_per_level
+        for level in sorted(gossip):
+            if level >= their_path.length:
+                continue
+            prefix = their_path.prefix(level).extend(1 - their_path.bit(level))
+            mine = self.path.common_prefix_length(prefix)
+            if mine >= self.path.length or mine >= prefix.length:
+                continue
+            refs = self.routing.get(mine)
+            if refs is None:
+                refs = self.routing.setdefault(mine, [])
+            for ref in gossip[level]:
+                if len(refs) >= max_refs:
+                    break
+                if (
+                    ref != self.node_id
+                    and ref not in refs
+                    and not self.liveness.recently_evicted(ref, self.sim.now)
+                ):
+                    refs.append(ref)
+                    self.liveness.note_replacement()
+
     # -- message dispatch ----------------------------------------------------
 
     def receive(self, message: Message) -> None:
         """Network entry point."""
+        if self.config.repair.enabled:
+            # Any delivered message is proof of life: refresh the sender
+            # and clear whatever suspicion it had accumulated.
+            self.liveness.note_alive(message.src, self.sim.now)
         handler = getattr(self, f"_on_{message.kind}", None)
         if handler is None:
             return  # unknown kinds are ignored (forward compatibility)
@@ -350,6 +606,9 @@ class PGridNode:
         routes = {
             level: refs[0] for level, refs in self.routing.items() if refs
         }
+        gossip = self._gossip_refs()
+        n_refs = sum(len(refs) for refs in gossip.values())
+        self.liveness.repair_bytes += n_refs * REF_BYTES
         self.send(
             partner,
             P.EXCHANGE_REQ,
@@ -358,9 +617,11 @@ class PGridNode:
                 "keys": list(self.keys),
                 "replicas": list(self.replicas),
                 "routes": routes,
+                "gossip": gossip,
                 "nonce": self._exchange_nonce,
             },
             n_keys=len(self.keys),
+            n_refs=n_refs,
         )
 
     # The partner evaluates the interaction against its own state and
@@ -372,16 +633,24 @@ class PGridNode:
         their_replicas = set(msg.payload["replicas"])
         their_routes = msg.payload.get("routes", {})
         nonce = msg.payload["nonce"]
+        # Route-repair gossip rides on every exchange, both directions:
+        # their candidates may refill our depleted levels and vice versa.
+        self._accept_gossip(their_path, msg.payload.get("gossip") or {})
         reply = self._evaluate_exchange(
             msg.src, their_path, their_keys, their_replicas, their_routes
         )
         reply["nonce"] = nonce
         reply["expected_path"] = msg.payload["path"]
+        gossip = self._gossip_refs()
+        n_refs = sum(len(refs) for refs in gossip.values())
+        self.liveness.repair_bytes += n_refs * REF_BYTES
+        reply["gossip"] = gossip
         self.send(
             msg.src,
             P.EXCHANGE_RESP,
             reply,
             n_keys=len(reply.get("keys", ())),
+            n_refs=n_refs,
         )
 
     def _evaluate_exchange(
@@ -597,6 +866,14 @@ class PGridNode:
 
     def _on_exchange_resp(self, msg: Message) -> None:
         payload = msg.payload
+        # Gossiped candidates are fresh world knowledge regardless of
+        # whether the handshake itself went stale: accept them first.
+        # (A root-path partner stringifies as "<root>" and gossips
+        # nothing, since candidates anchor to its path levels.)
+        gossip = payload.get("gossip")
+        partner_path = payload.get("partner_path", "")
+        if gossip and partner_path and set(partner_path) <= {"0", "1"}:
+            self._accept_gossip(Path.from_string(partner_path), gossip)
         inflight = self._inflight_exchange
         self._inflight_exchange = None
         # Optimistic concurrency: drop stale responses.
@@ -745,6 +1022,7 @@ class PGridNode:
         if pending is None or pending.done:
             return
         pending.attempts += 1
+        pending.via = None  # evidence belongs to the attempt that used it
         attempt = pending.attempts
         self._route_query(
             {
@@ -808,6 +1086,12 @@ class PGridNode:
             # failure of the overlay (it could never receive the reply).
             self._finish_query(qid, pending, pending.hops, False, moot=True)
             return
+        if pending.via is not None:
+            # The attempt died somewhere past our first hop; that hop is
+            # the only reference we used ourselves, so it takes the
+            # suspicion (an innocent one answers the probe and is
+            # cleared).
+            self._suspect_ref(pending.via)
         if pending.attempts <= self.config.query_retries:
             self._send_query_attempt(qid)
         else:
@@ -830,8 +1114,10 @@ class PGridNode:
                     category=P.QUERY_TRAFFIC,
                 )
             return
-        nxt = self.route_for_key(key)
-        if nxt is None:
+        forward = dict(payload)
+        forward["hops"] = payload["hops"] + 1
+        used = self._forward_toward(key, P.QUERY, forward)
+        if used is None:
             if payload["origin"] != self.node_id:
                 self.send(
                     payload["origin"],
@@ -843,10 +1129,20 @@ class PGridNode:
                     },
                     category=P.QUERY_TRAFFIC,
                 )
+            else:
+                # Dead end at the origin itself is locally observed:
+                # retry or fail now instead of burning the timeout
+                # window (the origin-side twin of the QUERY_MISS path;
+                # ranges get this via their own stuck-slice handling).
+                self._query_dead_end(payload["qid"], payload.get("attempt", 0))
             return
-        payload = dict(payload)
-        payload["hops"] += 1
-        self.send(nxt, P.QUERY, payload, category=P.QUERY_TRAFFIC)
+        if payload["origin"] == self.node_id and payload["hops"] == 0:
+            # Remember the current attempt's first hop: a timeout is
+            # failure evidence against it (the only reference the origin
+            # knows the attempt used).
+            pending = self._queries.get(payload["qid"])
+            if pending is not None:
+                pending.via = used
 
     def _on_query(self, msg: Message) -> None:
         self._route_query(msg.payload)
@@ -856,11 +1152,15 @@ class PGridNode:
 
     def _on_query_miss(self, msg: Message) -> None:
         # A dead-end report lets the origin retry sooner than the timeout.
-        qid = msg.payload["qid"]
+        self._query_dead_end(msg.payload["qid"], msg.payload.get("attempt"))
+
+    def _query_dead_end(self, qid: int, attempt: Optional[int]) -> None:
+        """A routing dead end (remote miss or local no-route) for the
+        current attempt: retry immediately or fail."""
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
-        if msg.payload.get("attempt", pending.attempts) != pending.attempts:
+        if attempt is not None and attempt != pending.attempts:
             return  # dead end of a superseded attempt; a newer one is out
         if pending.attempts <= self.config.query_retries:
             self._send_query_attempt(qid)
@@ -902,6 +1202,7 @@ class PGridNode:
         if pending is None or pending.done:
             return
         pending.attempts += 1
+        pending.via = None  # see _send_query_attempt
         attempt = pending.attempts
         self._route_range(
             {
@@ -923,13 +1224,16 @@ class PGridNode:
         cursor = payload["cursor"]
         origin = payload["origin"]
         if not self.responsible_for(cursor):
-            nxt = self.route_for_key(cursor)
-            if nxt is None:
+            forward = dict(payload)
+            forward["hops"] = payload["hops"] + 1
+            used = self._forward_toward(cursor, P.RANGE_QUERY, forward)
+            if used is None:
                 self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
                 return
-            payload = dict(payload)
-            payload["hops"] += 1
-            self.send(nxt, P.RANGE_QUERY, payload, category=P.QUERY_TRAFFIC)
+            if origin == self.node_id and payload["hops"] == 0:
+                pending = self._ranges.get(payload["qid"])
+                if pending is not None:
+                    pending.via = used  # liveness evidence, like point queries
             return
         # Responsible for the cursor: ship this partition's slice home,
         # then forward the remainder to the next partition in key order.
@@ -943,14 +1247,11 @@ class PGridNode:
             slice_bounds=(cursor, upper),
         )
         if not done:
-            nxt = self.route_for_key(part_hi)
-            if nxt is None:
-                self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
-                return
             forward = dict(payload)
             forward["cursor"] = part_hi
             forward["hops"] = payload["hops"] + 1
-            self.send(nxt, P.RANGE_QUERY, forward, category=P.QUERY_TRAFFIC)
+            if self._forward_toward(part_hi, P.RANGE_QUERY, forward) is None:
+                self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
 
     def _send_range_part(
         self,
@@ -1030,6 +1331,8 @@ class PGridNode:
         if not self.online:
             self._finish_range(qid, pending, False, moot=True)
             return
+        if pending.via is not None:
+            self._suspect_ref(pending.via)  # see _query_timeout
         if pending.attempts <= self.config.query_retries:
             self._send_range_attempt(qid)
         else:

@@ -19,6 +19,8 @@ __all__ = [
     "QUERY_MISS",
     "RANGE_QUERY",
     "RANGE_PART",
+    "PING",
+    "PONG",
     "VOTE_REQ",
     "VOTE_RESP",
     "MAINTENANCE",
@@ -39,6 +41,8 @@ QUERY_HIT = "query_hit"  #: responsible peer -> origin
 QUERY_MISS = "query_miss"  #: routing dead-end -> origin
 RANGE_QUERY = "range_query"  #: range query traversing partitions in key order
 RANGE_PART = "range_part"  #: partition result slice -> origin (``done``/``stuck``)
+PING = "ping"  #: liveness probe of a suspect routing reference
+PONG = "pong"  #: probe answer (proof of life)
 VOTE_REQ = "vote_req"  #: index-initiation vote flood (Sec. 4.1)
 VOTE_RESP = "vote_resp"  #: aggregated vote reply
 

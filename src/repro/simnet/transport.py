@@ -35,6 +35,7 @@ __all__ = [
     "Network",
     "HEADER_BYTES",
     "KEY_BYTES",
+    "REF_BYTES",
 ]
 
 #: Fixed per-message overhead (headers, framing) in bytes.
@@ -42,6 +43,9 @@ HEADER_BYTES = 100
 
 #: Wire size of one data key (the paper moves key *references*).
 KEY_BYTES = 20
+
+#: Wire size of one gossiped routing reference (a peer id + level tag).
+REF_BYTES = 8
 
 
 class LatencyModel:
@@ -168,11 +172,16 @@ class Message:
 class Network:
     """Delivers messages between registered nodes via the simulator.
 
-    ``loss_rate`` drops messages uniformly at random; messages to offline
-    nodes are always dropped (churn); while a partition is installed
+    ``loss_rate`` drops messages uniformly at random (silently); sends
+    to a node that is *already* offline are refused at send time (the
+    TCP connect fails -- :meth:`send` returns ``"refused"`` so the
+    sender's liveness bookkeeping can react), while a node going
+    offline after the send still drops the message at delivery,
+    invisible to the sender; while a partition is installed
     (:meth:`set_partitions`) messages crossing a partition boundary are
-    dropped too.  All traffic is reported to the optional stats
-    collector, and the network keeps its own operational accounting:
+    refused too (``"partition"``).  All traffic is reported to the
+    optional stats collector, and the network keeps its own
+    operational accounting:
 
     * ``messages_dropped`` with a per-cause breakdown
       (``drops_offline`` / ``drops_loss`` / ``drops_partition``),
@@ -261,15 +270,27 @@ class Network:
         payload: dict,
         *,
         n_keys: int = 0,
+        n_refs: int = 0,
         category: str = "maintenance",
-    ) -> None:
+    ) -> Optional[str]:
         """Queue a message for delivery.
 
         ``n_keys`` contributes ``KEY_BYTES`` each to the wire size, on
         top of the fixed header -- the paper's bandwidth unit is data
-        keys moved, ours is bytes, related by this constant.
+        keys moved, ours is bytes, related by this constant.  ``n_refs``
+        likewise bills gossiped routing references at ``REF_BYTES``.
+
+        Returns the *send-time* drop cause (``"offline"`` sender,
+        ``"refused"`` destination, ``"partition"``, ``"loss"``) or
+        ``None`` when the message made it onto the wire.  Refusals and
+        partition failures are locally observable -- the sender's
+        connect fails, like a TCP RST from a departed peer or a severed
+        link -- so callers may feed them to their liveness bookkeeping.
+        Random loss stays silent, and a destination that goes offline
+        *after* the send still drops at delivery time, invisible to the
+        sender, which only ever learns about it through timeouts.
         """
-        size = HEADER_BYTES + n_keys * KEY_BYTES
+        size = HEADER_BYTES + n_keys * KEY_BYTES + n_refs * REF_BYTES
         message = Message(
             src=src, dst=dst, kind=kind, payload=payload, size_bytes=size,
             category=category,
@@ -284,20 +305,29 @@ class Network:
             # A node that just went offline cannot transmit.
             self.messages_dropped += 1
             self.drops_offline += 1
-            return
+            return "offline"
         if self._partitioned(src, dst):
             self.messages_dropped += 1
             self.drops_partition += 1
-            return
+            return "partition"
+        receiver = self.nodes.get(dst)
+        if receiver is not None and not receiver.online:
+            # The connect is refused outright (the peer's port is
+            # closed); messages already in flight when a node dies still
+            # drop silently at delivery below.
+            self.messages_dropped += 1
+            self.drops_offline += 1
+            return "refused"
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.messages_dropped += 1
             self.drops_loss += 1
-            return
+            return "loss"
         delay = self.latency.sample_link(src, dst, self.rng)
         self.inflight += 1
         if self.inflight > self.inflight_peak:
             self.inflight_peak = self.inflight
         self.sim.schedule(delay, lambda: self._deliver(message))
+        return None
 
     def _deliver(self, message: Message) -> None:
         self.inflight -= 1

@@ -119,6 +119,123 @@ class TestCheckRegression:
         ) == 1
 
 
+def scenario_section(mass_leave=0.97, churn=0.94, *, n_peers=4096, scale=1.0):
+    return {
+        "backend": "message",
+        "n_peers": n_peers,
+        "duration_scale": scale,
+        "seed": 20050830,
+        "results": {
+            "mass-leave": {"success_rate": mass_leave, "queries": 3600},
+            "paper-sec51-churn": {"success_rate": churn, "queries": 4400},
+        },
+    }
+
+
+class TestScenarioSuccessGate:
+    """The message-backend success-rate gate: repair regressions (e.g.
+    mass-leave sliding back toward the unrepaired ~0.64) must fail the
+    job even when raw perf is fine."""
+
+    def test_matching_rates_pass(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "scenario success gate" in capsys.readouterr().out
+
+    def test_success_drop_beyond_tolerance_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section(mass_leave=0.64)}))
+        code = check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "mass-leave" in out.err
+
+    def test_drop_inside_tolerance_passes(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section(mass_leave=0.93)}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_scenario_tolerance_is_configurable(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section(mass_leave=0.93)}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand),
+             "--scenario-tolerance", "0.01"]
+        ) == 1
+
+    def test_improvements_never_fail(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section(mass_leave=0.64)}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section(mass_leave=0.97)}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_incomparable_populations_skip_the_scenario_gate(self, tmp_path, capsys):
+        # The quick CI candidate (N=256) is incomparable to the
+        # committed N=4096 section: skipped, never a false failure.
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json", snapshot(extra={
+            "scenarios_message": scenario_section(mass_leave=0.50, n_peers=256, scale=0.25)
+        }))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_scenario_missing_from_candidate_fails(self, tmp_path, capsys):
+        # A partial candidate must not pass by omitting the regressed
+        # scenario: a baseline-gated scenario absent from the candidate
+        # section is itself a failure.
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        partial = scenario_section()
+        del partial["results"]["mass-leave"]
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": partial}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "missing from candidate" in capsys.readouterr().err
+
+    def test_scenario_new_in_candidate_is_not_gated(self, tmp_path):
+        base = scenario_section()
+        del base["results"]["mass-leave"]  # baseline predates the scenario
+        basep = write(tmp_path, "base.json",
+                      snapshot(extra={"scenarios_message": base}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        assert check_regression.main(
+            ["--baseline", str(basep), "--candidate", str(cand)]
+        ) == 0
+
+    def test_missing_section_skips_the_scenario_gate(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
 class TestSnapshotMergeOrder:
     """The BENCH_core.json ordering footgun: either script may run first."""
 

@@ -16,7 +16,7 @@ Four layers of protection for ``MessageScenarioRunner``:
   pinned as a SHA-256 of its report JSON
   (``tests/data/scenario_message_digests.json``; see
   ``tests/data/regen_message_digests.py``) -- the acceptance-level
-  "all six run deterministically at N>=1024" guarantee.
+  "the whole library runs deterministically at N>=1024" guarantee.
 * **Protocol-level tests** drive the message-level range traversal and
   timeout/retry paths on hand-built overlays.
 * **Structural invariants**: :meth:`MessageScenarioRunner.as_network`
@@ -37,6 +37,7 @@ from repro.scenarios import (
     MessageNetConfig,
     MessageScenarioRunner,
     Phase,
+    RouteRepairPolicy,
     ScenarioSpec,
     run_scenario,
     runner_for,
@@ -98,7 +99,7 @@ class TestDeterminism:
         assert produced == pinned
 
     def test_all_library_scenarios_deterministic_at_full_population(self):
-        """Acceptance: all six library scenarios run deterministically
+        """Acceptance: every library scenario runs deterministically
         under MessageScenarioRunner at N=1024 (digest-pinned)."""
         pinned = json.loads(DIGESTS_PATH.read_text())
         params = dict(
@@ -340,8 +341,15 @@ class TestRangeProtocol:
 
 
 class TestPointQueryOutcomes:
-    def test_offline_responsible_times_out_then_fails(self):
-        sim, net, nodes = build_wire(QUADRANTS)
+    def test_offline_responsible_times_out_then_fails_without_repair(self):
+        # Blind routing (the PR-3 baseline, repair disabled): nobody
+        # observes the refused connects, so every attempt burns a full
+        # timeout before failing.
+        config = NodeConfig(
+            query_retries=2, query_timeout=5.0,
+            repair=RouteRepairPolicy(enabled=False),
+        )
+        sim, net, nodes = build_wire(QUADRANTS, config=config)
         nodes[3].online = False  # the only holder of quadrant 11
         outcomes = []
         nodes[0].on_query_done = lambda nid, qid, out: outcomes.append(out)
@@ -352,6 +360,23 @@ class TestPointQueryOutcomes:
         assert not out.success
         assert out.timeouts >= 1
         assert out.attempts == 3
+
+    def test_offline_responsible_fails_fast_with_repair(self):
+        # With repair on, the refused connects are evidence: the dead
+        # quadrant's references are evicted and the attempts dead-end
+        # immediately instead of waiting out timeouts.
+        sim, net, nodes = build_wire(QUADRANTS)
+        nodes[3].online = False
+        outcomes = []
+        nodes[0].on_query_done = lambda nid, qid, out: outcomes.append(out)
+        nodes[0].issue_query(float_to_key(0.85))
+        sim.run_until(120.0)
+        assert len(outcomes) == 1
+        out = outcomes[0]
+        assert not out.success
+        assert out.timeouts == 0  # every failure was locally observed
+        assert out.latency < 1.0  # no 5s timeout windows burned
+        assert nodes[0].liveness.evictions >= 1
 
     def test_local_hit_still_reports_via_callback(self):
         sim, net, nodes = build_wire(QUADRANTS)
@@ -365,7 +390,13 @@ class TestPointQueryOutcomes:
         assert qid > 0
 
     def test_origin_going_offline_marks_query_moot(self):
-        sim, net, nodes = build_wire(QUADRANTS)
+        # Repair off keeps the attempts on the slow timeout path, so the
+        # origin is offline by the time its timer fires -- the moot case.
+        config = NodeConfig(
+            query_retries=2, query_timeout=5.0,
+            repair=RouteRepairPolicy(enabled=False),
+        )
+        sim, net, nodes = build_wire(QUADRANTS, config=config)
         nodes[3].online = False
         outcomes = []
         nodes[0].on_query_done = lambda nid, qid, out: outcomes.append(out)

@@ -9,17 +9,21 @@ from repro.scenarios import (
     SCENARIOS,
     ChurnSpec,
     Hotspot,
+    PartitionSpec,
     Phase,
     QueryMix,
     ScenarioRunner,
     ScenarioSpec,
+    run_scenario,
     scenario,
 )
 from repro.scenarios.library import (
+    correlated_churn,
     flash_crowd,
     mass_join,
     mass_leave,
     paper_sec51_churn,
+    regional_outage,
     uniform_baseline,
 )
 from repro.workloads.queries import POINT, RANGE, QuerySampler
@@ -35,11 +39,13 @@ class TestSpecValidation:
 
     def test_registry_is_complete(self):
         assert sorted(SCENARIOS) == [
+            "correlated-churn",
             "flash-crowd",
             "mass-join",
             "mass-leave",
             "paper-sec51-churn",
             "pareto-hotspot",
+            "regional-outage",
             "uniform-baseline",
         ]
 
@@ -81,6 +87,30 @@ class TestSpecValidation:
         with pytest.raises(SimulationError):
             spec.validate()
 
+    @pytest.mark.parametrize(
+        "fractions",
+        [(1.0,), (0.8, -0.2), (0.5, 0.4)],  # 1 region / negative / sum != 1
+    )
+    def test_bad_partition_fractions_rejected(self, fractions):
+        spec = ScenarioSpec(
+            name="x",
+            phases=(
+                Phase(
+                    name="p",
+                    duration_s=10.0,
+                    partitions=PartitionSpec(fractions=fractions),
+                ),
+            ),
+        )
+        with pytest.raises(SimulationError):
+            spec.validate()
+
+    def test_partition_spec_survives_scaling(self):
+        spec = regional_outage(n_peers=64, seed=1).scaled(0.5)
+        outage = spec.phases[1]
+        assert outage.partitions is not None
+        assert outage.partitions.fractions == (0.8, 0.2)
+
     def test_scaled_dilates_everything(self):
         spec = paper_sec51_churn(n_peers=64, seed=1)
         half = spec.scaled(0.5)
@@ -97,6 +127,56 @@ class TestSpecValidation:
         assert bounds[-1][1] == pytest.approx(spec.duration_s)
         for (_, a_end), (b_start, _) in zip(bounds, bounds[1:]):
             assert a_end == pytest.approx(b_start)
+
+
+class TestPartitionScenarios:
+    def test_regional_outage_dips_and_recovers_on_dataplane(self):
+        # The data plane approximates the cut as a correlated departure
+        # of the minority region: the online series dips during the
+        # outage phase and recovers to full population at the heal.
+        report = ScenarioRunner(
+            regional_outage(n_peers=48, seed=7, duration_scale=0.2)
+        ).run()
+        online = [row["online"] for row in report.series if row["online"] is not None]
+        assert min(online) < 48  # the outage is visible
+        assert report.totals["final_online"] == 48  # and fully healed
+        assert report.totals["final_coverage"] == 1.0
+
+    def test_regional_outage_drops_cross_region_messages_on_the_wire(self):
+        report = run_scenario(
+            regional_outage(n_peers=48, seed=7, duration_scale=0.2),
+            backend="message",
+        )
+        assert report.message_level["drops"]["partition"] > 0
+        # The refused sends fed the repair machinery.
+        assert report.message_level["repair"]["suspects"] > 0
+
+    def test_correlated_churn_cuts_different_regions_per_wave(self):
+        spec = correlated_churn(n_peers=64, seed=3, duration_scale=0.2)
+        runner = ScenarioRunner(spec)
+        cuts = []
+        original = ScenarioRunner._set_partitions
+
+        def spy(self, groups):
+            cuts.append(frozenset(pid for g in groups[1:] for pid in g))
+            original(self, groups)
+
+        ScenarioRunner._set_partitions = spy
+        try:
+            runner.run()
+        finally:
+            ScenarioRunner._set_partitions = original
+        assert len(cuts) == 3  # one cut per wave
+        assert len(set(cuts)) == 3  # each wave severs a different region
+
+    def test_both_backends_run_every_partition_scenario(self):
+        for factory in (regional_outage, correlated_churn):
+            spec = factory(n_peers=32, seed=11, duration_scale=0.1)
+            fast = run_scenario(spec)
+            wire = run_scenario(spec, backend="message")
+            assert fast.totals["queries"] > 0
+            assert wire.totals["queries"] > 0
+            assert fast.n_peers_end == wire.n_peers_end == 32
 
 
 class TestQuerySampler:
