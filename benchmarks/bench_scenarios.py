@@ -3,9 +3,11 @@
 
 Executes every scenario registered in :mod:`repro.scenarios.library`
 (uniform-baseline, pareto-hotspot, flash-crowd, mass-join, mass-leave,
-paper-sec51-churn, regional-outage, correlated-churn) on one or both
-execution backends and merges the results into the repo's perf
-snapshot, so the stress trajectory travels with the perf trajectory:
+paper-sec51-churn, regional-outage, correlated-churn, plus the write
+workloads read-write-balanced, write-hotspot-adversarial and
+asymmetric-partition-writes) on one or both execution backends and
+merges the results into the repo's perf snapshot, so the stress
+trajectory travels with the perf trajectory:
 
 * ``--backend dataplane`` (default) -> the ``scenarios`` section:
   synchronous data-plane queries, nominal byte model.
@@ -92,6 +94,20 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> 
             "final_partition_availability": totals["final_partition_availability"],
             "final_coverage": totals["final_coverage"],
         }
+        if report.writes is not None:
+            # Write-path metrics (gated by check_regression.py alongside
+            # success_rate): mutation throughput, write success, the
+            # update side of the Fig. 8 bandwidth split, and replica
+            # divergence at scenario end.
+            w = report.writes
+            entry["writes"] = w["writes"]
+            entry["write_success_rate"] = w["success_rate"]
+            entry["bytes_update"] = w["bytes_update"]
+            entry["update_Bps_mean"] = round(
+                w["bytes_update"] / report.duration_s, 3
+            )
+            entry["divergence_final"] = w["divergence"]["mean"]
+            entry["stale_replicas_final"] = w["divergence"]["stale_replicas"]
         if report.message_level is not None:
             ml = report.message_level
             entry["message_level"] = {
@@ -194,6 +210,13 @@ def main(argv=None) -> int:
                 line += (
                     f"  p50 {'n/a' if p50 is None else format(p50, '.3f')}s  "
                     f"timeouts {ml['timeouts']}"
+                )
+            if "writes" in entry:
+                wsr = entry["write_success_rate"]
+                line += (
+                    f"  writes {entry['writes']:6d}  "
+                    f"w-success {'n/a' if wsr is None else format(wsr, '.4f')}  "
+                    f"div {entry['divergence_final']:.4f}"
                 )
             print(line)
     return 0

@@ -21,26 +21,43 @@ baseline.  Improvements are reported but never fail the gate.  Exit
 codes: 0 ok, 1 regression, 2 unusable input (no overlapping metrics --
 a misconfigured gate must not pass silently).
 
-Besides the perf metrics, the gate also guards the **message-backend
-scenario success rates** (the ``scenarios_message`` section written by
-``bench_scenarios.py --backend message|both``): a scenario whose
-``success_rate`` drops more than ``--scenario-tolerance`` (default
-0.05, absolute) below the committed snapshot fails the gate -- e.g.
-``mass-leave`` sliding back toward the unrepaired ~0.64 would be caught
-even if raw perf is fine.  Scenario sections are only compared when
-both snapshots ran the same population and duration scale (the quick CI
-candidate at N=256 is incomparable to the committed N=4096 section and
-is skipped with a note; the nightly full run compares for real).
+Besides the perf metrics, the gate also guards the **scenario
+sections** of both execution backends (``scenarios`` /
+``scenarios_message``, written by ``bench_scenarios.py``).  Per
+scenario entry it compares every metric it knows the direction of,
+instead of silently ignoring unknown keys:
+
+* ``success_rate`` and ``write_success_rate`` -- an absolute drop
+  beyond ``--scenario-tolerance`` (default 0.05) fails: e.g.
+  ``mass-leave`` sliding back toward the unrepaired ~0.64, or the write
+  path losing mutations it used to land;
+* ``divergence_final`` -- an absolute *rise* beyond the same tolerance
+  fails: replica staleness regressing means replica sync/anti-entropy
+  stopped keeping up with the write stream;
+* ``bytes_update`` -- growth beyond the ratio ``--tolerance`` fails: a
+  write-path bandwidth blowup is a regression even when success holds.
+
+Scenario sections are only compared when both snapshots ran the same
+population and duration scale (the quick CI candidate at N=256 is
+incomparable to the committed N=4096 section and is skipped with a
+note; the nightly full run compares for real).
+
+When ``$GITHUB_STEP_SUMMARY`` is set (every GitHub Actions step) -- or
+``--summary PATH`` is passed -- the gate also appends a markdown
+verdict table per metric per size, so a failure is readable from the
+run's summary page instead of raw logs.
 
 Guards: the PR-1 data-plane speedups (sorted key stores, memoized
-inversions, query fast paths) and the PR-4 message-level route-repair
-success floor, as committed in ``BENCH_core.json``.
+inversions, query fast paths), the PR-4 message-level route-repair
+success floor, and the PR-5 write-path success/divergence floors, as
+committed in ``BENCH_core.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -53,11 +70,12 @@ METRICS = ("lookup_us", "range_us", "build_s")
 #: Default regression tolerance (candidate/baseline ratio).
 DEFAULT_TOLERANCE = 1.5
 
-#: Max allowed absolute drop in a message-backend scenario success rate.
+#: Max allowed absolute drop in a scenario success rate (and rise in
+#: replica divergence).
 DEFAULT_SCENARIO_TOLERANCE = 0.05
 
-#: Snapshot section holding the message-backend scenario results.
-SCENARIO_SECTION = "scenarios_message"
+#: Gated scenario sections, one per execution backend.
+SCENARIO_SECTIONS = ("scenarios", "scenarios_message")
 
 
 def compare(
@@ -86,30 +104,58 @@ def compare(
     return rows, failures
 
 
+#: Gated per-scenario metrics, as ``(key, direction)``:
+#: ``"drop"`` -- an absolute drop beyond the scenario tolerance fails;
+#: ``"rise"`` -- an absolute rise beyond the scenario tolerance fails;
+#: ``"ratio"`` -- growth beyond the perf ratio tolerance fails.
+SCENARIO_METRICS = (
+    ("success_rate", "drop"),
+    ("write_success_rate", "drop"),
+    ("divergence_final", "rise"),
+    ("bytes_update", "ratio"),
+)
+
+
+def _metric_breach(
+    direction: str, base: float, cand: float, abs_tol: float, ratio_tol: float
+) -> bool:
+    if direction == "drop":
+        return cand < base - abs_tol
+    if direction == "rise":
+        return cand > base + abs_tol
+    # ratio: only growth regresses (shrinking write bytes is a win).
+    return base > 0 and cand / base > ratio_tol
+
+
 def compare_scenarios(
-    baseline: dict, candidate: dict, tolerance: float
-) -> Tuple[List[Tuple[str, float, float]], List[str], Optional[str]]:
-    """Compare message-backend scenario success rates.
+    baseline: dict,
+    candidate: dict,
+    tolerance: float,
+    section: str = "scenarios_message",
+    ratio_tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[Tuple[str, str, float, float, bool]], List[str], Optional[str]]:
+    """Compare one backend's scenario section metric by metric.
 
     Returns ``(rows, failures, skip_reason)``: ``rows`` are
-    ``(scenario, baseline_rate, candidate_rate)`` for every comparable
-    scenario, ``failures`` one message per breach, and ``skip_reason``
-    a human-readable note when the sections are absent or incomparable
-    (different population / duration scale), in which case the scenario
-    gate is a no-op rather than an error -- the perf-smoke job's quick
-    candidate legitimately cannot be compared to the committed full run.
+    ``(scenario, metric, baseline, candidate, breached)`` for every
+    comparable metric of every comparable scenario, ``failures`` one
+    message per breach, and ``skip_reason`` a human-readable note when
+    the sections are absent or incomparable (different population /
+    duration scale), in which case the scenario gate is a no-op rather
+    than an error -- the perf-smoke job's quick candidate legitimately
+    cannot be compared to the committed full run.
     """
-    base = baseline.get(SCENARIO_SECTION)
-    cand = candidate.get(SCENARIO_SECTION)
+    base = baseline.get(section)
+    cand = candidate.get(section)
     if not base or not cand:
-        return [], [], "no scenarios_message section in both snapshots"
+        return [], [], f"no {section} section in both snapshots"
     for knob in ("n_peers", "duration_scale", "seed"):
         if base.get(knob) != cand.get(knob):
             return [], [], (
                 f"scenario sections incomparable: {knob} "
                 f"{base.get(knob)} vs {cand.get(knob)}"
             )
-    rows: List[Tuple[str, float, float]] = []
+    rows: List[Tuple[str, str, float, float, bool]] = []
     failures: List[str] = []
     base_results = base.get("results", {})
     cand_results = cand.get("results", {})
@@ -118,23 +164,99 @@ def compare_scenarios(
     # pass by omitting exactly the scenario that regressed.  (Scenarios
     # new in the candidate are fine: nothing pins them yet.)
     for name in sorted(set(base_results) - set(cand_results)):
-        if base_results[name].get("success_rate") is not None:
+        if any(
+            base_results[name].get(metric) is not None
+            for metric, _ in SCENARIO_METRICS
+        ):
             failures.append(
                 f"{name} present in baseline but missing from candidate "
-                "scenarios_message results"
+                f"{section} results"
             )
     for name in sorted(set(base_results) & set(cand_results)):
-        base_rate = base_results[name].get("success_rate")
-        cand_rate = cand_results[name].get("success_rate")
-        if base_rate is None or cand_rate is None:
-            continue  # a run without (point) queries pins nothing
-        rows.append((name, float(base_rate), float(cand_rate)))
-        if float(cand_rate) < float(base_rate) - tolerance:
-            failures.append(
-                f"{name} success_rate: {cand_rate:.4f} vs baseline "
-                f"{base_rate:.4f} (drop > {tolerance:g})"
+        for metric, direction in SCENARIO_METRICS:
+            base_value = base_results[name].get(metric)
+            cand_value = cand_results[name].get(metric)
+            if base_value is None or cand_value is None:
+                continue  # metric absent (read-only scenario) pins nothing
+            base_value, cand_value = float(base_value), float(cand_value)
+            breached = _metric_breach(
+                direction, base_value, cand_value, tolerance, ratio_tolerance
             )
+            rows.append((name, metric, base_value, cand_value, breached))
+            if breached:
+                bound = (
+                    f"ratio > {ratio_tolerance:g}x"
+                    if direction == "ratio"
+                    else f"{direction} > {tolerance:g}"
+                )
+                failures.append(
+                    f"{section}/{name} {metric}: {cand_value:g} vs baseline "
+                    f"{base_value:g} ({bound})"
+                )
     return rows, failures, None
+
+
+def build_step_summary(
+    perf_rows: List[Tuple[str, str, float, float, float]],
+    tolerance: float,
+    scenario_results: Dict[str, tuple],
+    scenario_tolerance: float,
+    failures: List[str],
+) -> str:
+    """The gate verdicts as a GitHub-flavored markdown fragment.
+
+    One table per gate: perf metrics (per size, old vs new vs ratio) and
+    each backend's scenario section (per scenario per metric).  Appended
+    to ``$GITHUB_STEP_SUMMARY`` so a gate failure is readable from the
+    Actions summary page instead of raw logs.
+    """
+    lines = [
+        "## Regression gates" + (" — ❌ FAIL" if failures else " — ✅ pass"),
+        "",
+        f"### Perf (tolerance {tolerance:g}x)",
+        "",
+        "| metric | N | baseline | candidate | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | ---: | :---: |",
+    ]
+    for metric, size, base_value, cand_value, ratio in perf_rows:
+        verdict = "❌ fail" if ratio > tolerance else (
+            "✅ ok" if ratio >= 1.0 else "✅ faster"
+        )
+        lines.append(
+            f"| {metric} | {size} | {base_value:.3f} | {cand_value:.3f} "
+            f"| {ratio:.2f}x | {verdict} |"
+        )
+    for section, (rows, skip) in scenario_results.items():
+        lines += ["", f"### Scenarios — `{section}` "
+                      f"(tolerance ±{scenario_tolerance:g} abs, {tolerance:g}x bytes)", ""]
+        if skip is not None:
+            lines.append(f"_skipped: {skip}_")
+            continue
+        lines += [
+            "| scenario | metric | baseline | candidate | verdict |",
+            "| --- | --- | ---: | ---: | :---: |",
+        ]
+        for name, metric, base_value, cand_value, breached in rows:
+            verdict = "❌ fail" if breached else "✅ ok"
+            lines.append(
+                f"| {name} | {metric} | {base_value:g} | {cand_value:g} "
+                f"| {verdict} |"
+            )
+    if failures:
+        lines += ["", "**Regressions beyond tolerance:**", ""]
+        lines += [f"- {failure}" for failure in failures]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(markdown: str, path: Optional[str]) -> None:
+    """Append ``markdown`` to the step-summary file, if one is known."""
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(markdown)
+    except OSError as exc:  # never fail the gate over a summary file
+        print(f"check_regression: cannot write summary: {exc}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -153,8 +275,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scenario-tolerance", type=float, default=DEFAULT_SCENARIO_TOLERANCE,
-        help="max allowed absolute drop in message-backend scenario "
-        f"success rates (default {DEFAULT_SCENARIO_TOLERANCE})",
+        help="max allowed absolute drop in scenario success rates / rise "
+        f"in replica divergence (default {DEFAULT_SCENARIO_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--summary", default=None,
+        help="markdown summary file to append the verdict tables to "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
     )
     args = parser.parse_args(argv)
 
@@ -185,26 +312,34 @@ def main(argv=None) -> int:
             f"ratio {ratio:5.2f}x"
         )
 
-    scen_rows, scen_failures, skip = compare_scenarios(
-        baseline, candidate, args.scenario_tolerance
-    )
-    if skip is not None:
-        print(f"scenario success gate: skipped ({skip})")
-    else:
-        print(
-            f"scenario success gate (message backend, "
-            f"tolerance -{args.scenario_tolerance:g})"
+    scenario_results: Dict[str, tuple] = {}
+    for section in SCENARIO_SECTIONS:
+        scen_rows, scen_failures, skip = compare_scenarios(
+            baseline, candidate, args.scenario_tolerance, section, args.tolerance
         )
-        for name, base_rate, cand_rate in scen_rows:
-            bad = cand_rate < base_rate - args.scenario_tolerance
-            verdict = "FAIL" if bad else (
-                "ok  " if cand_rate <= base_rate else "ok ^"
-            )
+        scenario_results[section] = (scen_rows, skip)
+        if skip is not None:
+            print(f"scenario gate [{section}]: skipped ({skip})")
+        else:
             print(
-                f"  [{verdict}] {name:18s}  baseline {base_rate:6.4f}  "
-                f"candidate {cand_rate:6.4f}"
+                f"scenario gate [{section}] "
+                f"(tolerance ±{args.scenario_tolerance:g} abs, "
+                f"{args.tolerance:g}x bytes)"
             )
-    failures += scen_failures
+            for name, metric, base_value, cand_value, breached in scen_rows:
+                verdict = "FAIL" if breached else "ok  "
+                print(
+                    f"  [{verdict}] {name:28s} {metric:18s}  "
+                    f"baseline {base_value:12.4f}  candidate {cand_value:12.4f}"
+                )
+        failures += scen_failures
+
+    write_step_summary(
+        build_step_summary(
+            rows, args.tolerance, scenario_results, args.scenario_tolerance, failures
+        ),
+        args.summary or os.environ.get("GITHUB_STEP_SUMMARY"),
+    )
 
     if failures:
         print("\nregressions beyond tolerance:", file=sys.stderr)

@@ -1,0 +1,102 @@
+"""Write workloads: feeding the data-oriented index while it serves.
+
+The paper's index is *data-oriented* -- its bandwidth and consistency
+story (Sec. 5, the Fig. 8 maintenance split) assumes keys are
+continuously inserted, updated and deleted while the overlay routes
+around churn.  This demo runs the ``read-write-balanced`` library
+scenario -- a read-only warmup, a mixed phase where mutations arrive at
+half the query rate under light churn, and a settle phase where
+anti-entropy reconverges the replicas -- and prints the write-path
+headline numbers next to the familiar read-side ones:
+
+* ``write success rate`` -- mutations that reached an online
+  responsible owner (routing works for writes like it does for reads);
+* ``update_Bps`` -- the write side of the Fig. 8 bandwidth split (a new
+  traffic category next to query/maintenance);
+* ``replica divergence`` -- how far the write stream outran replica
+  sync + anti-entropy (fraction of partition keys missing from an
+  average replica; deletes propagate delete-wins via tombstones).
+
+Like :mod:`examples.churn_resilience`, this is a thin client of the
+scenario engine and runs the same spec on either backend:
+
+* ``backend="dataplane"`` (default): mutations route synchronously and
+  fan out to online replicas; divergence comes from churned replicas
+  missing writes.
+* ``backend="message"``: inserts/deletes travel as protocol messages
+  (``insert``/``delete``/``replica_sync``), pay latency/loss, retry on
+  timeout, and are wire-accounted in the ``updates`` category.
+"""
+
+import argparse
+
+from repro.scenarios import run_scenario, scenario
+
+
+def run(
+    n_peers: int = 128,
+    seed: int = 23,
+    duration_scale: float = 0.5,
+    backend: str = "dataplane",
+    name: str = "read-write-balanced",
+):
+    """Execute one write-workload scenario; returns the ScenarioReport."""
+    spec = scenario(name, n_peers=n_peers, seed=seed, duration_scale=duration_scale)
+    return run_scenario(spec, backend=backend)
+
+
+def _print_report(report, backend: str) -> None:
+    writes = report.writes
+    divergence = writes["divergence"]
+    print(f"\n{report.scenario} on the {backend} backend "
+          f"({report.n_peers_start} peers, "
+          f"{report.duration_s / 60:.0f} simulated minutes)")
+    print(f"  queries / success rate:        {report.totals['queries']:6d} / "
+          f"{report.totals['success_rate']:.3f}")
+    print(f"  writes  / success rate:        {writes['writes']:6d} / "
+          f"{writes['success_rate']:.3f}")
+    print(f"  insert / delete / update:      {writes['inserts']:6d} / "
+          f"{writes['deletes']} / {writes['updates']}")
+    print(f"  write bytes (update traffic):  {writes['bytes_update']:10d}")
+    peak = max((bps for _, bps in report.update_bandwidth_series()), default=0.0)
+    print(f"  peak update_Bps:               {peak:10.1f}")
+    print(f"  replica divergence mean/max:   {divergence['mean']:10.4f} / "
+          f"{divergence['max']:.4f}")
+    print(f"  stale replicas / tombstones:   {divergence['stale_replicas']:6d} / "
+          f"{divergence['tombstones']}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="read/write mixes on both scenario backends"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("read-write-balanced", "write-hotspot-adversarial",
+                 "asymmetric-partition-writes"),
+        default="read-write-balanced",
+    )
+    # Examples run under the test suite's runpy sweep with pytest's
+    # argv; ignore whatever we do not recognize.
+    args, _ = parser.parse_known_args(argv)
+
+    fast = run(name=args.scenario)
+    _print_report(fast, "dataplane")
+    assert fast.writes["writes"] > 0
+    assert fast.writes["success_rate"] > 0.9
+    # Anti-entropy reconverged the replicas after the write stream ended.
+    assert fast.writes["divergence"]["mean"] < 0.05
+
+    # The same spec at the message level: every mutation pays wire
+    # latency, retries on timeout, and replica sync is real traffic.
+    wire = run(n_peers=96, duration_scale=0.25, backend="message",
+               name=args.scenario)
+    _print_report(wire, "message")
+    assert wire.writes["writes"] > 0
+    wp = wire.message_level["write_path"]
+    print(f"  write timeouts/retries/moot:   {wp['timeouts']:6d} / "
+          f"{wp['retries']} / {wp['moot_writes']}")
+
+
+if __name__ == "__main__":
+    main()

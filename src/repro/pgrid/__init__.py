@@ -14,7 +14,9 @@ Sub-modules
 ``peer``
     Peer state: path, stored keys, replicas, routing table.
 ``network``
-    The assembled overlay: construction adapters, lookup entry points.
+    The assembled overlay: construction adapters, lookup entry points,
+    and the routed write path (``insert``/``delete`` with eager
+    replica application).
 ``search``
     Prefix routing for exact queries and the "shower" algorithm for
     range queries over the trie.
@@ -28,7 +30,8 @@ Sub-modules
     the message backend, and the oracle-evidence ``repair_routes`` sweep
     used by the data plane.
 ``replication``
-    Anti-entropy reconciliation between replicas.
+    Anti-entropy reconciliation between replicas, including delete-wins
+    tombstone propagation and the replica-divergence aggregates.
 """
 
 from . import (  # noqa: F401

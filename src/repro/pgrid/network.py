@@ -27,9 +27,36 @@ from .peer import PGridPeer
 from .routing import RoutingTable
 from .search import LookupResult, RangeResult, lookup, range_query
 
-__all__ = ["PGridNetwork", "build_overlay"]
+__all__ = ["PGridNetwork", "WriteResult", "build_overlay"]
 
 KeyLike = Union[int, float, str]
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a routed mutation (insert or delete).
+
+    Mirrors :class:`~repro.pgrid.search.LookupResult` for the routing
+    half (``hops``/``visited``/``found``/``responsible``) so existing
+    insert callers keep working, and adds the write-path bookkeeping:
+    ``replicas_written`` counts the online same-partition replicas the
+    mutation was eagerly applied to (offline replicas converge later
+    through anti-entropy -- that lag is the replica divergence the
+    scenario reports measure).
+    """
+
+    key: int
+    op: str
+    found: bool
+    responsible: Optional[int]
+    hops: int
+    visited: List[int]
+    replicas_written: int = 0
+
+    @property
+    def success(self) -> bool:
+        """True iff the mutation reached an online responsible peer."""
+        return self.found
 
 
 def _to_key(value: KeyLike) -> int:
@@ -254,19 +281,54 @@ class PGridNetwork:
         """Range query over ``[lo, hi)`` in key order."""
         return range_query(self, _to_key(lo), _to_key(hi), start=start, rng=rng)
 
-    def insert(self, value: KeyLike, *, rng: RngLike = None) -> LookupResult:
+    def insert(self, value: KeyLike, *, rng: RngLike = None) -> WriteResult:
         """Insert a key: route to the responsible partition, store on the
-        responsible peer and all of its reachable replicas."""
-        key = _to_key(value)
+        responsible peer and its *online* replicas.
+
+        Offline replicas miss the write and converge through the
+        reconciliation machinery (:mod:`repro.pgrid.replication`); until
+        they do, the partition is measurably divergent.  ``success``
+        means the mutation was applied at an online owner -- like query
+        success, it is a routing outcome.  Durability of a *re-insert of
+        a previously deleted key* is additionally subject to delete-wins
+        reconciliation: it sticks once the insert has cleared the
+        tombstone on every replica (see
+        :func:`repro.pgrid.replication.reconcile`).
+        """
+        return self._write("insert", _to_key(value), rng=rng)
+
+    def delete(self, value: KeyLike, *, rng: RngLike = None) -> WriteResult:
+        """Delete a key: route to the responsible partition, erase it on
+        the responsible peer and its *online* replicas.
+
+        Each erase leaves a tombstone (death certificate), so the delete
+        survives union-style anti-entropy instead of resurrecting from
+        the first stale replica (delete-wins; see
+        :func:`repro.pgrid.replication.reconcile`).
+        """
+        return self._write("delete", _to_key(value), rng=rng)
+
+    def _write(self, op: str, key: int, *, rng: RngLike = None) -> WriteResult:
         res = lookup(self, key, rng=rng)
+        replicas_written = 0
         if res.found and res.responsible is not None:
             target = self.peers[res.responsible]
-            target.store(key)
-            for rid in target.replicas:
+            apply = target.store if op == "insert" else target.erase
+            apply(key)
+            for rid in sorted(target.replicas):
                 replica = self.peers.get(rid)
                 if replica is not None and replica.online and replica.responsible_for(key):
-                    replica.store(key)
-        return res
+                    (replica.store if op == "insert" else replica.erase)(key)
+                    replicas_written += 1
+        return WriteResult(
+            key=key,
+            op=op,
+            found=res.found,
+            responsible=res.responsible,
+            hops=res.hops,
+            visited=res.visited,
+            replicas_written=replicas_written,
+        )
 
     # -- statistics ---------------------------------------------------------------
 

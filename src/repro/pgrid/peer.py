@@ -9,6 +9,13 @@ Keys live in a sorted :class:`~repro.pgrid.keystore.KeyStore` so the
 range-query hot path (``matching_keys``) runs in ``O(log n + hits)``
 instead of scanning the whole key set; any iterable assigned to ``keys``
 is coerced, so call sites may keep handing over plain sets.
+
+Deletes leave a *tombstone* (a second, normally tiny ``KeyStore``):
+replica reconciliation is a union, so without a death certificate a
+deleted key would resurrect from the first stale replica it meets.
+Tombstone semantics are delete-wins (see
+:func:`repro.pgrid.replication.reconcile`); a subsequent insert clears
+the tombstone on every peer it is applied to.
 """
 
 from __future__ import annotations
@@ -31,7 +38,9 @@ class PGridPeer:
     to them (queries retry through alternative references).
     """
 
-    __slots__ = ("peer_id", "path", "_keys", "replicas", "routing", "online")
+    __slots__ = (
+        "peer_id", "path", "_keys", "replicas", "routing", "online", "tombstones"
+    )
 
     def __init__(
         self,
@@ -48,6 +57,8 @@ class PGridPeer:
         self.replicas = set(replicas) if replicas is not None else set()
         self.routing = routing if routing is not None else RoutingTable()
         self.online = online
+        #: Death certificates of deleted keys (delete-wins reconciliation).
+        self.tombstones = KeyStore()
 
     @property
     def keys(self) -> KeyStore:
@@ -69,12 +80,32 @@ class PGridPeer:
         return self.path.contains_key(key, KEY_BITS)
 
     def store(self, key: int) -> None:
-        """Store a data key; rejects keys outside the partition."""
+        """Store a data key; rejects keys outside the partition.
+
+        Applying an insert clears any local tombstone for the key -- the
+        insert is newer evidence than the delete that left it.
+        """
         if not self.responsible_for(key):
             raise DomainError(
                 f"key {key} outside partition {self.path} of peer {self.peer_id}"
             )
         self._keys.add(key)
+        if len(self.tombstones):
+            self.tombstones.discard(key)
+
+    def erase(self, key: int) -> None:
+        """Delete a data key, leaving a tombstone; rejects foreign keys.
+
+        Idempotent, and tombstones even keys not locally present -- an
+        offline replica may still hold the key, and the tombstone is
+        what kills it at the next reconciliation.
+        """
+        if not self.responsible_for(key):
+            raise DomainError(
+                f"key {key} outside partition {self.path} of peer {self.peer_id}"
+            )
+        self._keys.discard(key)
+        self.tombstones.add(key)
 
     def resolves(self, key: int) -> int:
         """Number of leading path bits of this peer matching ``key``.

@@ -4,19 +4,37 @@ Structural replication -- several peers per key-space partition -- is the
 paper's availability mechanism (Sec. 2.1).  Replicas converge on the same
 key set through pairwise reconciliation, "using, e.g. [an] anti-entropy
 algorithm" (Fig. 2, possibility 2).
+
+Deletes and tombstones
+----------------------
+Reconciliation is a union, so a bare delete would resurrect from the
+first stale replica it meets.  The write path therefore leaves a
+*tombstone* per deleted key (:meth:`repro.pgrid.peer.PGridPeer.erase`);
+:func:`reconcile` unions tombstones alongside keys and then applies them
+to both sides -- **delete-wins** semantics: when a key is simultaneously
+present on one replica and tombstoned on another, the delete prevails.
+A later insert clears the tombstone on every peer it is applied to
+(owner plus online replicas, then reconciliation), which is when a
+re-insert of a previously deleted key becomes durable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
-from .._util import RngLike, make_rng
+from .._util import RngLike, make_rng, mean
 from ..exceptions import DomainError
 from .network import PGridNetwork
 from .peer import PGridPeer
 
-__all__ = ["ReconcileStats", "reconcile", "anti_entropy_sweep", "replica_divergence"]
+__all__ = [
+    "ReconcileStats",
+    "reconcile",
+    "anti_entropy_sweep",
+    "replica_divergence",
+    "divergence_stats",
+]
 
 
 @dataclass
@@ -49,6 +67,21 @@ def reconcile(a: PGridPeer, b: PGridPeer) -> ReconcileStats:
             f"cannot reconcile peers of different partitions {a.path} vs {b.path}"
         )
     a_received, b_received = a.keys.reconcile_with(b.keys)
+    if len(a.tombstones) or len(b.tombstones):
+        # Death certificates travel with the exchange (counted as moved
+        # keys: they cost wire bytes like any key) and win over presence.
+        t_a, t_b = a.tombstones.reconcile_with(b.tombstones)
+        if a_received or b_received or t_a or t_b:
+            # Something moved: re-apply the certificates.  When nothing
+            # moved in either direction, both sides were already
+            # tombstone-consistent (every prior install ran this purge),
+            # so the converged dominant case skips the O(tombstones)
+            # sweep.
+            a_received += t_a
+            b_received += t_b
+            for key in a.tombstones:
+                a.keys.discard(key)
+                b.keys.discard(key)
     a.replicas.add(b.peer_id)
     b.replicas.add(a.peer_id)
     return ReconcileStats(a_received=a_received, b_received=b_received)
@@ -120,6 +153,42 @@ def reconcile_down(network: PGridNetwork) -> int:
             for pid in groups[deep]:
                 moved += network.peers[pid].keys.update_sorted(matching)
     return moved
+
+
+def divergence_stats(groups: Iterable[List[Iterable[int]]]) -> Dict[str, float]:
+    """Replica-staleness aggregates over replica groups of key sets.
+
+    ``groups`` yields, per partition, the key collections of its
+    replicas (any sized iterable of ints -- ``KeyStore`` or ``set``).
+    Each replica's divergence is the fraction of its group's key union
+    it is missing (0.0 = fully synchronized); ``stale_replicas`` counts
+    replicas missing at least one key.  Both execution backends feed
+    their end state through this one aggregator so the scenario
+    report's ``writes.divergence`` section is comparable across them.
+    Deterministic given a deterministic group order (callers iterate
+    partitions in sorted-path order).
+    """
+    replicas = 0
+    stale = 0
+    fractions: List[float] = []
+    for members in groups:
+        sets = [set(ks) for ks in members]
+        union: set = set()
+        for ks in sets:
+            union |= ks
+        if not union:
+            continue
+        for ks in sets:
+            replicas += 1
+            fractions.append(1.0 - len(ks) / len(union))
+            if len(ks) != len(union):
+                stale += 1
+    return {
+        "replicas": replicas,
+        "stale_replicas": stale,
+        "mean": mean(fractions) if fractions else 0.0,
+        "max": max(fractions, default=0.0),
+    }
 
 
 def replica_divergence(network: PGridNetwork) -> float:

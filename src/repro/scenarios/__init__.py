@@ -9,8 +9,9 @@ This package turns the repo's stress ingredients -- churn processes
 
 ``spec``
     :class:`ScenarioSpec`: phases of arrivals/departures, churn regimes,
-    flash-crowd query hotspots, point/range query mixes, maintenance
-    cadence -- an experiment as data.
+    flash-crowd query hotspots, point/range query mixes, write mixes
+    (:class:`WriteMix`: insert/delete/update rates with hotspot
+    support), maintenance cadence -- an experiment as data.
 ``base``
     :class:`~repro.scenarios.base.ScenarioRunnerBase`: the shared phase
     compiler both backends plug into.
@@ -32,10 +33,11 @@ This package turns the repo's stress ingredients -- churn processes
     message/bandwidth totals, per-peer load imbalance and replication
     health over time, with byte-stable JSON for golden-trace testing.
 ``library``
-    Eight named scenarios (uniform-baseline, pareto-hotspot,
+    Eleven named scenarios (uniform-baseline, pareto-hotspot,
     flash-crowd, mass-join, mass-leave, paper-sec51-churn,
-    regional-outage, correlated-churn) runnable at N=4096 on either
-    backend.
+    regional-outage, correlated-churn, plus the write workloads
+    read-write-balanced, write-hotspot-adversarial and
+    asymmetric-partition-writes) runnable at N=4096 on either backend.
 ``invariants``
     Structural checks (prefix-complete partition, complementary routing,
     live key coverage) for the randomized invariant test layer.
@@ -57,7 +59,11 @@ the determinism tests pick it up automatically on both backends.
 from . import base, invariants, library, message_runner, report, runner, spec  # noqa: F401
 from ..pgrid.liveness import RouteRepairPolicy  # noqa: F401
 from .base import ScenarioRunnerBase  # noqa: F401
-from .invariants import check_invariants, live_key_coverage  # noqa: F401
+from .invariants import (  # noqa: F401
+    check_invariants,
+    check_replica_divergence,
+    live_key_coverage,
+)
 from .library import SCENARIOS, scenario  # noqa: F401
 from .message_runner import MessageNetConfig, MessageScenarioRunner  # noqa: F401
 from .report import ScenarioReport  # noqa: F401
@@ -69,6 +75,7 @@ from .spec import (  # noqa: F401
     Phase,
     QueryMix,
     ScenarioSpec,
+    WriteMix,
 )
 
 from ..exceptions import DomainError
@@ -107,6 +114,7 @@ __all__ = [
     "ScenarioSpec",
     "Phase",
     "QueryMix",
+    "WriteMix",
     "Hotspot",
     "ChurnSpec",
     "PartitionSpec",
@@ -122,5 +130,6 @@ __all__ = [
     "SCENARIOS",
     "scenario",
     "check_invariants",
+    "check_replica_divergence",
     "live_key_coverage",
 ]

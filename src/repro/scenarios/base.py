@@ -35,6 +35,7 @@ same spec + seed + backend reproduces a byte-identical report
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -46,9 +47,12 @@ from ..workloads.datasets import workload_keys
 from ..workloads.distributions import distribution
 from ..workloads.queries import POINT, QuerySampler
 from .report import ScenarioReport
-from .spec import Phase, ScenarioSpec
+from .spec import Phase, ScenarioSpec, WriteMix
 
 __all__ = ["ScenarioRunnerBase", "_Tally"]
+
+#: Write operation tags (also the per-phase counter keys, pluralized).
+WRITE_OPS = ("insert", "delete", "update")
 
 
 class _Tally:
@@ -59,16 +63,23 @@ class _Tally:
         # bin -> [issued, succeeded, hops_on_point_success, point_successes, bytes]
         self.query_bins: Dict[int, List[float]] = defaultdict(lambda: [0, 0, 0, 0, 0])
         self.maint_bins: Dict[int, float] = defaultdict(float)
+        #: bin -> write (update-category) bytes.
+        self.update_bins: Dict[int, float] = defaultdict(float)
         # bin -> (online, partition_availability, mean_online_replicas)
         self.samples: Dict[int, tuple] = {}
         self.phase_counters: List[Dict[str, float]] = [
-            {"queries": 0, "successes": 0, "points": 0, "ranges": 0, "bytes": 0}
+            {
+                "queries": 0, "successes": 0, "points": 0, "ranges": 0, "bytes": 0,
+                "writes": 0, "inserts": 0, "deletes": 0, "updates": 0,
+                "write_successes": 0, "write_bytes": 0,
+            }
             for _ in range(n_phases)
         ]
         self.load: Dict[int, int] = defaultdict(int)
         self.messages = 0
         self.query_bytes = 0
         self.maint_bytes = 0
+        self.update_bytes = 0
         self.repairs = 0
         self.keys_moved = 0
         self.range_incomplete = 0
@@ -115,6 +126,26 @@ class _Tally:
         self.messages += messages
         self.maint_bytes += size
 
+    def record_write(
+        self,
+        t: float,
+        phase_idx: int,
+        *,
+        op: str,
+        success: bool,
+        messages: int,
+        size: int,
+    ) -> None:
+        self.update_bins[self._bin(t)] += size
+        counters = self.phase_counters[phase_idx]
+        counters["writes"] += 1
+        counters[op + "s"] += 1
+        counters["write_bytes"] += size
+        if success:
+            counters["write_successes"] += 1
+        self.messages += messages
+        self.update_bytes += size
+
     def record_sample(
         self, t: float, online: int, availability: float, mean_online_replicas: float
     ) -> None:
@@ -142,6 +173,13 @@ class ScenarioRunnerBase:
         self.simulator: Optional[Simulator] = None
         #: True while a phase's regional cut is installed.
         self._partition_active = False
+        #: True when any phase carries a :class:`WriteMix` -- gates every
+        #: write-path branch so read-only runs stay bit-identical to the
+        #: pre-write-path engine (golden-trace contract).
+        self._writes_active = any(p.writes is not None for p in spec.phases)
+        #: Sorted keys believed present in the index (delete/update
+        #: targets); populated from the workload when writes are active.
+        self._key_pool: List[int] = []
 
     # -- public API --------------------------------------------------------
 
@@ -157,6 +195,10 @@ class ScenarioRunnerBase:
         member_rng = make_rng(master.randrange(2**31))
         maint_rng = make_rng(master.randrange(2**31))
         self._derive_extra_streams(master)
+        # The write stream is derived *after* the backend extras so the
+        # seeds of every pre-existing stream -- and with them the
+        # read-only golden traces of both backends -- are untouched.
+        write_rng = make_rng(master.randrange(2**31))
 
         peer_keys = workload_keys(
             spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
@@ -164,6 +206,8 @@ class ScenarioRunnerBase:
         sim = Simulator()
         self.simulator = sim
         self._setup(peer_keys, build_rng)
+        if self._writes_active:
+            self._key_pool = sorted({k for keys in peer_keys for k in keys})
 
         tally = _Tally(spec.report_bin_s, len(spec.phases))
         departed: Set[int] = set()
@@ -195,6 +239,7 @@ class ScenarioRunnerBase:
                     churn_rng=churn_rng,
                     member_rng=member_rng,
                     maint_rng=maint_rng,
+                    write_rng=write_rng,
                 ),
             )
 
@@ -267,6 +312,18 @@ class ScenarioRunnerBase:
         """Issue (and for synchronous backends, complete) one query."""
         raise NotImplementedError
 
+    def _run_one_write(
+        self, tally: _Tally, phase: Phase, idx: int, op: str, key: int, rng
+    ) -> None:
+        """Issue one mutation (``op`` in :data:`WRITE_OPS`) for ``key``."""
+        raise NotImplementedError
+
+    def _divergence_state(self) -> Dict[str, float]:
+        """End-of-run replica staleness (see
+        :func:`repro.pgrid.replication.divergence_stats`) plus the
+        surviving ``tombstones`` count.  Only called when writes ran."""
+        raise NotImplementedError
+
     def _sample_state(self) -> Tuple[int, float, float]:
         """``(online, partition_availability, mean_online_replicas)`` now."""
         raise NotImplementedError
@@ -286,13 +343,23 @@ class ScenarioRunnerBase:
         qbytes = issued_row[4] if issued_row else 0
         return qbytes / tally.bin_s, tally.maint_bins.get(b, 0.0) / tally.bin_s
 
+    def _bin_update_bps(self, tally: _Tally, b: int) -> float:
+        """Write-path bytes/second for one report bin."""
+        return tally.update_bins.get(b, 0.0) / tally.bin_s
+
     def _phase_bytes(self, counters: Dict[str, float], start: float, end: float) -> int:
         """Query bytes attributed to one phase."""
         return int(counters["bytes"])
 
-    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int]:
-        """``(messages, bytes_query, bytes_maintenance)`` for the run."""
-        return tally.messages, tally.query_bytes, tally.maint_bytes
+    def _phase_update_bytes(
+        self, counters: Dict[str, float], start: float, end: float
+    ) -> int:
+        """Write-path bytes attributed to one phase."""
+        return int(counters["write_bytes"])
+
+    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int, int]:
+        """``(messages, bytes_query, bytes_maintenance, bytes_update)``."""
+        return tally.messages, tally.query_bytes, tally.maint_bytes, tally.update_bytes
 
     def _load_by_peer(self, tally: _Tally) -> List[int]:
         """Per-peer load counts, in stable (sorted peer id) order."""
@@ -366,6 +433,7 @@ class ScenarioRunnerBase:
         churn_rng,
         member_rng,
         maint_rng,
+        write_rng,
     ) -> Callable[[], None]:
         spec = self.spec
 
@@ -450,7 +518,56 @@ class ScenarioRunnerBase:
 
                 sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
 
+            # -- write arrival process -------------------------------------
+            if phase.writes is not None:
+                wmix = phase.writes
+                wsampler = wmix.to_sampler()
+
+                def write_tick() -> None:
+                    if sim.now >= end:
+                        return
+                    op, key = self._draw_write(wmix, wsampler, write_rng)
+                    self._run_one_write(tally, phase, idx, op, key, write_rng)
+                    sim.schedule(write_rng.expovariate(wmix.write_rate), write_tick)
+
+                sim.schedule(write_rng.expovariate(wmix.write_rate), write_tick)
+
         return begin_phase
+
+    def _draw_write(
+        self, mix: WriteMix, sampler: QuerySampler, rng
+    ) -> Tuple[str, int]:
+        """Draw one mutation ``(op, key)`` from a phase's write mix.
+
+        Inserts mint a fresh key from the (possibly hotspot-focused)
+        sampler and track it in the pool; deletes and updates target the
+        tracked key *nearest* the sampled point, so a write hotspot
+        concentrates all three operations on the same region.  Both
+        backends draw from the same stream, so the logical mutation
+        sequence is identical across them.
+        """
+        pool = self._key_pool
+        total = mix.insert_weight + mix.delete_weight + mix.update_weight
+        draw = rng.random() * total
+        target = sampler.draw_point_key(rng)
+        if draw < mix.insert_weight or not pool:
+            i = bisect_left(pool, target)
+            if i == len(pool) or pool[i] != target:
+                pool.insert(i, target)
+            return "insert", target
+        # Truly nearest, not just the successor: a target at a hotspot's
+        # upper edge must hit the in-window predecessor, not a key far
+        # to the right.
+        i = bisect_left(pool, target)
+        if i == len(pool):
+            i -= 1
+        elif i > 0 and target - pool[i - 1] < pool[i] - target:
+            i -= 1
+        key = pool[i]
+        if draw < mix.insert_weight + mix.delete_weight:
+            del pool[i]
+            return "delete", key
+        return "update", key
 
     # -- report assembly ---------------------------------------------------
 
@@ -458,10 +575,12 @@ class ScenarioRunnerBase:
         spec = self.spec
         bin_s = spec.report_bin_s
 
+        writes_active = self._writes_active
         bins = sorted(
             set(tally.samples)
             | set(tally.query_bins)
             | set(tally.maint_bins)
+            | set(tally.update_bins)
             | self._extra_bins()
         )
         series: List[dict] = []
@@ -471,44 +590,53 @@ class ScenarioRunnerBase:
             )
             online, availability, live_reps = tally.samples.get(b, (None, None, None))
             query_bps, maint_bps = self._bin_bandwidth(tally, b)
-            series.append(
-                {
-                    "minute": b * bin_s / 60.0,
-                    "online": online,
-                    "queries": issued,
-                    "successes": ok,
-                    "success_rate": (ok / issued) if issued else None,
-                    "mean_hops": (hops / point_ok) if point_ok else None,
-                    "query_Bps": query_bps,
-                    "maint_Bps": maint_bps,
-                    "partition_availability": availability,
-                    "mean_online_replicas": live_reps,
-                }
-            )
+            row = {
+                "minute": b * bin_s / 60.0,
+                "online": online,
+                "queries": issued,
+                "successes": ok,
+                "success_rate": (ok / issued) if issued else None,
+                "mean_hops": (hops / point_ok) if point_ok else None,
+                "query_Bps": query_bps,
+                "maint_Bps": maint_bps,
+                "partition_availability": availability,
+                "mean_online_replicas": live_reps,
+            }
+            if writes_active:
+                # Only write-carrying scenarios grow the extra series
+                # column: read-only reports stay byte-identical.
+                row["update_Bps"] = self._bin_update_bps(tally, b)
+            series.append(row)
 
         phases = []
         for phase, (start, end), counters in zip(
             spec.phases, boundaries, tally.phase_counters
         ):
             issued = counters["queries"]
-            phases.append(
-                {
-                    "name": phase.name,
-                    "start_min": start / 60.0,
-                    "end_min": end / 60.0,
-                    "queries": int(issued),
-                    "point_queries": int(counters["points"]),
-                    "range_queries": int(counters["ranges"]),
-                    "success_rate": (counters["successes"] / issued) if issued else None,
-                    "query_bytes": self._phase_bytes(counters, start, end),
-                }
-            )
+            row = {
+                "name": phase.name,
+                "start_min": start / 60.0,
+                "end_min": end / 60.0,
+                "queries": int(issued),
+                "point_queries": int(counters["points"]),
+                "range_queries": int(counters["ranges"]),
+                "success_rate": (counters["successes"] / issued) if issued else None,
+                "query_bytes": self._phase_bytes(counters, start, end),
+            }
+            if writes_active:
+                writes = counters["writes"]
+                row["writes"] = int(writes)
+                row["write_success_rate"] = (
+                    (counters["write_successes"] / writes) if writes else None
+                )
+                row["update_bytes"] = self._phase_update_bytes(counters, start, end)
+            phases.append(row)
 
         total_issued = sum(c["queries"] for c in tally.phase_counters)
         total_ok = sum(c["successes"] for c in tally.phase_counters)
         all_hops = sum(row[2] for row in tally.query_bins.values())
         point_ok = sum(row[3] for row in tally.query_bins.values())
-        messages, bytes_query, bytes_maint = self._traffic_totals(tally)
+        messages, bytes_query, bytes_maint, bytes_update = self._traffic_totals(tally)
         final = self._final_state()
 
         loads = self._load_by_peer(tally)
@@ -529,7 +657,7 @@ class ScenarioRunnerBase:
             "messages": messages,
             "bytes_query": bytes_query,
             "bytes_maintenance": bytes_maint,
-            "bytes_total": bytes_query + bytes_maint,
+            "bytes_total": bytes_query + bytes_maint + bytes_update,
             "repairs": tally.repairs,
             "keys_moved": tally.keys_moved,
             "joins": tally.joins,
@@ -540,6 +668,31 @@ class ScenarioRunnerBase:
             "final_partition_availability": final["final_partition_availability"],
             "final_coverage": final["final_coverage"],
         }
+
+        writes_section = None
+        if writes_active:
+            total_writes = sum(c["writes"] for c in tally.phase_counters)
+            write_ok = sum(c["write_successes"] for c in tally.phase_counters)
+            totals["writes"] = int(total_writes)
+            totals["write_successes"] = int(write_ok)
+            totals["write_success_rate"] = (
+                (write_ok / total_writes) if total_writes else None
+            )
+            totals["bytes_update"] = bytes_update
+            divergence = self._divergence_state()
+            writes_section = {
+                "writes": int(total_writes),
+                "inserts": int(sum(c["inserts"] for c in tally.phase_counters)),
+                "deletes": int(sum(c["deletes"] for c in tally.phase_counters)),
+                "updates": int(sum(c["updates"] for c in tally.phase_counters)),
+                "successes": int(write_ok),
+                "success_rate": (write_ok / total_writes) if total_writes else None,
+                "bytes_update": bytes_update,
+                # Replica staleness at scenario end: how far the write
+                # stream outran replica sync + anti-entropy (the paper's
+                # replica-consistency story made measurable).
+                "divergence": divergence,
+            }
 
         return ScenarioReport(
             scenario=spec.name,
@@ -558,4 +711,5 @@ class ScenarioRunnerBase:
                 "max_over_mean": (load_max / load_mean) if load_mean else 0.0,
             },
             message_level=self._message_section(),
+            writes=writes_section,
         )

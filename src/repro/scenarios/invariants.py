@@ -36,6 +36,7 @@ __all__ = [
     "check_partition_tiling",
     "check_routing_complementarity",
     "live_key_coverage",
+    "check_replica_divergence",
     "check_invariants",
 ]
 
@@ -125,6 +126,32 @@ def live_key_coverage(network: PGridNetwork) -> Tuple[int, int]:
         total += len(union)
         covered += len(union & live)
     return covered, total
+
+
+def check_replica_divergence(
+    network: PGridNetwork, *, max_mean: float = 0.0
+) -> None:
+    """Assert mean replica divergence is within ``max_mean``.
+
+    The write-path invariant: once anti-entropy has converged (every
+    online replica reconciled, delete tombstones propagated), no replica
+    may be missing keys its group holds -- divergence collapses to 0.
+    Mid-run, callers pass the slack they expect from in-flight writes.
+    Raises :class:`~repro.exceptions.PartitionError` on a breach.
+    """
+    from ..pgrid.replication import divergence_stats
+
+    groups = network.partitions()
+    stats = divergence_stats(
+        [network.peers[pid].keys for pid in sorted(groups[path])]
+        for path in sorted(groups)
+    )
+    if stats["mean"] > max_mean:
+        raise PartitionError(
+            f"replica divergence {stats['mean']:.6f} exceeds {max_mean:g} "
+            f"({stats['stale_replicas']} of {stats['replicas']} replicas stale, "
+            f"worst {stats['max']:.6f})"
+        )
 
 
 def check_invariants(network: PGridNetwork, *, require_full_coverage: bool = False) -> None:

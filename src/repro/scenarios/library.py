@@ -1,6 +1,6 @@
 """Named, ready-to-run stress scenarios (the ISSUE-2 library).
 
-Eight scenarios cover the stress axes of the paper's evaluation and the
+Eleven scenarios cover the stress axes of the paper's evaluation and the
 ROADMAP's "as many scenarios as you can imagine" ambition:
 
 ==================  ====================================================
@@ -25,6 +25,16 @@ ROADMAP's "as many scenarios as you can imagine" ambition:
 ``correlated-churn``  three waves, each severing a different random 15%
                       region with recovery gaps -- correlated failures,
                       not the independent-churn idealization
+``read-write-balanced``  queries and mutations (insert/delete/update)
+                      interleave at comparable rates under light churn
+                      -- the data-oriented index actually being *fed*
+``write-hotspot-adversarial``  a write flash-crowd: most mutations
+                      collapse onto a 2% key window while queries hit
+                      the same region and part of the population churns
+``asymmetric-partition-writes``  an asymmetric three-way regional cut
+                      with writes continuing throughout -- replicas
+                      diverge measurably, then anti-entropy reconverges
+                      them after the heal
 ==================  ====================================================
 
 Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
@@ -41,7 +51,15 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from ..exceptions import DomainError
-from .spec import ChurnSpec, Hotspot, PartitionSpec, Phase, QueryMix, ScenarioSpec
+from .spec import (
+    ChurnSpec,
+    Hotspot,
+    PartitionSpec,
+    Phase,
+    QueryMix,
+    ScenarioSpec,
+    WriteMix,
+)
 
 __all__ = [
     "SCENARIOS",
@@ -54,6 +72,9 @@ __all__ = [
     "paper_sec51_churn",
     "regional_outage",
     "correlated_churn",
+    "read_write_balanced",
+    "write_hotspot_adversarial",
+    "asymmetric_partition_writes",
 ]
 
 #: Default population: the ROADMAP's 4096-peer scale point.
@@ -263,6 +284,124 @@ def correlated_churn(
     )
 
 
+def read_write_balanced(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Queries and mutations interleave at comparable rates.
+
+    The paper's index is *data-oriented*: its bandwidth and consistency
+    story assumes keys are continuously inserted, updated and deleted
+    while queries route around churn.  A read-only warmup pins the
+    baseline; the mixed phase feeds the index at half the query rate
+    (insert-leaning, so the key population grows); the settle phase
+    stops the writes and lets replica sync + anti-entropy drive the
+    measured divergence back down.
+    """
+    writes = WriteMix(
+        write_rate=2.0, insert_weight=0.45, delete_weight=0.3, update_weight=0.25
+    )
+    light_churn = ChurnSpec(fraction=0.2)
+    return _build(
+        "read-write-balanced",
+        [
+            Phase(name="warmup", duration_s=180.0, maintenance_interval_s=120.0),
+            Phase(
+                name="mixed",
+                duration_s=480.0,
+                writes=writes,
+                churn=light_churn,
+                maintenance_interval_s=120.0,
+            ),
+            Phase(name="settle", duration_s=240.0, maintenance_interval_s=60.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def write_hotspot_adversarial(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """A write flash-crowd on a 2% key window, queried while it burns.
+
+    The adversarial composition: 90% of an 8/s mutation stream collapses
+    onto one narrow region (delete-heavy, so the same partitions keep
+    absorbing inserts *and* tombstones), queries focus on the same
+    window, and 30% of the population churns -- the owners of the hot
+    partitions must apply, fan out and reconcile the write storm while
+    their replica groups blink.  Load concentration shows up in
+    ``load.max_over_mean``; replica staleness in ``writes.divergence``.
+    """
+    hot = Hotspot(lo=0.40, hi=0.42, weight=0.9)
+    writes = WriteMix(
+        write_rate=8.0,
+        insert_weight=0.4,
+        delete_weight=0.4,
+        update_weight=0.2,
+        hotspot=hot,
+    )
+    hot_queries = QueryMix(point_weight=0.9, range_weight=0.1, range_span=0.02,
+                           hotspot=hot)
+    return _build(
+        "write-hotspot-adversarial",
+        [
+            Phase(name="calm", duration_s=240.0, maintenance_interval_s=120.0),
+            Phase(
+                name="write-storm",
+                duration_s=360.0,
+                mix=hot_queries,
+                writes=writes,
+                churn=ChurnSpec(fraction=0.3),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="cooldown", duration_s=300.0, maintenance_interval_s=60.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
+def asymmetric_partition_writes(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Writes continue through an asymmetric three-way regional cut.
+
+    The population splits 75/15/10 for five minutes while mutations keep
+    arriving.  On the message backend the cut is a real transport
+    partition: writes originating in minority regions cannot reach
+    majority-side owners (refused connects feed route repair), replica
+    sync cannot cross the boundary, and the replica groups straddling
+    the cut diverge.  The data plane approximates the minority regions
+    as offline, so its owners simply miss five minutes of writes.  The
+    heal phase runs fast maintenance and measures how far anti-entropy
+    pulls the divergence back down.
+    """
+    writes = WriteMix(
+        write_rate=3.0, insert_weight=0.5, delete_weight=0.3, update_weight=0.2
+    )
+    return _build(
+        "asymmetric-partition-writes",
+        [
+            Phase(name="steady", duration_s=240.0, writes=writes,
+                  maintenance_interval_s=120.0),
+            Phase(
+                name="cut",
+                duration_s=300.0,
+                writes=writes,
+                partitions=PartitionSpec(fractions=(0.75, 0.15, 0.10)),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="heal", duration_s=360.0, writes=writes,
+                  maintenance_interval_s=60.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+    )
+
+
 #: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
 SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "uniform-baseline": uniform_baseline,
@@ -273,6 +412,9 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "paper-sec51-churn": paper_sec51_churn,
     "regional-outage": regional_outage,
     "correlated-churn": correlated_churn,
+    "read-write-balanced": read_write_balanced,
+    "write-hotspot-adversarial": write_hotspot_adversarial,
+    "asymmetric-partition-writes": asymmetric_partition_writes,
 }
 
 

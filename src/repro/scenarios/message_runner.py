@@ -57,6 +57,7 @@ from ..pgrid.bits import Path
 from ..pgrid.liveness import RouteRepairPolicy
 from ..pgrid.network import PGridNetwork
 from ..pgrid.peer import PGridPeer
+from ..pgrid.replication import divergence_stats
 from ..pgrid.routing import RoutingTable
 from ..simnet import protocol as P
 from ..simnet.node import NodeConfig, PGridNode, QueryOutcome
@@ -128,12 +129,17 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         self._node_tuple: Optional[Tuple[PGridNode, ...]] = None
         # qid -> (phase index, query kind, issue time)
         self._meta: Dict[int, Tuple[int, str, float]] = {}
+        # wid -> (phase index, write op, issue time)
+        self._wmeta: Dict[int, Tuple[int, str, float]] = {}
         self._tally: Optional[_Tally] = None
         self._point_latencies: List[float] = []
         self._range_latencies: List[float] = []
         self._timeouts = 0
         self._retries = 0
         self._moot = 0
+        self._write_timeouts = 0
+        self._write_retries = 0
+        self._moot_writes = 0
 
     # -- lifecycle hooks ---------------------------------------------------
 
@@ -185,6 +191,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         node.joined = True
         node.on_query_done = self._query_done
         node.on_range_done = self._range_done
+        node.on_write_done = self._write_done
         self.nodes[pid] = node
         self._node_tuple = None
         return node
@@ -396,6 +403,61 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         if outcome.moot:
             self._moot += 1
 
+    # -- write issuance (asynchronous) --------------------------------------
+
+    def _run_one_write(
+        self, tally: _Tally, phase: Phase, idx: int, op: str, key: int, rng
+    ) -> None:
+        """Put one mutation on the wire from a random online origin.
+
+        An ``update`` travels as an insert of the existing key (the
+        index stores bare keys, so an update is an idempotent
+        overwrite); the op label is kept for the report's counters.
+        """
+        origin = self._random_online_node(rng)
+        if origin is None:
+            tally.record_write(
+                self.simulator.now, idx, op=op, success=False, messages=0, size=0
+            )
+            return
+        if op == "delete":
+            wid = origin.issue_delete(key)
+        else:
+            wid = origin.issue_insert(key)
+        self._wmeta[wid] = (idx, op, self.simulator.now)
+
+    def _write_done(self, node_id: int, wid: int, outcome: QueryOutcome) -> None:
+        meta = self._wmeta.pop(wid, None)
+        if meta is None:
+            return
+        idx, op, _issued = meta
+        self._write_retries += max(outcome.attempts - 1, 0)
+        self._write_timeouts += outcome.timeouts
+        if outcome.moot:
+            # The origin churned offline mid-write: not an overlay
+            # failure (see _query_done); visible in the writes section.
+            self._moot_writes += 1
+            return
+        self._tally.record_write(
+            outcome.issued_at,
+            idx,
+            op=op,
+            success=outcome.success,
+            messages=outcome.messages,
+            size=0,  # wire bytes are accounted by the transport
+        )
+
+    def _divergence_state(self) -> Dict[str, float]:
+        groups = self._groups()
+        stats = divergence_stats(
+            [sorted(self.nodes[pid].keys) for pid in groups[path]]
+            for path in sorted(groups)
+        )
+        stats["tombstones"] = sum(
+            len(self.nodes[pid].tombstones) for pid in sorted(self.nodes)
+        )
+        return stats
+
     # -- run wiring --------------------------------------------------------
 
     def _make_phase_start(self, sim, tally, *args, **kwargs):
@@ -424,6 +486,11 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 hops=0, messages=0, size=0,
             )
         self._meta.clear()
+        for wid, (idx, op, issued_at) in sorted(self._wmeta.items()):
+            tally.record_write(
+                issued_at, idx, op=op, success=False, messages=0, size=0
+            )
+        self._wmeta.clear()
 
     # -- assembly hooks ----------------------------------------------------
 
@@ -438,6 +505,10 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         maint = self.stats.bytes_by_category.get(P.MAINTENANCE, {}).get(b, 0)
         return query / tally.bin_s, maint / tally.bin_s
 
+    def _bin_update_bps(self, tally: _Tally, b: int) -> float:
+        update = self.stats.bytes_by_category.get(P.UPDATE_TRAFFIC, {}).get(b, 0)
+        return update / tally.bin_s
+
     def _phase_bytes(self, counters, start: float, end: float) -> int:
         # Wire bytes per phase: sum the query-category bins inside the
         # phase window.  Bin-granular -- a bin straddling a phase
@@ -446,7 +517,13 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         # specs).  The final phase also absorbs the drain tail (replies
         # still in flight at duration end), keeping the per-phase sum
         # consistent with ``totals.bytes_query``.
-        per_bin = self.stats.bytes_by_category.get(P.QUERY_TRAFFIC, {})
+        return self._phase_category_bytes(P.QUERY_TRAFFIC, start, end)
+
+    def _phase_update_bytes(self, counters, start: float, end: float) -> int:
+        return self._phase_category_bytes(P.UPDATE_TRAFFIC, start, end)
+
+    def _phase_category_bytes(self, category: str, start: float, end: float) -> int:
+        per_bin = self.stats.bytes_by_category.get(category, {})
         bin_s = self.spec.report_bin_s
         lo = int(start // bin_s)
         if end >= self.spec.duration_s:
@@ -456,14 +533,17 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             sum(size for b, size in per_bin.items() if lo <= b < hi)
         )
 
-    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int]:
+    def _traffic_totals(self, tally: _Tally) -> Tuple[int, int, int, int]:
         query = sum(
             self.stats.bytes_by_category.get(P.QUERY_TRAFFIC, {}).values()
         )
         maint = sum(
             self.stats.bytes_by_category.get(P.MAINTENANCE, {}).values()
         )
-        return self.transport.messages_sent, int(query), int(maint)
+        update = sum(
+            self.stats.bytes_by_category.get(P.UPDATE_TRAFFIC, {}).values()
+        )
+        return self.transport.messages_sent, int(query), int(maint), int(update)
 
     def _load_by_peer(self, tally: _Tally) -> List[int]:
         delivered = self.transport.delivered
@@ -512,7 +592,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             # maintenance side of the Fig. 8 bandwidth split.
             "repair_bytes": sum(t.repair_bytes for t in trackers),
         }
-        return {
+        section = {
             "repair": repair,
             "latency_s": _latency_stats(self._point_latencies),
             "range_latency_s": _latency_stats(self._range_latencies),
@@ -541,6 +621,15 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 "repair_enabled": cfg.repair.enabled,
             },
         }
+        if self._writes_active:
+            # Only write-carrying scenarios grow the extra key: read-only
+            # message-level goldens stay byte-identical.
+            section["write_path"] = {
+                "timeouts": self._write_timeouts,
+                "retries": self._write_retries,
+                "moot_writes": self._moot_writes,
+            }
+        return section
 
     # -- inspection --------------------------------------------------------
 

@@ -72,6 +72,11 @@ class ScenarioReport:
     #: the serialized form then, so data-plane golden traces are
     #: unaffected by the section's existence.
     message_level: Optional[Dict[str, Any]] = None
+    #: Write-path section (insert/delete/update counts, write success,
+    #: update-category bytes, end-of-run replica divergence).  ``None``
+    #: for read-only scenarios and *omitted* from the serialized form
+    #: then, keeping pre-write-path golden traces byte-identical.
+    writes: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
 
@@ -91,6 +96,8 @@ class ScenarioReport:
         }
         if self.message_level is not None:
             payload["message_level"] = self.message_level
+        if self.writes is not None:
+            payload["writes"] = self.writes
         return _canonical(payload)
 
     def to_json(self) -> str:
@@ -114,6 +121,15 @@ class ScenarioReport:
             for row in self.series
         ]
 
+    def update_bandwidth_series(self) -> List[Tuple[float, float]]:
+        """(minute, write-path Bps) per report bin; empty for read-only
+        scenarios (the column only exists when a phase carries writes)."""
+        return [
+            (row["minute"], row["update_Bps"])
+            for row in self.series
+            if "update_Bps" in row
+        ]
+
     def summary_rows(self) -> List[Tuple[str, float]]:
         """Headline numbers as printable rows (mirrors
         :meth:`repro.simnet.experiment.ExperimentReport.summary_rows`)."""
@@ -124,7 +140,7 @@ class ScenarioReport:
             return float("nan") if value is None else float(value)
 
         totals = self.totals
-        return [
+        rows = [
             ("queries issued", _f(totals.get("queries", 0))),
             ("query success rate", _f(totals.get("success_rate"))),
             ("mean lookup hops", _f(totals.get("mean_hops"))),
@@ -134,3 +150,11 @@ class ScenarioReport:
             ("final partition availability", _f(totals.get("final_partition_availability"))),
             ("final live-key coverage", _f(totals.get("final_coverage"))),
         ]
+        if self.writes is not None:
+            rows += [
+                ("writes issued", _f(self.writes.get("writes", 0))),
+                ("write success rate", _f(self.writes.get("success_rate"))),
+                ("write bytes", _f(self.writes.get("bytes_update", 0))),
+                ("final replica divergence", _f(self.writes.get("divergence", {}).get("mean"))),
+            ]
+        return rows

@@ -31,7 +31,7 @@ from ..exceptions import RoutingError
 from ..pgrid.liveness import RouteRepairPolicy, repair_routes
 from ..pgrid.maintenance import sequential_join
 from ..pgrid.network import PGridNetwork
-from ..pgrid.replication import anti_entropy_sweep
+from ..pgrid.replication import anti_entropy_sweep, divergence_stats
 from ..workloads.queries import POINT, QuerySampler
 from .base import ScenarioRunnerBase, _Tally
 from .invariants import live_key_coverage
@@ -216,6 +216,52 @@ class ScenarioRunner(ScenarioRunnerBase):
                 messages=messages,
                 size=size,
             )
+
+    # -- write execution (synchronous) --------------------------------------
+
+    def _run_one_write(
+        self, tally: _Tally, phase: Phase, idx: int, op: str, key: int, rng
+    ) -> None:
+        """Route one mutation on the data plane.
+
+        An ``update`` is an idempotent re-insert (the index stores bare
+        keys); byte model: every routed hop and every replica fan-out
+        message carries the key (``HEADER_BYTES + KEY_BYTES``).
+        """
+        net = self.network
+        sim = self.simulator
+        attempts = 1 + self.spec.query_retries
+        messages = size = 0
+        success = False
+        write = net.delete if op == "delete" else net.insert
+        for _ in range(attempts):
+            try:
+                res = write(key, rng=rng)
+            except RoutingError:
+                break  # whole population offline: the write cannot start
+            sent = res.hops + res.replicas_written
+            messages += sent
+            size += sent * (HEADER_BYTES + KEY_BYTES)
+            for pid in res.visited:
+                tally.load[pid] += 1
+            if res.found:
+                success = True
+                break
+        tally.record_write(
+            sim.now, idx, op=op, success=success, messages=messages, size=size
+        )
+
+    def _divergence_state(self) -> Dict[str, float]:
+        net = self.network
+        groups = net.partitions()
+        stats = divergence_stats(
+            [sorted(net.peers[pid].keys) for pid in sorted(groups[path])]
+            for path in sorted(groups)
+        )
+        stats["tombstones"] = sum(
+            len(net.peers[pid].tombstones) for pid in sorted(net.peers)
+        )
+        return stats
 
     # -- assembly hooks ----------------------------------------------------
 

@@ -4,7 +4,9 @@ A :class:`ScenarioSpec` describes a complete overlay stress experiment as
 data: the initial population and key workload, then a sequence of
 :class:`Phase` objects, each combining peer arrivals/departures, a churn
 regime, a query mix (point lookups and range scans, optionally focused
-on a flash-crowd hotspot) and a maintenance/repair cadence.  The shared
+on a flash-crowd hotspot), a write mix (:class:`WriteMix`:
+insert/delete/update mutations, optionally hotspot-focused) and a
+maintenance/repair cadence.  The shared
 compiler (:mod:`repro.scenarios.base`) turns a spec into
 :class:`repro.simnet.engine.Simulator` events for either execution
 backend: the synchronous data plane
@@ -36,6 +38,7 @@ __all__ = [
     "Hotspot",
     "PartitionSpec",
     "QueryMix",
+    "WriteMix",
     "Phase",
     "ScenarioSpec",
 ]
@@ -155,16 +158,75 @@ class QueryMix:
 
 
 @dataclass(frozen=True)
+class WriteMix:
+    """One phase's mutation workload (the write path of the index).
+
+    ``write_rate`` mutations arrive per simulated second (a Poisson
+    process like the query arrivals); each draws its operation from the
+    three weights:
+
+    * **insert** -- a fresh key sampled from the key space (optionally
+      concentrated on ``hotspot``, the flash-crowd write pattern).
+      Fresh 53-bit draws make colliding with a previously deleted key
+      astronomically unlikely, so the workload never depends on
+      re-insert-after-delete durability (which is delete-wins-bounded,
+      see :func:`repro.pgrid.replication.reconcile`);
+    * **delete** -- an existing key (nearest tracked key to the sampled
+      target, so hotspots focus deletes too); the owner tombstones it
+      and the delete propagates delete-wins through replica sync and
+      anti-entropy;
+    * **update** -- a re-insert of an existing key (the index has no
+      separate values, so an update is an idempotent overwrite --
+      exercising insert idempotence and refresh traffic).
+
+    When no key is tracked as present yet, deletes and updates fall
+    back to inserts (the pool then grows until the configured blend is
+    reachable).
+    """
+
+    write_rate: float = 1.0
+    insert_weight: float = 0.5
+    delete_weight: float = 0.3
+    update_weight: float = 0.2
+    hotspot: Optional[Hotspot] = None
+
+    def validate(self) -> None:
+        if self.write_rate <= 0:
+            raise SimulationError(
+                f"write rate must be positive, got {self.write_rate}"
+            )
+        if min(self.insert_weight, self.delete_weight, self.update_weight) < 0:
+            raise SimulationError("write-mix weights must be non-negative")
+        if self.insert_weight + self.delete_weight + self.update_weight <= 0:
+            raise SimulationError("write mix needs a positive total weight")
+        # Key sampling reuses the query sampler; surface its verdict.
+        try:
+            self.to_sampler()
+        except DomainError as exc:
+            raise SimulationError(str(exc)) from None
+
+    def to_sampler(self) -> QuerySampler:
+        """The key sampler behind every mutation target (point draws,
+        hotspot-aware)."""
+        return QuerySampler(
+            point_weight=1.0,
+            range_weight=0.0,
+            hotspot=self.hotspot.as_tuple() if self.hotspot is not None else None,
+        )
+
+
+@dataclass(frozen=True)
 class Phase:
     """One stage of a scenario timeline.
 
     At the phase boundary ``join_peers`` new peers arrive (sequential
     maintenance joins) and ``leave_peers`` online peers depart for good;
     during the phase queries arrive at ``query_rate`` per simulated
-    second, churn (if configured) toggles availability, a regional
-    ``partitions`` cut (if configured) severs the population for the
-    phase, and every ``maintenance_interval_s`` the overlay runs one
-    repair + anti-entropy round.
+    second, mutations (if a ``writes`` mix is configured) arrive at its
+    ``write_rate``, churn (if configured) toggles availability, a
+    regional ``partitions`` cut (if configured) severs the population
+    for the phase, and every ``maintenance_interval_s`` the overlay runs
+    one repair + anti-entropy round.
     """
 
     name: str
@@ -176,6 +238,9 @@ class Phase:
     leave_peers: int = 0
     maintenance_interval_s: Optional[float] = None
     partitions: Optional[PartitionSpec] = None
+    #: Mutation workload for this phase (``None`` = read-only, the
+    #: pre-write-path behavior, bit-for-bit).
+    writes: Optional[WriteMix] = None
 
     def validate(self) -> None:
         if self.duration_s <= 0:
@@ -193,6 +258,8 @@ class Phase:
             self.churn.validate()
         if self.partitions is not None:
             self.partitions.validate()
+        if self.writes is not None:
+            self.writes.validate()
 
 
 @dataclass(frozen=True)

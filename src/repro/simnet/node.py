@@ -44,6 +44,15 @@ class NodeConfig:
     query_timeout: float = 30.0
     query_retries: int = 4
     max_refs_per_level: int = 4
+    #: Seconds a delete tombstone keeps riding anti-entropy exchanges.
+    #: Death certificates must outlive the anti-entropy convergence time
+    #: (a few maintenance ticks), but shipping them forever would make
+    #: every exchange after a delete-heavy phase pay O(total deletes
+    #: ever) in wire bytes.  Classic bounded-staleness trade (Demers-style
+    #: death certificates): a replica offline longer than the TTL may
+    #: resurrect a deleted key until the next delete or exchange with a
+    #: fresher peer.
+    tombstone_ttl_s: float = 600.0
     #: Evidence-driven liveness & route repair (see
     #: :mod:`repro.pgrid.liveness`); ``RouteRepairPolicy(enabled=False)``
     #: reproduces the repair-less blind-routing behavior.
@@ -60,6 +69,21 @@ class _PendingQuery:
     hops: int = 0
     #: First-hop reference the current attempt left through (liveness
     #: evidence: a timed-out attempt marks it suspect).
+    via: Optional[int] = None
+
+
+@dataclass
+class _PendingWrite:
+    """Origin-side state of one routed mutation (insert or delete)."""
+
+    op: str
+    key: int
+    issued_at: float
+    attempts: int = 0
+    timeouts: int = 0
+    done: bool = False
+    hops: int = 0
+    #: First-hop reference of the current attempt (liveness evidence).
     via: Optional[int] = None
 
 
@@ -139,6 +163,14 @@ class PGridNode:
         # P-Grid state
         self.path: Path = ROOT
         self.keys: Set[int] = set()
+        #: Death certificates of deleted keys (delete-wins; they ride on
+        #: replica syncs and anti-entropy exchanges like keys, and age
+        #: out after ``config.tombstone_ttl_s`` -- see _prune_tombstones).
+        self.tombstones: Set[int] = set()
+        #: When each tombstone was first installed here (TTL bookkeeping;
+        #: re-gossip does not refresh it, or certificates would ping-pong
+        #: between replicas forever).
+        self._tombstone_born: Dict[int, float] = {}
         self.original_keys: Set[int] = set()
         self.outbox: Set[int] = set()
         self.routing: Dict[int, List[int]] = {}
@@ -159,15 +191,18 @@ class PGridNode:
         # query bookkeeping
         self._queries: Dict[int, _PendingQuery] = {}
         self._ranges: Dict[int, _PendingRange] = {}
+        self._writes: Dict[int, _PendingWrite] = {}
         self._query_seq = 0
         self.query_results: List[tuple[float, float, int, bool]] = []
         self.range_results: List[QueryOutcome] = []
+        self.write_results: List[QueryOutcome] = []
         # Optional observers (the message-level scenario backend hooks
         # these): called with (node_id, qid, QueryOutcome) whenever a
         # query reaches a terminal state -- hit, exhausted retries, or
         # voided by the origin going offline.
         self.on_query_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
         self.on_range_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
+        self.on_write_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
         network.register(self)
 
     # -- helpers -----------------------------------------------------------
@@ -369,7 +404,15 @@ class PGridNode:
             self._send_probe(ref)
         return min(len(stale), policy.refresh_probes)
 
-    def _forward_toward(self, key: int, kind: str, payload: dict) -> Optional[int]:
+    def _forward_toward(
+        self,
+        key: int,
+        kind: str,
+        payload: dict,
+        *,
+        category: str = P.QUERY_TRAFFIC,
+        n_keys: int = 0,
+    ) -> Optional[int]:
         """Pick a reference toward ``key`` and put ``payload`` on the wire.
 
         Returns the reference the message left through (loss is silent
@@ -386,7 +429,7 @@ class PGridNode:
             if nxt is None:
                 return None
             self._confirm_on_use(nxt)
-            cause = self.send(nxt, kind, payload, category=P.QUERY_TRAFFIC)
+            cause = self.send(nxt, kind, payload, category=category, n_keys=n_keys)
             if not self.config.repair.enabled:
                 return nxt  # blind routing: one shot, timeouts judge it
             if cause in (None, "loss", "offline"):
@@ -556,10 +599,7 @@ class PGridNode:
             self.start_walk("replicate")
 
     def _on_store(self, msg: Message) -> None:
-        incoming = set(msg.payload["keys"])
-        mine = {k for k in incoming if self.responsible_for(k)}
-        self.keys |= mine
-        self.outbox |= incoming - mine
+        self._accept_keys(set(msg.payload["keys"]))
 
     # -- construction phase ----------------------------------------------------------
 
@@ -609,18 +649,24 @@ class PGridNode:
         gossip = self._gossip_refs()
         n_refs = sum(len(refs) for refs in gossip.values())
         self.liveness.repair_bytes += n_refs * REF_BYTES
+        # Tombstones travel with every exchange (billed like keys) so
+        # deletes propagate through the same anti-entropy that spreads
+        # inserts; an empty write path adds zero bytes, and expired
+        # certificates are pruned before they ship.
+        self._prune_tombstones()
         self.send(
             partner,
             P.EXCHANGE_REQ,
             {
                 "path": str(self.path) if self.path.length else "",
                 "keys": list(self.keys),
+                "tombstones": sorted(self.tombstones),
                 "replicas": list(self.replicas),
                 "routes": routes,
                 "gossip": gossip,
                 "nonce": self._exchange_nonce,
             },
-            n_keys=len(self.keys),
+            n_keys=len(self.keys) + len(self.tombstones),
             n_refs=n_refs,
         )
 
@@ -632,12 +678,15 @@ class PGridNode:
         their_keys = set(msg.payload["keys"])
         their_replicas = set(msg.payload["replicas"])
         their_routes = msg.payload.get("routes", {})
+        their_tombstones = set(msg.payload.get("tombstones", ()))
+        self._prune_tombstones()  # the reply ships ours; expire first
         nonce = msg.payload["nonce"]
         # Route-repair gossip rides on every exchange, both directions:
         # their candidates may refill our depleted levels and vice versa.
         self._accept_gossip(their_path, msg.payload.get("gossip") or {})
         reply = self._evaluate_exchange(
-            msg.src, their_path, their_keys, their_replicas, their_routes
+            msg.src, their_path, their_keys, their_replicas, their_routes,
+            their_tombstones,
         )
         reply["nonce"] = nonce
         reply["expected_path"] = msg.payload["path"]
@@ -649,7 +698,7 @@ class PGridNode:
             msg.src,
             P.EXCHANGE_RESP,
             reply,
-            n_keys=len(reply.get("keys", ())),
+            n_keys=len(reply.get("keys", ())) + len(reply.get("tombstones", ())),
             n_refs=n_refs,
         )
 
@@ -660,6 +709,7 @@ class PGridNode:
         their_keys: Set[int],
         their_replicas: Set[int],
         their_routes: dict,
+        their_tombstones: Set[int] = frozenset(),
     ) -> dict:
         """Apply the Fig. 2 rules from the contacted side.
 
@@ -684,7 +734,7 @@ class PGridNode:
             }
         if self.path == their_path:
             return self._evaluate_same_partition(
-                initiator, their_keys, their_replicas, deliver
+                initiator, their_keys, their_replicas, deliver, their_tombstones
             )
         if their_path.length < self.path.length:
             # Initiator lags: it decides against us (rules 3/4).
@@ -758,9 +808,23 @@ class PGridNode:
         leaving = self.keys - stay
         self.keys = stay
         self.replicas = set()
+        self._shed_foreign_tombstones()
         back = {k for k in leaving if their_path.contains_key(k, KEY_BITS)}
         self.outbox |= leaving - back
         return back
+
+    def _shed_foreign_tombstones(self) -> None:
+        """Drop tombstones outside the partition after a path change.
+
+        A certificate left behind by a split would otherwise block the
+        (now foreign) key from ever passing through ``_accept_keys``.
+        """
+        if not self.tombstones:
+            return
+        foreign = [k for k in self.tombstones if not self.responsible_for(k)]
+        for key in foreign:
+            self.tombstones.discard(key)
+            self._tombstone_born.pop(key, None)
 
     def _evaluate_same_partition(
         self,
@@ -768,8 +832,18 @@ class PGridNode:
         their_keys: Set[int],
         their_replicas: Set[int],
         deliver: Set[int],
+        their_tombstones: Set[int] = frozenset(),
     ) -> dict:
         level = self.path.length
+        # Delete-wins: union the death certificates first, then treat
+        # tombstoned keys as nonexistent on both sides of the exchange
+        # (an empty write path makes all of this a no-op).
+        if their_tombstones or self.tombstones:
+            self._note_tombstones(
+                k for k in their_tombstones if self.responsible_for(k)
+            )
+            self.keys -= self.tombstones
+            their_keys = their_keys - self.tombstones
         union = self.keys | their_keys
         if self._overloaded(their_keys, their_replicas, union, level):
             probs, minority = self._split_policy(their_keys, their_replicas, union, level)
@@ -799,13 +873,16 @@ class PGridNode:
         self.replicas |= their_replicas - {self.node_id}
         if missing_here or keys_for_them:
             self.wake()
-        return {
+        reply = {
             "action": "replicate",
             "partner_path": str(self.path),
             "replicas": list(self.replicas | {self.node_id}),
             "keys": list(deliver | keys_for_them),
             "useful": bool(missing_here or keys_for_them),
         }
+        if self.tombstones:
+            reply["tombstones"] = sorted(self.tombstones)
+        return reply
 
     def _evaluate_decide(
         self, initiator: int, their_keys: Set[int], deliver: Set[int], their_path: Path
@@ -894,9 +971,14 @@ class PGridNode:
             )
             self.idle_strikes = 0
         elif action == "replicate":
-            mine = {k for k in incoming if self.responsible_for(k)}
-            self.keys |= mine
-            self.outbox |= incoming - mine
+            tombs = payload.get("tombstones")
+            if tombs:
+                # The partner's death certificates win over our content.
+                self._note_tombstones(
+                    k for k in tombs if self.responsible_for(k)
+                )
+                self.keys -= self.tombstones
+            self._accept_keys(incoming)
             self.replicas |= set(payload.get("replicas", ())) - {self.node_id}
             if payload.get("useful"):
                 self.idle_strikes = 0
@@ -930,8 +1012,10 @@ class PGridNode:
 
     def _accept_keys(self, incoming: Set[int]) -> None:
         mine = {k for k in incoming if self.responsible_for(k)}
+        if self.tombstones:
+            mine -= self.tombstones  # delete-wins: dead keys stay dead
         self.keys |= mine
-        self.outbox |= incoming - mine
+        self.outbox |= incoming - mine - self.tombstones
 
     def _apply_side(
         self, side: int, level: int, counterpart: Optional[int], incoming: Set[int]
@@ -947,6 +1031,7 @@ class PGridNode:
         self.keys = stay
         self.outbox |= leaving
         self.replicas = set()
+        self._shed_foreign_tombstones()
         self._accept_keys(incoming)
 
     def _take_side(self, side: int, counterpart: int) -> Set[int]:
@@ -959,6 +1044,7 @@ class PGridNode:
         leaving = self.keys - stay
         self.keys = stay
         self.replicas = set()
+        self._shed_foreign_tombstones()
         return leaving
 
     # -- overload estimation (Sec. 4.2) -----------------------------------------
@@ -1172,6 +1258,238 @@ class PGridNode:
         if pending is None or pending.done:
             return
         self._finish_query(qid, pending, hops, success)
+
+    # -- writes (routed inserts/deletes with eager replica sync) -----------------
+    #
+    # A mutation routes to the responsible partition exactly like a point
+    # query (same prefix routing, same attempt-bound timeout/retry and
+    # liveness evidence), is applied at the first responsible node
+    # reached, fanned out to its known replicas as ``replica_sync``
+    # messages, and acknowledged to the origin.  Deletes tombstone the
+    # key (delete-wins under anti-entropy; see pgrid.replication) so a
+    # stale replica cannot resurrect it.  All write traffic is accounted
+    # in its own category (``update_Bps`` in the Fig. 8 split).
+
+    def issue_insert(self, key: int) -> int:
+        """Originate an insert for ``key``; returns its write id."""
+        return self._issue_write("insert", key)
+
+    def issue_delete(self, key: int) -> int:
+        """Originate a delete for ``key``; returns its write id."""
+        return self._issue_write("delete", key)
+
+    def _issue_write(self, op: str, key: int) -> int:
+        self._query_seq += 1
+        wid = (self.node_id << 20) | self._query_seq
+        self._writes[wid] = _PendingWrite(op=op, key=key, issued_at=self.sim.now)
+        # Zero-delay first attempt, for the same reason as issue_query.
+        self.sim.schedule(0.0, lambda: self._send_write_attempt(wid))
+        return wid
+
+    def _send_write_attempt(self, wid: int) -> None:
+        pending = self._writes.get(wid)
+        if pending is None or pending.done:
+            return
+        pending.attempts += 1
+        pending.via = None  # see _send_query_attempt
+        attempt = pending.attempts
+        self._route_write(
+            {
+                "op": pending.op,
+                "key": pending.key,
+                "origin": self.node_id,
+                "qid": wid,
+                "attempt": attempt,
+                "hops": 0,
+            }
+        )
+        # Attempt-bound timer, like _send_query_attempt.
+        self.sim.schedule(
+            self.config.query_timeout, lambda: self._write_timeout(wid, attempt)
+        )
+
+    def _route_write(self, payload: dict) -> None:
+        key = payload["key"]
+        op = payload["op"]
+        if self.responsible_for(key):
+            self.apply_mutation(op, key)
+            self._sync_replicas(op, key)
+            if payload["origin"] == self.node_id:
+                self._complete_write(payload["qid"], payload["hops"], True)
+            else:
+                self.send(
+                    payload["origin"],
+                    P.UPDATE_ACK,
+                    {"qid": payload["qid"], "hops": payload["hops"]},
+                    category=P.UPDATE_TRAFFIC,
+                )
+            return
+        forward = dict(payload)
+        forward["hops"] = payload["hops"] + 1
+        kind = P.INSERT if op == "insert" else P.DELETE
+        used = self._forward_toward(
+            key, kind, forward, category=P.UPDATE_TRAFFIC, n_keys=1
+        )
+        if used is None:
+            if payload["origin"] != self.node_id:
+                self.send(
+                    payload["origin"],
+                    P.UPDATE_MISS,
+                    {
+                        "qid": payload["qid"],
+                        "hops": payload["hops"],
+                        "attempt": payload.get("attempt", 0),
+                    },
+                    category=P.UPDATE_TRAFFIC,
+                )
+            else:
+                self._write_dead_end(payload["qid"], payload.get("attempt", 0))
+            return
+        if payload["origin"] == self.node_id and payload["hops"] == 0:
+            pending = self._writes.get(payload["qid"])
+            if pending is not None:
+                pending.via = used  # liveness evidence, like point queries
+
+    def apply_mutation(self, op: str, key: int) -> None:
+        """Apply one mutation to the local store (responsible keys only).
+
+        An insert clears the key's tombstone (the insert is newer
+        evidence than the delete that left it); a delete leaves one so
+        union-style anti-entropy cannot resurrect the key.
+        """
+        if not self.responsible_for(key):
+            return
+        if op == "insert":
+            self.keys.add(key)
+            self.tombstones.discard(key)
+            self._tombstone_born.pop(key, None)
+        else:
+            self.keys.discard(key)
+            self._note_tombstones((key,))
+
+    def _note_tombstones(self, keys) -> None:
+        """Install death certificates, stamping only the *new* ones."""
+        now = self.sim.now
+        for key in keys:
+            if key not in self.tombstones:
+                self.tombstones.add(key)
+                self._tombstone_born[key] = now
+
+    def _prune_tombstones(self) -> None:
+        """Expire tombstones past their TTL (called where they ship).
+
+        Keeps the per-exchange certificate payload bounded by recent
+        delete activity instead of growing with every delete ever made.
+        """
+        if not self.tombstones:
+            return
+        ttl = self.config.tombstone_ttl_s
+        horizon = self.sim.now - ttl
+        expired = [
+            key for key in self.tombstones
+            if self._tombstone_born.get(key, 0.0) <= horizon
+        ]
+        for key in expired:
+            self.tombstones.discard(key)
+            self._tombstone_born.pop(key, None)
+
+    def _sync_replicas(self, op: str, key: int) -> None:
+        """Eagerly fan a just-applied mutation out to known replicas.
+
+        Offline or partitioned replicas refuse the connect and simply
+        miss the write -- they converge later through anti-entropy
+        exchanges (that lag is the measurable replica divergence).
+        """
+        for rid in sorted(self.replicas):
+            if rid != self.node_id:
+                self.send(
+                    rid,
+                    P.REPLICA_SYNC,
+                    {"op": op, "keys": [key]},
+                    n_keys=1,
+                    category=P.UPDATE_TRAFFIC,
+                )
+
+    def _on_replica_sync(self, msg: Message) -> None:
+        op = msg.payload["op"]
+        for key in msg.payload["keys"]:
+            self.apply_mutation(op, key)
+
+    def _on_insert(self, msg: Message) -> None:
+        self._route_write(msg.payload)
+
+    def _on_delete(self, msg: Message) -> None:
+        self._route_write(msg.payload)
+
+    def _on_update_ack(self, msg: Message) -> None:
+        self._complete_write(msg.payload["qid"], msg.payload["hops"], True)
+
+    def _on_update_miss(self, msg: Message) -> None:
+        self._write_dead_end(msg.payload["qid"], msg.payload.get("attempt"))
+
+    def _write_dead_end(self, wid: int, attempt: Optional[int]) -> None:
+        pending = self._writes.get(wid)
+        if pending is None or pending.done:
+            return
+        if attempt is not None and attempt != pending.attempts:
+            return  # dead end of a superseded attempt; a newer one is out
+        if pending.attempts <= self.config.query_retries:
+            self._send_write_attempt(wid)
+        else:
+            self._finish_write(wid, pending, pending.hops, False)
+
+    def _write_timeout(self, wid: int, attempt: int) -> None:
+        pending = self._writes.get(wid)
+        if pending is None or pending.done:
+            return
+        if pending.attempts != attempt:
+            return  # superseded: a newer attempt owns the clock
+        pending.timeouts += 1
+        if not self.online:
+            # The origin itself went offline mid-write: moot, like a
+            # query whose reply could never be heard.  (The mutation may
+            # still have been applied at the owner -- at-least-once
+            # semantics, like any retried write protocol.)
+            self._finish_write(wid, pending, pending.hops, False, moot=True)
+            return
+        if pending.via is not None:
+            self._suspect_ref(pending.via)  # see _query_timeout
+        if pending.attempts <= self.config.query_retries:
+            self._send_write_attempt(wid)
+        else:
+            self._finish_write(wid, pending, pending.hops, False)
+
+    def _complete_write(self, wid: int, hops: int, success: bool) -> None:
+        pending = self._writes.get(wid)
+        if pending is None or pending.done:
+            return
+        self._finish_write(wid, pending, hops, success)
+
+    def _finish_write(
+        self,
+        wid: int,
+        pending: _PendingWrite,
+        hops: int,
+        success: bool,
+        *,
+        moot: bool = False,
+    ) -> None:
+        pending.done = True
+        self._writes.pop(wid, None)
+        outcome = QueryOutcome(
+            issued_at=pending.issued_at,
+            latency=self.sim.now - pending.issued_at,
+            hops=hops,
+            success=success,
+            attempts=pending.attempts,
+            timeouts=pending.timeouts,
+            messages=hops + (1 if hops else 0),
+            moot=moot,
+        )
+        if not moot:
+            self.write_results.append(outcome)
+        if self.on_write_done is not None:
+            self.on_write_done(self.node_id, wid, outcome)
 
     # -- range queries (sequential key-order traversal, Sec. 2.3) ---------------
 

@@ -19,12 +19,18 @@ __all__ = [
     "QUERY_MISS",
     "RANGE_QUERY",
     "RANGE_PART",
+    "INSERT",
+    "DELETE",
+    "UPDATE_ACK",
+    "UPDATE_MISS",
+    "REPLICA_SYNC",
     "PING",
     "PONG",
     "VOTE_REQ",
     "VOTE_RESP",
     "MAINTENANCE",
     "QUERY_TRAFFIC",
+    "UPDATE_TRAFFIC",
 ]
 
 # -- message kinds ---------------------------------------------------------
@@ -41,12 +47,18 @@ QUERY_HIT = "query_hit"  #: responsible peer -> origin
 QUERY_MISS = "query_miss"  #: routing dead-end -> origin
 RANGE_QUERY = "range_query"  #: range query traversing partitions in key order
 RANGE_PART = "range_part"  #: partition result slice -> origin (``done``/``stuck``)
+INSERT = "insert"  #: key insert being routed to the responsible partition
+DELETE = "delete"  #: key delete being routed (tombstoned at the owner)
+UPDATE_ACK = "update_ack"  #: responsible peer -> origin: mutation applied
+UPDATE_MISS = "update_miss"  #: routing dead-end -> origin (mutation retries)
+REPLICA_SYNC = "replica_sync"  #: owner -> replicas: eager mutation fan-out
 PING = "ping"  #: liveness probe of a suspect routing reference
 PONG = "pong"  #: probe answer (proof of life)
 VOTE_REQ = "vote_req"  #: index-initiation vote flood (Sec. 4.1)
 VOTE_RESP = "vote_resp"  #: aggregated vote reply
 
-# -- traffic categories (Fig. 8 split) ----------------------------------------
+# -- traffic categories (Fig. 8 split, plus the write path) -------------------
 
 MAINTENANCE = "maintenance"
 QUERY_TRAFFIC = "queries"
+UPDATE_TRAFFIC = "updates"

@@ -145,7 +145,7 @@ class TestScenarioSuccessGate:
         assert check_regression.main(
             ["--baseline", str(base), "--candidate", str(cand)]
         ) == 0
-        assert "scenario success gate" in capsys.readouterr().out
+        assert "scenario gate [scenarios_message]" in capsys.readouterr().out
 
     def test_success_drop_beyond_tolerance_fails(self, tmp_path, capsys):
         base = write(tmp_path, "base.json",
@@ -234,6 +234,145 @@ class TestScenarioSuccessGate:
             ["--baseline", str(base), "--candidate", str(cand)]
         ) == 0
         assert "skipped" in capsys.readouterr().out
+
+
+def write_section(
+    write_sr=0.98, divergence=0.01, bytes_update=500_000, *, section_backend="message"
+):
+    section = scenario_section()
+    section["backend"] = section_backend
+    section["results"]["read-write-balanced"] = {
+        "success_rate": 0.99,
+        "write_success_rate": write_sr,
+        "divergence_final": divergence,
+        "bytes_update": bytes_update,
+        "queries": 2400,
+        "writes": 1200,
+    }
+    return section
+
+
+class TestWriteMetricGates:
+    """The write-path gate: write success, replica divergence and update
+    bandwidth are first-class gated metrics, not silently ignored keys."""
+
+    def pair(self, tmp_path, base_section, cand_section):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": base_section}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": cand_section}))
+        return ["--baseline", str(base), "--candidate", str(cand)]
+
+    def test_matching_write_metrics_pass(self, tmp_path):
+        argv = self.pair(tmp_path, write_section(), write_section())
+        assert check_regression.main(argv) == 0
+
+    def test_write_success_drop_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, write_section(), write_section(write_sr=0.80))
+        assert check_regression.main(argv) == 1
+        assert "write_success_rate" in capsys.readouterr().err
+
+    def test_divergence_rise_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, write_section(), write_section(divergence=0.30))
+        assert check_regression.main(argv) == 1
+        assert "divergence_final" in capsys.readouterr().err
+
+    def test_divergence_drop_never_fails(self, tmp_path):
+        argv = self.pair(tmp_path, write_section(divergence=0.30), write_section())
+        assert check_regression.main(argv) == 0
+
+    def test_update_bytes_blowup_fails(self, tmp_path, capsys):
+        argv = self.pair(
+            tmp_path, write_section(), write_section(bytes_update=1_000_000)
+        )
+        assert check_regression.main(argv) == 1
+        assert "bytes_update" in capsys.readouterr().err
+
+    def test_update_bytes_within_ratio_pass(self, tmp_path):
+        argv = self.pair(
+            tmp_path, write_section(), write_section(bytes_update=700_000)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_dataplane_section_is_gated_too(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", snapshot(
+            extra={"scenarios": write_section(section_backend="dataplane")}
+        ))
+        cand = write(tmp_path, "cand.json", snapshot(
+            extra={"scenarios": write_section(0.5, section_backend="dataplane")}
+        ))
+        code = check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        )
+        assert code == 1
+        assert "scenarios/read-write-balanced" in capsys.readouterr().err
+
+
+class TestStepSummary:
+    """The CI-readability satellite: gate results as a markdown table."""
+
+    def run_with_summary(self, tmp_path, cand_payload):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": write_section()}))
+        cand = write(tmp_path, "cand.json", cand_payload)
+        summary = tmp_path / "summary.md"
+        code = check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ])
+        return code, summary.read_text()
+
+    def test_passing_gate_writes_markdown_tables(self, tmp_path):
+        code, text = self.run_with_summary(
+            tmp_path, snapshot(extra={"scenarios_message": write_section()})
+        )
+        assert code == 0
+        assert "## Regression gates — ✅ pass" in text
+        assert "| metric | N | baseline | candidate | ratio | verdict |" in text
+        assert "| lookup_us | 256 |" in text
+        assert "`scenarios_message`" in text
+        assert "| read-write-balanced | write_success_rate |" in text
+
+    def test_failing_gate_marks_rows_and_lists_failures(self, tmp_path):
+        code, text = self.run_with_summary(
+            tmp_path,
+            snapshot(lookup=5.0 * 2.0,
+                     extra={"scenarios_message": write_section(write_sr=0.5)}),
+        )
+        assert code == 1
+        assert "## Regression gates — ❌ FAIL" in text
+        assert "❌ fail" in text
+        assert "**Regressions beyond tolerance:**" in text
+        assert "write_success_rate" in text
+
+    def test_skipped_sections_are_noted(self, tmp_path):
+        code, text = self.run_with_summary(tmp_path, snapshot())
+        # Candidate has no scenario sections at all: both gates skip.
+        assert code == 0
+        assert text.count("_skipped:") == 2
+
+    def test_summary_env_var_is_honored(self, tmp_path, monkeypatch):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot())
+        summary = tmp_path / "ghsummary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "## Regression gates" in summary.read_text()
+
+    def test_summary_appends_not_overwrites(self, tmp_path):
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json", snapshot())
+        summary = tmp_path / "summary.md"
+        summary.write_text("previous step output\n")
+        check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ])
+        text = summary.read_text()
+        assert text.startswith("previous step output\n")
+        assert "## Regression gates" in text
 
 
 class TestSnapshotMergeOrder:

@@ -39,14 +39,17 @@ class TestSpecValidation:
 
     def test_registry_is_complete(self):
         assert sorted(SCENARIOS) == [
+            "asymmetric-partition-writes",
             "correlated-churn",
             "flash-crowd",
             "mass-join",
             "mass-leave",
             "paper-sec51-churn",
             "pareto-hotspot",
+            "read-write-balanced",
             "regional-outage",
             "uniform-baseline",
+            "write-hotspot-adversarial",
         ]
 
     def test_unknown_scenario_name(self):
