@@ -3,9 +3,13 @@
 
 Executes every scenario registered in :mod:`repro.scenarios.library`
 (uniform-baseline, pareto-hotspot, flash-crowd, mass-join, mass-leave,
-paper-sec51-churn, regional-outage, correlated-churn, plus the write
+paper-sec51-churn, regional-outage, correlated-churn, the write
 workloads read-write-balanced, write-hotspot-adversarial and
-asymmetric-partition-writes) on one or both execution backends and
+asymmetric-partition-writes, plus the persistence/restart scenarios
+restart-storm, rolling-deploy and datacenter-power-cycle -- the latter
+run twice, once with durability on and once as the cold-rejoin
+baseline, recorded inline under ``recovery.cold``) on one or both
+execution backends and
 merges the results into the repo's perf snapshot, so the stress
 trajectory travels with the perf trajectory:
 
@@ -53,7 +57,13 @@ SRC = str(REPO_ROOT / "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
-from repro.scenarios import SCENARIOS, runner_for, scenario  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    SCENARIOS,
+    DurabilityPolicy,
+    MessageNetConfig,
+    runner_for,
+    scenario,
+)
 
 #: Default location of the shared perf snapshot.
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
@@ -64,6 +74,14 @@ QUICK_N = 256
 
 #: Snapshot section per backend.
 SECTION_KEYS = {"dataplane": "scenarios", "message": "scenarios_message"}
+
+
+def _cold_kwargs(backend: str) -> dict:
+    """Runner kwargs for the durability-off (cold-rejoin) baseline pass."""
+    cold = DurabilityPolicy(enabled=False)
+    if backend == "message":
+        return {"net_config": MessageNetConfig(durability=cold)}
+    return {"durability": cold}
 
 
 def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> dict:
@@ -108,6 +126,43 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> 
             )
             entry["divergence_final"] = w["divergence"]["mean"]
             entry["stale_replicas_final"] = w["divergence"]["stale_replicas"]
+        if report.recovery is not None:
+            # Persistence & recovery metrics (gated by
+            # check_regression.py): the warm (durability-on) run is the
+            # headline entry; a second durability-off pass of the same
+            # spec records the cold sponsored-join baseline inline, so
+            # the snapshot itself proves warm rejoin beats cold.
+            rec = report.recovery
+            entry["recovery_time_s"] = rec["time_to_converged_divergence_s"]
+            entry["recovery_maint_bytes"] = rec["recovery_maint_bytes"]
+            entry["lost_acked_writes"] = rec["lost_acked_writes"]
+            entry["tombstone_resurrections"] = rec["tombstone_resurrections"]
+            t0 = time.perf_counter()
+            cold_report = runner_cls(spec, **_cold_kwargs(backend)).run()
+            cold_wall = time.perf_counter() - t0
+            cold = cold_report.recovery
+            entry["recovery"] = {
+                "durability_enabled": rec["durability_enabled"],
+                "snapshot_interval_s": rec["snapshot_interval_s"],
+                "restarts": rec["restarts"],
+                "clean_shutdowns": rec["clean_shutdowns"],
+                "crashes": rec["crashes"],
+                "warm_rejoins": rec["warm_rejoins"],
+                "cold_rejoins": rec["cold_rejoins"],
+                "checkpoints": rec["checkpoints"],
+                "converged": rec["converged"],
+                "acked_writes_tracked": rec["acked_writes_tracked"],
+                "cold": {
+                    "wall_s": round(cold_wall, 3),
+                    "cold_rejoins": cold["cold_rejoins"],
+                    "converged": cold["converged"],
+                    "time_to_converged_divergence_s":
+                        cold["time_to_converged_divergence_s"],
+                    "recovery_maint_bytes": cold["recovery_maint_bytes"],
+                    "lost_acked_writes": cold["lost_acked_writes"],
+                    "tombstone_resurrections": cold["tombstone_resurrections"],
+                },
+            }
         if report.message_level is not None:
             ml = report.message_level
             entry["message_level"] = {
@@ -217,6 +272,18 @@ def main(argv=None) -> int:
                     f"  writes {entry['writes']:6d}  "
                     f"w-success {'n/a' if wsr is None else format(wsr, '.4f')}  "
                     f"div {entry['divergence_final']:.4f}"
+                )
+            rec = entry.get("recovery")
+            if rec:
+                warm_t = entry["recovery_time_s"]
+                cold_t = rec["cold"]["time_to_converged_divergence_s"]
+                line += (
+                    f"  warm {'n/a' if warm_t is None else format(warm_t, '.1f')}s/"
+                    f"{entry['recovery_maint_bytes']}B  "
+                    f"cold {'n/a' if cold_t is None else format(cold_t, '.1f')}s/"
+                    f"{rec['cold']['recovery_maint_bytes']}B  "
+                    f"lost {entry['lost_acked_writes']}  "
+                    f"resurrected {entry['tombstone_resurrections']}"
                 )
             print(line)
     return 0

@@ -35,7 +35,18 @@ instead of silently ignoring unknown keys:
   fails: replica staleness regressing means replica sync/anti-entropy
   stopped keeping up with the write stream;
 * ``bytes_update`` -- growth beyond the ratio ``--tolerance`` fails: a
-  write-path bandwidth blowup is a regression even when success holds.
+  write-path bandwidth blowup is a regression even when success holds;
+* ``recovery_time_s`` / ``recovery_maint_bytes`` -- ratio growth fails:
+  warm rejoin getting slower or chattier than its committed numbers;
+* ``lost_acked_writes`` / ``tombstone_resurrections`` -- any rise fails.
+
+Restart scenarios additionally get an **intra-snapshot** recovery gate
+(:func:`check_recovery`, candidate only, no baseline needed): warm
+rejoin must beat the inline ``recovery.cold`` baseline on
+time-to-converged-divergence and recovery maintenance bytes, and a
+clean-shutdown run with durability enabled must report zero lost acked
+writes and zero tombstone resurrections.  Because it needs no
+baseline, this gate runs in the perf-smoke quick job too.
 
 Scenario sections are only compared when both snapshots ran the same
 population and duration scale (the quick CI candidate at N=256 is
@@ -49,8 +60,9 @@ run's summary page instead of raw logs.
 
 Guards: the PR-1 data-plane speedups (sorted key stores, memoized
 inversions, query fast paths), the PR-4 message-level route-repair
-success floor, and the PR-5 write-path success/divergence floors, as
-committed in ``BENCH_core.json``.
+success floor, the PR-5 write-path success/divergence floors, and the
+PR-6 persistence/recovery floors (warm-beats-cold, zero loss on clean
+shutdown), as committed in ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -113,6 +125,12 @@ SCENARIO_METRICS = (
     ("write_success_rate", "drop"),
     ("divergence_final", "rise"),
     ("bytes_update", "ratio"),
+    # Persistence/recovery metrics (restart scenarios only; written by
+    # bench_scenarios.py from the report's ``recovery`` section).
+    ("recovery_time_s", "ratio"),
+    ("recovery_maint_bytes", "ratio"),
+    ("lost_acked_writes", "rise"),
+    ("tombstone_resurrections", "rise"),
 )
 
 
@@ -196,12 +214,81 @@ def compare_scenarios(
     return rows, failures, None
 
 
+def check_recovery(candidate: dict) -> Tuple[List[Tuple[str, str, str]], List[str]]:
+    """Intra-snapshot recovery gates on the *candidate* alone.
+
+    Two invariants the persistence subsystem must always satisfy,
+    checkable without a baseline because ``bench_scenarios.py`` records
+    the durability-off cold pass inline under ``recovery.cold``:
+
+    * **warm beats cold** -- with durability on, time-to-converged-
+      divergence must not exceed the cold pass's, and recovery
+      maintenance bytes must be strictly lower (the whole point of
+      checkpoint restore vs a from-scratch rejoin);
+    * **clean shutdowns lose nothing** -- a restart scenario with zero
+      crashes and durability enabled must report zero lost acked writes
+      and zero tombstone resurrections.
+
+    Returns ``(rows, failures)``; rows are ``(section/scenario, check,
+    detail, breached)`` for printing.
+    """
+    rows: List[Tuple[str, str, str, bool]] = []
+    failures: List[str] = []
+    for section in SCENARIO_SECTIONS:
+        results = (candidate.get(section) or {}).get("results", {})
+        for name in sorted(results):
+            entry = results[name]
+            rec = entry.get("recovery")
+            if not rec:
+                continue
+            where = f"{section}/{name}"
+            cold = rec.get("cold") or {}
+            warm_time = entry.get("recovery_time_s")
+            cold_time = cold.get("time_to_converged_divergence_s")
+            if warm_time is not None and cold_time is not None:
+                ok = warm_time <= cold_time
+                rows.append(
+                    (where, "warm_time<=cold_time",
+                     f"{warm_time:g} vs {cold_time:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: warm time-to-converged-divergence "
+                        f"{warm_time:g}s exceeds cold baseline {cold_time:g}s"
+                    )
+            warm_bytes = entry.get("recovery_maint_bytes")
+            cold_bytes = cold.get("recovery_maint_bytes")
+            if warm_bytes is not None and cold_bytes is not None:
+                ok = warm_bytes < cold_bytes
+                rows.append(
+                    (where, "warm_bytes<cold_bytes",
+                     f"{warm_bytes:g} vs {cold_bytes:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: warm recovery maintenance bytes "
+                        f"{warm_bytes:g} not strictly below cold baseline "
+                        f"{cold_bytes:g}"
+                    )
+            if rec.get("durability_enabled") and not rec.get("crashes"):
+                for metric in ("lost_acked_writes", "tombstone_resurrections"):
+                    value = entry.get(metric, 0)
+                    rows.append((where, f"{metric}==0", f"{value:g}", bool(value)))
+                    if value:
+                        failures.append(
+                            f"{where}: {metric} must be 0 for a clean-shutdown "
+                            f"run with durability enabled, got {value:g}"
+                        )
+    return rows, failures
+
+
 def build_step_summary(
     perf_rows: List[Tuple[str, str, float, float, float]],
     tolerance: float,
     scenario_results: Dict[str, tuple],
     scenario_tolerance: float,
     failures: List[str],
+    recovery_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
 ) -> str:
     """The gate verdicts as a GitHub-flavored markdown fragment.
 
@@ -242,6 +329,17 @@ def build_step_summary(
                 f"| {name} | {metric} | {base_value:g} | {cand_value:g} "
                 f"| {verdict} |"
             )
+    if recovery_rows:
+        lines += [
+            "",
+            "### Recovery (intra-snapshot: warm vs cold, clean-shutdown audit)",
+            "",
+            "| scenario | check | values | verdict |",
+            "| --- | --- | ---: | :---: |",
+        ]
+        for where, check, detail, breached in recovery_rows:
+            verdict = "❌ fail" if breached else "✅ ok"
+            lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
     if failures:
         lines += ["", "**Regressions beyond tolerance:**", ""]
         lines += [f"- {failure}" for failure in failures]
@@ -334,9 +432,18 @@ def main(argv=None) -> int:
                 )
         failures += scen_failures
 
+    recovery_rows, recovery_failures = check_recovery(candidate)
+    if recovery_rows:
+        print("recovery gate (warm vs cold, clean-shutdown audit)")
+        for where, check, detail, breached in recovery_rows:
+            verdict = "FAIL" if breached else "ok  "
+            print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
+    failures += recovery_failures
+
     write_step_summary(
         build_step_summary(
-            rows, args.tolerance, scenario_results, args.scenario_tolerance, failures
+            rows, args.tolerance, scenario_results, args.scenario_tolerance,
+            failures, recovery_rows,
         ),
         args.summary or os.environ.get("GITHUB_STEP_SUMMARY"),
     )

@@ -330,6 +330,33 @@ class PGridNetwork:
             replicas_written=replicas_written,
         )
 
+    # -- durability ---------------------------------------------------------------
+
+    def checkpoint_peer(self, peer_id: int, now: float = 0.0) -> dict:
+        """Snapshot one peer's durable state (see :mod:`repro.pgrid.state`).
+
+        Returns the versioned snapshot dict; callers persist it in a
+        :class:`~repro.pgrid.state.StateStore` (the simulated disk).
+        """
+        from .state import snapshot_peer
+
+        return snapshot_peer(self.peer(peer_id), now)
+
+    def restore_peer(self, peer_id: int, snapshot: dict) -> PGridPeer:
+        """Restore a peer in place from a :meth:`checkpoint_peer` snapshot.
+
+        The peer resumes with its checkpointed path, keys, replicas,
+        routing refs, and tombstones; restored routing refs may be stale
+        and are re-validated by the next ``repair_routes`` maintenance
+        sweep (the data plane's liveness hand-off).  The caller decides
+        when to flip ``online`` back on.
+        """
+        from .state import restore_peer
+
+        peer = self.peer(peer_id)
+        restore_peer(peer, snapshot)
+        return peer
+
     # -- statistics ---------------------------------------------------------------
 
     def mean_path_length(self) -> float:

@@ -33,11 +33,18 @@ This package turns the repo's stress ingredients -- churn processes
     message/bandwidth totals, per-peer load imbalance and replication
     health over time, with byte-stable JSON for golden-trace testing.
 ``library``
-    Eleven named scenarios (uniform-baseline, pareto-hotspot,
+    Fourteen named scenarios (uniform-baseline, pareto-hotspot,
     flash-crowd, mass-join, mass-leave, paper-sec51-churn,
-    regional-outage, correlated-churn, plus the write workloads
+    regional-outage, correlated-churn, the write workloads
     read-write-balanced, write-hotspot-adversarial and
-    asymmetric-partition-writes) runnable at N=4096 on either backend.
+    asymmetric-partition-writes, plus the persistence/restart
+    scenarios restart-storm, rolling-deploy and
+    datacenter-power-cycle) runnable at N=4096 on either backend.
+    Restart phases (:class:`RestartSpec`) drive the persistence &
+    recovery subsystem (:mod:`repro.pgrid.state`): warm rejoins from
+    checkpoints when durability is on
+    (:class:`~repro.pgrid.state.DurabilityPolicy`), cold sponsored
+    joins when off.
 ``invariants``
     Structural checks (prefix-complete partition, complementary routing,
     live key coverage) for the randomized invariant test layer.
@@ -58,6 +65,7 @@ the determinism tests pick it up automatically on both backends.
 
 from . import base, invariants, library, message_runner, report, runner, spec  # noqa: F401
 from ..pgrid.liveness import RouteRepairPolicy  # noqa: F401
+from ..pgrid.state import DurabilityPolicy  # noqa: F401
 from .base import ScenarioRunnerBase  # noqa: F401
 from .invariants import (  # noqa: F401
     check_invariants,
@@ -74,6 +82,7 @@ from .spec import (  # noqa: F401
     PartitionSpec,
     Phase,
     QueryMix,
+    RestartSpec,
     ScenarioSpec,
     WriteMix,
 )
@@ -118,7 +127,9 @@ __all__ = [
     "Hotspot",
     "ChurnSpec",
     "PartitionSpec",
+    "RestartSpec",
     "RouteRepairPolicy",
+    "DurabilityPolicy",
     "ScenarioRunnerBase",
     "ScenarioRunner",
     "MessageScenarioRunner",

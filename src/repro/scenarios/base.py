@@ -41,6 +41,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .._util import make_rng, mean, std
 from ..pgrid.network import PGridNetwork
+from ..pgrid.state import SCHEMA as STATE_SCHEMA
+from ..pgrid.state import DurabilityPolicy, StateStore
 from ..simnet.churn import start_churn
 from ..simnet.engine import Simulator
 from ..workloads.datasets import workload_keys
@@ -48,6 +50,20 @@ from ..workloads.distributions import distribution
 from ..workloads.queries import POINT, QuerySampler
 from .report import ScenarioReport
 from .spec import Phase, ScenarioSpec, WriteMix
+
+#: Absolute slack over the pre-restart divergence baseline within which
+#: the overlay counts as re-converged (see the report's ``recovery``
+#: section): replica divergence is a mean of fractions, so a couple of
+#: percentage points absorbs sampling noise without hiding a cold
+#: rejoin's missing-keys plateau.
+CONVERGENCE_SLACK = 0.02
+
+#: Recovery divergence sampling cadence, as samples per report bin:
+#: fine enough that time-to-converged-divergence distinguishes a warm
+#: rejoin (converged at the next sample) from a cold one (stale until
+#: the next anti-entropy sweep), without touching the report's per-bin
+#: series.
+RECOVERY_SAMPLES_PER_BIN = 4
 
 __all__ = ["ScenarioRunnerBase", "_Tally"]
 
@@ -167,7 +183,9 @@ class ScenarioRunnerBase:
     #: Human-readable backend tag (set by subclasses).
     backend = "abstract"
 
-    def __init__(self, spec: ScenarioSpec):
+    def __init__(
+        self, spec: ScenarioSpec, *, durability: Optional[DurabilityPolicy] = None
+    ):
         spec.validate()
         self.spec = spec
         self.simulator: Optional[Simulator] = None
@@ -180,6 +198,23 @@ class ScenarioRunnerBase:
         #: Sorted keys believed present in the index (delete/update
         #: targets); populated from the workload when writes are active.
         self._key_pool: List[int] = []
+        #: True when any phase carries a :class:`RestartSpec` -- gates
+        #: every persistence/recovery branch, so restart-free runs stay
+        #: bit-identical to the pre-persistence engine.
+        self._restarts_active = any(p.restarts is not None for p in spec.phases)
+        #: The crash model's knobs; ``enabled=False`` is the cold-join
+        #: baseline (every restart rebuilds from a sponsored join).
+        self._durability = durability if durability is not None else DurabilityPolicy()
+        self._durability.validate()
+        #: The simulated disk holding per-peer checkpoints.
+        self._state_store = StateStore(self._durability)
+        #: Recovery bookkeeping (populated by :meth:`run` when restarts
+        #: are active; ``None`` otherwise).
+        self._recovery: Optional[dict] = None
+        #: key -> [op, acked] for the last issued mutation per key (the
+        #: lost-acked-write / tombstone-resurrection audit; only tracked
+        #: when restarts are active).
+        self._last_write: Dict[int, list] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -199,6 +234,26 @@ class ScenarioRunnerBase:
         # seeds of every pre-existing stream -- and with them the
         # read-only golden traces of both backends -- are untouched.
         write_rng = make_rng(master.randrange(2**31))
+        # The restart stream comes last, for the same reason: deriving
+        # it cannot shift any stream an existing golden depends on.
+        restart_rng = make_rng(master.randrange(2**31))
+        #: Backend restart hooks (cold-rejoin placement) draw from the
+        #: restart stream too, so restart scheduling and rejoin
+        #: randomness live in one stream.
+        self._restart_rng = restart_rng
+        if self._restarts_active:
+            self._recovery = {
+                "first_shutdown": None,
+                "last_return": None,
+                "restarts": 0,
+                "clean": 0,
+                "crashes": 0,
+                "warm": 0,
+                "cold": 0,
+                "skipped": 0,
+                "baseline": None,
+                "div_samples": [],
+            }
 
         peer_keys = workload_keys(
             spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
@@ -240,6 +295,7 @@ class ScenarioRunnerBase:
                     member_rng=member_rng,
                     maint_rng=maint_rng,
                     write_rng=write_rng,
+                    restart_rng=restart_rng,
                 ),
             )
 
@@ -251,6 +307,26 @@ class ScenarioRunnerBase:
                 sim.schedule(spec.report_bin_s, sample)
 
         sim.schedule(0.0, sample)
+
+        if self._restarts_active:
+            # Recovery tracking: divergence trajectory from the first
+            # shutdown on (convergence detection happens at assembly,
+            # against the pre-shutdown baseline).  Sampled finer than
+            # the report bins so time-to-converged-divergence can
+            # resolve a warm rejoin (back at the next sample) from a
+            # cold one (waiting on the next anti-entropy sweep).
+            rec_step = spec.report_bin_s / RECOVERY_SAMPLES_PER_BIN
+
+            def recovery_sample() -> None:
+                rec = self._recovery
+                if rec["first_shutdown"] is not None:
+                    rec["div_samples"].append(
+                        (sim.now, self._divergence_state()["mean"])
+                    )
+                if sim.now < total_end:
+                    sim.schedule(rec_step, recovery_sample)
+
+            sim.schedule(rec_step, recovery_sample)
 
         sim.run_until(total_end, max_events=self.MAX_EVENTS)
         if self._partition_active:
@@ -322,6 +398,33 @@ class ScenarioRunnerBase:
         """End-of-run replica staleness (see
         :func:`repro.pgrid.replication.divergence_stats`) plus the
         surviving ``tombstones`` count.  Only called when writes ran."""
+        raise NotImplementedError
+
+    def _checkpoint_all(self, tally: _Tally) -> None:
+        """Checkpoint every online peer into the state store (periodic
+        cadence of the crash model; only called when restarts are
+        active and durability is enabled)."""
+        raise NotImplementedError
+
+    def _restart_shutdown(self, pid: int, crash: bool, tally: _Tally) -> bool:
+        """Shut one peer down for a restart.  A *clean* shutdown
+        (``crash=False``) checkpoints at this instant when durability is
+        enabled; a crash keeps only the last periodic checkpoint.
+        Returns False (no-op) when the peer is already offline."""
+        raise NotImplementedError
+
+    def _restart_return(self, pid: int, tally: _Tally) -> str:
+        """Bring a restarted peer back: ``"warm"`` (snapshot restored,
+        delta reconciled through the ordinary machinery) or ``"cold"``
+        (sponsored join from nothing -- the durability-disabled
+        baseline, or no checkpoint on disk)."""
+        raise NotImplementedError
+
+    def _durable_key_view(self) -> Tuple[Set[int], Set[int]]:
+        """``(present_keys, live_tombstones)`` across *all* peers --
+        keys counting outboxes, tombstones only unexpired ones.  The
+        end-of-run audit for lost acked writes and tombstone
+        resurrections reads this."""
         raise NotImplementedError
 
     def _sample_state(self) -> Tuple[int, float, float]:
@@ -434,6 +537,7 @@ class ScenarioRunnerBase:
         member_rng,
         maint_rng,
         write_rng,
+        restart_rng,
     ) -> Callable[[], None]:
         spec = self.spec
 
@@ -527,12 +631,100 @@ class ScenarioRunnerBase:
                     if sim.now >= end:
                         return
                     op, key = self._draw_write(wmix, wsampler, write_rng)
+                    if self._recovery is not None:
+                        # The durability audit tracks the last issued
+                        # mutation per key; the backend flips ``acked``
+                        # through _note_acked_write on success.
+                        norm = "delete" if op == "delete" else "insert"
+                        self._last_write[key] = [norm, False]
                     self._run_one_write(tally, phase, idx, op, key, write_rng)
                     sim.schedule(write_rng.expovariate(wmix.write_rate), write_tick)
 
                 sim.schedule(write_rng.expovariate(wmix.write_rate), write_tick)
 
+            # -- restart schedule for this phase ---------------------------
+            if phase.restarts is not None:
+                self._compile_restarts(sim, tally, phase, end, departed, restart_rng)
+
         return begin_phase
+
+    def _compile_restarts(
+        self,
+        sim: Simulator,
+        tally: _Tally,
+        phase: Phase,
+        end: float,
+        departed: Set[int],
+        rng,
+    ) -> None:
+        """Schedule one phase's process restarts (see
+        :class:`~repro.scenarios.spec.RestartSpec`).
+
+        With durability enabled, a baseline checkpoint of the whole
+        online population is taken at the phase start and refreshed
+        every ``snapshot_interval_s`` -- the staleness bound a crash
+        restore pays.  Clean shutdowns additionally checkpoint at their
+        shutdown instant inside :meth:`_restart_shutdown`.
+        """
+        restarts = phase.restarts
+        if self._durability.enabled:
+            self._checkpoint_all(tally)
+            interval = self._durability.snapshot_interval_s
+
+            def checkpoint_tick() -> None:
+                if sim.now >= end:
+                    return
+                self._checkpoint_all(tally)
+                sim.schedule(interval, checkpoint_tick)
+
+            sim.schedule(interval, checkpoint_tick)
+
+        candidates = self._online_ids(departed)
+        count = max(1, round(restarts.fraction * len(candidates)))
+        chosen = rng.sample(candidates, min(count, len(candidates)))
+        for pid in chosen:
+            delay = rng.uniform(0.0, restarts.stagger_s)
+            down = rng.uniform(restarts.min_down_s, restarts.max_down_s)
+            crash = rng.random() < restarts.crash_fraction
+            sim.schedule(delay, self._make_restart(sim, tally, pid, down, crash))
+
+    def _make_restart(
+        self, sim: Simulator, tally: _Tally, pid: int, down: float, crash: bool
+    ) -> Callable[[], None]:
+        def shutdown() -> None:
+            rec = self._recovery
+            if rec["baseline"] is None:
+                # Pre-shutdown divergence baseline, sampled lazily just
+                # before the first peer goes down: the level recovery
+                # must return the overlay to.
+                rec["baseline"] = self._divergence_state()["mean"]
+            if not self._restart_shutdown(pid, crash, tally):
+                rec["skipped"] += 1
+                return
+            rec["restarts"] += 1
+            rec["crashes" if crash else "clean"] += 1
+            if rec["first_shutdown"] is None:
+                rec["first_shutdown"] = sim.now
+
+            def comeback() -> None:
+                mode = self._restart_return(pid, tally)
+                rec[mode] += 1
+                rec["last_return"] = sim.now
+
+            sim.schedule(down, comeback)
+
+        return shutdown
+
+    def _note_acked_write(self, op: str, key: int) -> None:
+        """Backend callback: mutation ``op`` on ``key`` was acked to the
+        issuer.  Flips the durability audit's ``acked`` bit if the ack
+        still matches the last issued operation for the key."""
+        if self._recovery is None:
+            return
+        entry = self._last_write.get(key)
+        norm = "delete" if op == "delete" else "insert"
+        if entry is not None and entry[0] == norm:
+            entry[1] = True
 
     def _draw_write(
         self, mix: WriteMix, sampler: QuerySampler, rng
@@ -694,6 +886,10 @@ class ScenarioRunnerBase:
                 "divergence": divergence,
             }
 
+        recovery_section = None
+        if self._recovery is not None:
+            recovery_section = self._recovery_section(tally)
+
         return ScenarioReport(
             scenario=spec.name,
             seed=spec.seed,
@@ -712,4 +908,93 @@ class ScenarioRunnerBase:
             },
             message_level=self._message_section(),
             writes=writes_section,
+            recovery=recovery_section,
         )
+
+    def _recovery_section(self, tally: _Tally) -> dict:
+        """The report's ``recovery`` section (restart scenarios only).
+
+        ``time_to_converged_divergence_s`` measures from the *last*
+        restart return to the first per-bin divergence sample back
+        within :data:`CONVERGENCE_SLACK` of the pre-shutdown baseline;
+        a run that never re-converges reports the remaining scenario
+        time as a penalty with ``converged: false``.
+        ``recovery_maint_bytes`` is the maintenance-category traffic
+        spent between the first shutdown and that convergence instant --
+        the repair bill warm rejoin is supposed to shrink.
+        """
+        spec = self.spec
+        rec = self._recovery
+        out = {
+            "schema": STATE_SCHEMA,
+            "durability_enabled": self._durability.enabled,
+            "snapshot_interval_s": self._durability.snapshot_interval_s,
+            "restarts": rec["restarts"],
+            "clean_shutdowns": rec["clean"],
+            "crashes": rec["crashes"],
+            "warm_rejoins": rec["warm"],
+            "cold_rejoins": rec["cold"],
+            "skipped": rec["skipped"],
+            "checkpoints": self._state_store.checkpoints,
+        }
+        first = rec["first_shutdown"]
+        last = rec["last_return"]
+        out["first_shutdown_min"] = None if first is None else first / 60.0
+        out["last_return_min"] = None if last is None else last / 60.0
+        baseline = rec["baseline"] if rec["baseline"] is not None else 0.0
+        samples = rec["div_samples"]
+        out["divergence_baseline"] = baseline
+        out["divergence_final"] = samples[-1][1] if samples else None
+        converged_t = None
+        if last is not None:
+            for t, div in samples:
+                if t >= last and div <= baseline + CONVERGENCE_SLACK:
+                    converged_t = t
+                    break
+        out["converged"] = converged_t is not None
+        if last is None:
+            out["time_to_converged_divergence_s"] = None
+            out["recovery_maint_bytes"] = 0
+        else:
+            end_t = converged_t if converged_t is not None else spec.duration_s
+            out["time_to_converged_divergence_s"] = end_t - last
+            b0, b1 = int(first // spec.report_bin_s), int(end_t // spec.report_bin_s)
+            out["recovery_maint_bytes"] = int(
+                round(
+                    sum(
+                        self._bin_bandwidth(tally, b)[1] * spec.report_bin_s
+                        for b in range(b0, b1 + 1)
+                    )
+                )
+            )
+        lost, resurrected, tracked = self._write_fate()
+        out["acked_writes_tracked"] = tracked
+        out["lost_acked_writes"] = lost
+        out["tombstone_resurrections"] = resurrected
+        return out
+
+    def _write_fate(self) -> Tuple[int, int, int]:
+        """``(lost_acked_writes, tombstone_resurrections, tracked)``.
+
+        A *lost acked write* is a key whose last issued mutation was an
+        acknowledged insert/update yet the key exists on no peer (keys
+        and outboxes included); a *tombstone resurrection* is a key
+        whose last issued mutation was an acknowledged delete yet the
+        key is present somewhere with no live death certificate left
+        anywhere to kill it.  Keys whose last mutation was never acked
+        are in limbo by definition and not audited.
+        """
+        if not self._last_write:
+            return 0, 0, 0
+        present, live_tombstones = self._durable_key_view()
+        lost = resurrected = tracked = 0
+        for key, (op, acked) in self._last_write.items():
+            if not acked:
+                continue
+            tracked += 1
+            if op == "insert":
+                if key not in present:
+                    lost += 1
+            elif key in present and key not in live_tombstones:
+                resurrected += 1
+        return lost, resurrected, tracked

@@ -41,17 +41,50 @@ __all__ = [
 ]
 
 
-def check_partition_tiling(network: PGridNetwork) -> None:
+def check_partition_tiling(
+    network: PGridNetwork, *, allow_refinement: bool = False
+) -> None:
     """Assert the peers' paths form a prefix-complete partition.
 
     Raises :class:`~repro.exceptions.PartitionError` if the distinct
     paths overlap or leave a gap.  Exact integer arithmetic: each path of
     length ``l`` covers ``2^(KEY_BITS - l)`` keys; a tiling covers every
     key exactly once.
+
+    With ``allow_refinement=True`` the check tolerates *mid-refinement*
+    states: maintenance-driven splits migrate a replica group one member
+    at a time, so a parent path (say ``0``) may coexist with its
+    children (``00``/``01``) until every member has re-specialized.
+    Because paths are dyadic, two path intervals either nest or are
+    disjoint -- so the relaxed invariant is still exact: the union of
+    intervals must cover the key space with no *gap*, and any overlap
+    must be an ancestor/descendant nesting (arbitrary overlap between
+    unrelated partitions stays an error).
     """
     if not network.peers:
         raise PartitionError("empty overlay has no partition")
     paths = sorted({peer.path for peer in network.peers.values()})
+    if allow_refinement:
+        # Sort by (lo, widest-first) and sweep a cursor: a range starting
+        # past the cursor is a gap; one starting at/below it either nests
+        # inside the running cover (dyadic intervals cannot partially
+        # overlap) or extends it.
+        ranges = sorted(
+            (path.key_range(KEY_BITS) for path in paths),
+            key=lambda r: (r[0], -r[1]),
+        )
+        cursor = 0
+        for lo, hi in ranges:
+            if lo > cursor:
+                raise PartitionError(
+                    f"partition gap: keys {cursor}..{lo} uncovered"
+                )
+            cursor = max(cursor, hi)
+        if cursor != (1 << KEY_BITS):
+            raise PartitionError(
+                f"partitions cover {cursor} of {1 << KEY_BITS} keys"
+            )
+        return
     covered = 0
     previous_hi = 0
     for path in paths:

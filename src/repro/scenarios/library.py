@@ -1,6 +1,6 @@
 """Named, ready-to-run stress scenarios (the ISSUE-2 library).
 
-Eleven scenarios cover the stress axes of the paper's evaluation and the
+Fourteen scenarios cover the stress axes of the paper's evaluation and the
 ROADMAP's "as many scenarios as you can imagine" ambition:
 
 ==================  ====================================================
@@ -35,6 +35,17 @@ ROADMAP's "as many scenarios as you can imagine" ambition:
                       with writes continuing throughout -- replicas
                       diverge measurably, then anti-entropy reconverges
                       them after the heal
+``restart-storm``     half the population clean-restarts within a
+                      minute while writes continue -- warm rejoins from
+                      snapshots (``repro.pgrid.state``) vs the cold
+                      sponsored-join baseline
+``rolling-deploy``    every peer restarts exactly once, staggered
+                      across the phase (a rolling upgrade); the overlay
+                      must never lose quorum or acked writes
+``datacenter-power-cycle``  35% of peers *crash* near-simultaneously
+                      and return minutes later -- restores come from
+                      the last periodic checkpoint, quantifying the
+                      crash model's bounded write loss
 ==================  ====================================================
 
 Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
@@ -57,6 +68,7 @@ from .spec import (
     PartitionSpec,
     Phase,
     QueryMix,
+    RestartSpec,
     ScenarioSpec,
     WriteMix,
 )
@@ -75,6 +87,9 @@ __all__ = [
     "read_write_balanced",
     "write_hotspot_adversarial",
     "asymmetric_partition_writes",
+    "restart_storm",
+    "rolling_deploy",
+    "datacenter_power_cycle",
 ]
 
 #: Default population: the ROADMAP's 4096-peer scale point.
@@ -402,6 +417,135 @@ def asymmetric_partition_writes(
     )
 
 
+def restart_storm(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Half the population clean-restarts within a minute, writes on.
+
+    The headline persistence scenario: 50% of the peers shut down
+    cleanly (snapshot taken at the shutdown instant) inside a one-minute
+    window and stay down 30-90s each, while a 2/s mutation stream keeps
+    feeding the index.  With durability enabled every returnee
+    warm-rejoins from its snapshot and reconciles only the delta via
+    anti-entropy; with ``DurabilityPolicy(enabled=False)`` each one pays
+    a full cold sponsored join.  The report's ``recovery`` section
+    (time-to-converged-divergence, recovery maintenance bytes,
+    lost-acked-writes, tombstone resurrections) is the warm-vs-cold
+    scoreboard.
+
+    All three restart scenarios provision ``tombstone_ttl_s`` above the
+    wire default: a delete acked at the storm's start must still be
+    enforceable against a peer that restored a pre-delete snapshot and
+    only reconciles via slow anti-entropy near the scenario end, so the
+    certificate TTL has to cover the whole delete-to-audit window.
+    """
+    return _build(
+        "restart-storm",
+        [
+            Phase(name="steady", duration_s=240.0, maintenance_interval_s=120.0),
+            Phase(
+                name="storm",
+                duration_s=300.0,
+                writes=WriteMix(write_rate=2.0),
+                restarts=RestartSpec(
+                    fraction=0.5,
+                    min_down_s=30.0,
+                    max_down_s=90.0,
+                    stagger_s=60.0,
+                    crash_fraction=0.0,
+                ),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="recovery", duration_s=360.0, maintenance_interval_s=60.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        tombstone_ttl_s=1200.0,
+    )
+
+
+def rolling_deploy(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Every peer restarts exactly once, staggered across the phase.
+
+    The rolling-upgrade shape: restarts spread over seven minutes with
+    short 20-40s downtimes, so only a thin slice of the population is
+    ever down at once -- the overlay must stay continuously queryable
+    and lose no acknowledged write.  Clean shutdowns throughout (a
+    deploy flushes state), so with durability on this is the best case
+    for warm rejoin.
+    """
+    return _build(
+        "rolling-deploy",
+        [
+            Phase(name="steady", duration_s=240.0, maintenance_interval_s=120.0),
+            Phase(
+                name="rolling",
+                duration_s=480.0,
+                writes=WriteMix(write_rate=1.0),
+                restarts=RestartSpec(
+                    fraction=1.0,
+                    min_down_s=20.0,
+                    max_down_s=40.0,
+                    stagger_s=420.0,
+                    crash_fraction=0.0,
+                ),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="settled", duration_s=240.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        tombstone_ttl_s=1200.0,
+    )
+
+
+def datacenter_power_cycle(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """35% of peers crash near-simultaneously, then power back on.
+
+    The crash half of the model: no shutdown snapshot, so every returnee
+    restores the last *periodic* checkpoint (up to
+    ``DurabilityPolicy.snapshot_interval_s`` stale) and loses in-flight
+    writes and syncs after it.  Writes run at 2/s before and through the
+    outage, so the report's ``recovery`` audit quantifies exactly how
+    many acknowledged writes the crash window can eat and whether any
+    tombstoned key resurrects from a stale snapshot.
+    """
+    return _build(
+        "datacenter-power-cycle",
+        [
+            Phase(
+                name="steady",
+                duration_s=240.0,
+                writes=WriteMix(write_rate=2.0),
+                maintenance_interval_s=120.0,
+            ),
+            Phase(
+                name="power-cycle",
+                duration_s=300.0,
+                restarts=RestartSpec(
+                    fraction=0.35,
+                    min_down_s=60.0,
+                    max_down_s=120.0,
+                    stagger_s=10.0,
+                    crash_fraction=1.0,
+                ),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(name="recovery", duration_s=360.0, maintenance_interval_s=60.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        tombstone_ttl_s=1200.0,
+    )
+
+
 #: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
 SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "uniform-baseline": uniform_baseline,
@@ -415,6 +559,9 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "read-write-balanced": read_write_balanced,
     "write-hotspot-adversarial": write_hotspot_adversarial,
     "asymmetric-partition-writes": asymmetric_partition_writes,
+    "restart-storm": restart_storm,
+    "rolling-deploy": rolling_deploy,
+    "datacenter-power-cycle": datacenter_power_cycle,
 }
 
 

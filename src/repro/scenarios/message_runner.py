@@ -57,6 +57,7 @@ from ..pgrid.bits import Path
 from ..pgrid.liveness import RouteRepairPolicy
 from ..pgrid.network import PGridNetwork
 from ..pgrid.peer import PGridPeer
+from ..pgrid.state import DurabilityPolicy
 from ..pgrid.replication import divergence_stats
 from ..pgrid.routing import RoutingTable
 from ..simnet import protocol as P
@@ -105,6 +106,18 @@ class MessageNetConfig:
     #: ``RouteRepairPolicy(enabled=False)`` reproduces the repair-less
     #: blind-routing degradation baseline.
     repair: RouteRepairPolicy = field(default_factory=RouteRepairPolicy)
+    #: Seconds a delete tombstone keeps riding anti-entropy exchanges
+    #: before expiring (wired into every node's ``NodeConfig``).  The
+    #: TTL clock starts when a node *first* installs the tombstone and
+    #: is never refreshed by re-gossip.
+    tombstone_ttl_s: float = 600.0
+    #: Persistence & crash model
+    #: (:class:`~repro.pgrid.state.DurabilityPolicy`): with durability
+    #: enabled, restart phases checkpoint node state periodically and
+    #: restarted nodes warm-rejoin from their last snapshot;
+    #: ``DurabilityPolicy(enabled=False)`` is the cold-rejoin baseline
+    #: (every restarted node re-enters via a sponsored join).
+    durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
 
 
 class MessageScenarioRunner(ScenarioRunnerBase):
@@ -121,16 +134,18 @@ class MessageScenarioRunner(ScenarioRunnerBase):
     backend = "message"
 
     def __init__(self, spec: ScenarioSpec, *, net_config: Optional[MessageNetConfig] = None):
-        super().__init__(spec)
-        self.net_config = net_config or MessageNetConfig()
+        cfg = net_config or MessageNetConfig()
+        super().__init__(spec, durability=cfg.durability)
+        self.net_config = cfg
         self.nodes: Dict[int, PGridNode] = {}
         self.transport: Optional[Network] = None
         self.stats: Optional[StatsCollector] = None
         self._node_tuple: Optional[Tuple[PGridNode, ...]] = None
         # qid -> (phase index, query kind, issue time)
         self._meta: Dict[int, Tuple[int, str, float]] = {}
-        # wid -> (phase index, write op, issue time)
-        self._wmeta: Dict[int, Tuple[int, str, float]] = {}
+        # wid -> (phase index, write op, key, issue time); the key rides
+        # along so write acks can feed the durability audit.
+        self._wmeta: Dict[int, Tuple[int, str, int, float]] = {}
         self._tally: Optional[_Tally] = None
         self._point_latencies: List[float] = []
         self._range_latencies: List[float] = []
@@ -166,6 +181,13 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             query_retries=spec.query_retries,
             max_refs_per_level=spec.max_refs,
             repair=cfg.repair,
+            # Spec-provisioned TTL wins (restart scenarios stretch it to
+            # cover their reconciliation horizon); else the wire default.
+            tombstone_ttl_s=(
+                spec.tombstone_ttl_s
+                if spec.tombstone_ttl_s is not None
+                else cfg.tombstone_ttl_s
+            ),
         )
         for pid in sorted(blueprint.peers):
             peer = blueprint.peers[pid]
@@ -243,6 +265,85 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             n_keys=len(keys),
         )
         return True
+
+    # -- persistence & recovery (pgrid.state) --------------------------------
+
+    def _checkpoint_all(self, tally: _Tally) -> None:
+        store = self._state_store
+        for pid in sorted(self.nodes):
+            node = self.nodes[pid]
+            if node.online:
+                store.put(pid, node.snapshot_state())
+
+    def _restart_shutdown(self, pid: int, crash: bool, tally: _Tally) -> bool:
+        node = self.nodes.get(pid)
+        if node is None or not node.online:
+            return False
+        if not crash and self._durability.enabled:
+            # Clean shutdown flushes state at the shutdown instant; a
+            # crash keeps only the last *periodic* checkpoint, losing
+            # up to snapshot_interval_s of acknowledged progress.
+            self._state_store.put(pid, node.snapshot_state())
+        node.abort_inflight()
+        node.set_online(False)
+        return True
+
+    def _restart_return(self, pid: int, tally: _Tally) -> str:
+        node = self.nodes[pid]
+        if self._durability.enabled:
+            snapshot = self._state_store.get(pid)
+            if snapshot is not None:
+                node.restore_state(snapshot)
+                node.set_online(True, warm=True)
+                return "warm"
+        # Cold rejoin: durable state is gone, so the node re-enters
+        # exactly like a sponsored join (see _join), keeping only its
+        # identity and original workload keys.
+        keys = sorted(node.original_keys)
+        sponsor = self._random_online_node(self._restart_rng)
+        node.set_online(True)
+        node.tombstones = set()
+        node._tombstone_born = {}
+        node.liveness.strikes.clear()
+        node.liveness.probe_nonce.clear()
+        node.liveness.last_confirmed.clear()
+        node.liveness.evicted_at.clear()
+        if sponsor is None:
+            # Nobody online to sponsor: come back in place and let
+            # anti-entropy reconcile whatever state survived in RAM.
+            return "cold"
+        node.path = sponsor.path
+        node.routing = {
+            level: list(refs) for level, refs in sorted(sponsor.routing.items())
+        }
+        node.replicas = set(sponsor.replicas) | {sponsor.node_id}
+        node.original_keys = set(keys)
+        node.keys = {k for k in keys if node.responsible_for(k)}
+        node.outbox = set(keys) - node.keys
+        node.send(
+            sponsor.node_id,
+            P.STORE,
+            {"keys": keys},
+            n_keys=len(keys),
+        )
+        return "cold"
+
+    def _durable_key_view(self) -> Tuple[Set[int], Set[int]]:
+        present: Set[int] = set()
+        live_tombstones: Set[int] = set()
+        now = self.simulator.now
+        for pid in sorted(self.nodes):
+            node = self.nodes[pid]
+            # The node's own (possibly spec-provisioned) TTL decides
+            # liveness -- the audit must agree with _prune_tombstones.
+            ttl = node.config.tombstone_ttl_s
+            present |= node.keys
+            present |= node.outbox
+            for key in node.tombstones:
+                born = node._tombstone_born.get(key)
+                if born is None or now - born < ttl:
+                    live_tombstones.add(key)
+        return present, live_tombstones
 
     def _run_maintenance(self, tally: _Tally, rng) -> None:
         online = [pid for pid in sorted(self.nodes) if self.nodes[pid].online]
@@ -424,13 +525,13 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             wid = origin.issue_delete(key)
         else:
             wid = origin.issue_insert(key)
-        self._wmeta[wid] = (idx, op, self.simulator.now)
+        self._wmeta[wid] = (idx, op, key, self.simulator.now)
 
     def _write_done(self, node_id: int, wid: int, outcome: QueryOutcome) -> None:
         meta = self._wmeta.pop(wid, None)
         if meta is None:
             return
-        idx, op, _issued = meta
+        idx, op, key, _issued = meta
         self._write_retries += max(outcome.attempts - 1, 0)
         self._write_timeouts += outcome.timeouts
         if outcome.moot:
@@ -438,6 +539,8 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             # failure (see _query_done); visible in the writes section.
             self._moot_writes += 1
             return
+        if outcome.success:
+            self._note_acked_write(op, key)
         self._tally.record_write(
             outcome.issued_at,
             idx,
@@ -486,7 +589,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 hops=0, messages=0, size=0,
             )
         self._meta.clear()
-        for wid, (idx, op, issued_at) in sorted(self._wmeta.items()):
+        for wid, (idx, op, _key, issued_at) in sorted(self._wmeta.items()):
             tally.record_write(
                 issued_at, idx, op=op, success=False, messages=0, size=0
             )

@@ -77,6 +77,14 @@ class ScenarioReport:
     #: for read-only scenarios and *omitted* from the serialized form
     #: then, keeping pre-write-path golden traces byte-identical.
     writes: Optional[Dict[str, Any]] = None
+    #: Persistence/recovery section (restart and crash counts, warm vs
+    #: cold rejoins, time-to-converged-divergence, recovery maintenance
+    #: bytes, lost-acked-writes and tombstone-resurrection audit -- see
+    #: :meth:`repro.scenarios.base.ScenarioRunnerBase._recovery_section`).
+    #: ``None`` for restart-free scenarios and *omitted* from the
+    #: serialized form then, keeping existing golden traces
+    #: byte-identical.
+    recovery: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
 
@@ -98,6 +106,8 @@ class ScenarioReport:
             payload["message_level"] = self.message_level
         if self.writes is not None:
             payload["writes"] = self.writes
+        if self.recovery is not None:
+            payload["recovery"] = self.recovery
         return _canonical(payload)
 
     def to_json(self) -> str:
@@ -156,5 +166,17 @@ class ScenarioReport:
                 ("write success rate", _f(self.writes.get("success_rate"))),
                 ("write bytes", _f(self.writes.get("bytes_update", 0))),
                 ("final replica divergence", _f(self.writes.get("divergence", {}).get("mean"))),
+            ]
+        if self.recovery is not None:
+            rows += [
+                ("restarts (clean+crash)", _f(self.recovery.get("restarts", 0))),
+                ("warm rejoins", _f(self.recovery.get("warm_rejoins", 0))),
+                ("time to converged divergence (s)",
+                 _f(self.recovery.get("time_to_converged_divergence_s"))),
+                ("recovery maintenance bytes",
+                 _f(self.recovery.get("recovery_maint_bytes", 0))),
+                ("lost acked writes", _f(self.recovery.get("lost_acked_writes", 0))),
+                ("tombstone resurrections",
+                 _f(self.recovery.get("tombstone_resurrections", 0))),
             ]
         return rows

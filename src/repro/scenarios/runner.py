@@ -32,6 +32,8 @@ from ..pgrid.liveness import RouteRepairPolicy, repair_routes
 from ..pgrid.maintenance import sequential_join
 from ..pgrid.network import PGridNetwork
 from ..pgrid.replication import anti_entropy_sweep, divergence_stats
+from ..pgrid.routing import RoutingTable
+from ..pgrid.state import DurabilityPolicy
 from ..workloads.queries import POINT, QuerySampler
 from .base import ScenarioRunnerBase, _Tally
 from .invariants import live_key_coverage
@@ -56,15 +58,15 @@ class ScenarioRunner(ScenarioRunnerBase):
         spec: ScenarioSpec,
         *,
         repair_policy: Optional[RouteRepairPolicy] = None,
+        durability: Optional[DurabilityPolicy] = None,
     ):
-        super().__init__(spec)
+        super().__init__(spec, durability=durability)
         self.network: Optional[PGridNetwork] = None
         #: Maintenance runs through the shared route-repair policy
         #: (oracle-evidence instance); disable it to reproduce the
         #: blind-routing degradation baseline on this backend too.
         self.repair_policy = repair_policy or RouteRepairPolicy()
         self._partition_cut: List[int] = []
-
     # -- lifecycle hooks ---------------------------------------------------
 
     def _setup(self, peer_keys, build_rng) -> None:
@@ -247,6 +249,8 @@ class ScenarioRunner(ScenarioRunnerBase):
             if res.found:
                 success = True
                 break
+        if success:
+            self._note_acked_write(op, key)
         tally.record_write(
             sim.now, idx, op=op, success=success, messages=messages, size=size
         )
@@ -262,6 +266,101 @@ class ScenarioRunner(ScenarioRunnerBase):
             len(net.peers[pid].tombstones) for pid in sorted(net.peers)
         )
         return stats
+
+    # -- durability / restart hooks -----------------------------------------
+
+    def _checkpoint_all(self, tally: _Tally) -> None:
+        net = self.network
+        now = self.simulator.now
+        store = self._state_store
+        for pid in sorted(net.peers):
+            if net.peers[pid].online:
+                store.put(pid, net.checkpoint_peer(pid, now))
+
+    def _restart_shutdown(self, pid: int, crash: bool, tally: _Tally) -> bool:
+        peer = self.network.peers.get(pid)
+        if peer is None or not peer.online:
+            return False
+        if not crash and self._durability.enabled:
+            # Clean shutdown: exact checkpoint at the shutdown instant.
+            # A crash keeps only the last periodic checkpoint (stale by
+            # up to snapshot_interval_s) -- that gap IS the crash model.
+            self._state_store.put(
+                pid, self.network.checkpoint_peer(pid, self.simulator.now)
+            )
+        peer.online = False
+        return True
+
+    def _restart_return(self, pid: int, tally: _Tally) -> str:
+        net = self.network
+        snapshot = (
+            self._state_store.get(pid) if self._durability.enabled else None
+        )
+        if snapshot is not None:
+            # Warm rejoin: resume from disk, reconcile the delta through
+            # the ordinary maintenance sweeps; restored routing refs are
+            # re-validated by the next oracle repair pass (the data
+            # plane's liveness hand-off).  One rejoin announce on the
+            # wire.
+            peer = net.restore_peer(pid, snapshot)
+            peer.online = True
+            tally.record_maintenance(
+                self.simulator.now, messages=1, size=HEADER_BYTES
+            )
+            return "warm"
+        # Cold rejoin: durable state is gone.  The peer re-enters at its
+        # remembered position (the overlay's replica sets still carry
+        # its id; moving it would break the data plane's synchronous
+        # search invariants) but with its stores wiped -- the locally
+        # held index fragment, tombstone clocks and routing refs did not
+        # survive the restart.  It rebuilds its reference table by
+        # asking an online structural replica and re-learns the
+        # partition's entire content through ordinary anti-entropy
+        # sweeps: until the next sweep reaches it, the replica serves
+        # nothing -- the pre-persistence baseline a warm rejoin is
+        # measured against.
+        peer = net.peers.get(pid)
+        if peer is None:
+            return "cold"
+        rng = self._restart_rng
+        peer.keys = []
+        peer.tombstones.clear()
+        peer.online = True
+        messages = 1  # the rejoin announce
+        size = HEADER_BYTES
+        replicas = [
+            net.peers[other]
+            for other in sorted(peer.replicas)
+            if other != pid
+            and other in net.peers
+            and net.peers[other].online
+            and net.peers[other].path == peer.path
+        ]
+        if replicas:
+            # One bootstrap exchange: copy a live replica's reference
+            # table (the cold peer's own refs did not survive the wipe).
+            source = replicas[rng.randrange(len(replicas))]
+            routing = RoutingTable(max_refs_per_level=self.spec.max_refs)
+            for level, refs in sorted(source.routing.levels.items()):
+                for ref in refs:
+                    routing.add(level, ref)
+            peer.routing = routing
+            refs_copied = sum(
+                len(refs) for refs in source.routing.levels.values()
+            )
+            messages += 1
+            size += HEADER_BYTES + refs_copied * KEY_BYTES
+        tally.record_maintenance(self.simulator.now, messages=messages, size=size)
+        return "cold"
+
+    def _durable_key_view(self):
+        present: Set[int] = set()
+        tombstones: Set[int] = set()
+        for pid in sorted(self.network.peers):
+            peer = self.network.peers[pid]
+            present.update(peer.keys)
+            tombstones.update(peer.tombstones)
+        return present, tombstones
 
     # -- assembly hooks ----------------------------------------------------
 

@@ -38,10 +38,55 @@ __all__ = [
     "Hotspot",
     "PartitionSpec",
     "QueryMix",
+    "RestartSpec",
     "WriteMix",
     "Phase",
     "ScenarioSpec",
 ]
+
+
+@dataclass(frozen=True)
+class RestartSpec:
+    """A phase's restart regime (process restarts, not churn).
+
+    Unlike churn -- where a peer merely goes unreachable and returns
+    with its memory intact -- a restart terminates the process: pending
+    operations are lost and what survives is whatever the persistence
+    subsystem (:mod:`repro.pgrid.state`) checkpointed.  During the
+    phase, ``fraction`` of the online population restarts once each:
+    shutdown times are staggered uniformly over ``[0, stagger_s]`` from
+    the phase start, and each peer returns after a downtime drawn
+    uniformly from ``[min_down_s, max_down_s]``.
+
+    ``crash_fraction`` of the restarts are *crashes* (state as of the
+    last periodic checkpoint, stale by up to the durability policy's
+    ``snapshot_interval_s``); the rest are *clean shutdowns* (exact
+    checkpoint at the shutdown instant).  Whether a returning peer
+    rejoins warm (restore + delta reconciliation) or cold (sponsored
+    join from nothing) is decided by the runner's
+    :class:`~repro.pgrid.state.DurabilityPolicy`, not the spec -- the
+    same spec benchmarks both sides of the A/B.
+    """
+
+    fraction: float = 0.5
+    min_down_s: float = 30.0
+    max_down_s: float = 90.0
+    stagger_s: float = 60.0
+    crash_fraction: float = 0.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise SimulationError(
+                f"restart fraction must lie in (0, 1], got {self.fraction}"
+            )
+        if not 0.0 < self.min_down_s <= self.max_down_s:
+            raise SimulationError("invalid restart downtime interval")
+        if self.stagger_s < 0.0:
+            raise SimulationError("restart stagger must be non-negative")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise SimulationError(
+                f"crash fraction must lie in [0, 1], got {self.crash_fraction}"
+            )
 
 
 @dataclass(frozen=True)
@@ -241,6 +286,9 @@ class Phase:
     #: Mutation workload for this phase (``None`` = read-only, the
     #: pre-write-path behavior, bit-for-bit).
     writes: Optional[WriteMix] = None
+    #: Process-restart regime for this phase (``None`` = no restarts,
+    #: the pre-persistence behavior, bit-for-bit).
+    restarts: Optional[RestartSpec] = None
 
     def validate(self) -> None:
         if self.duration_s <= 0:
@@ -260,6 +308,8 @@ class Phase:
             self.partitions.validate()
         if self.writes is not None:
             self.writes.validate()
+        if self.restarts is not None:
+            self.restarts.validate()
 
 
 @dataclass(frozen=True)
@@ -280,6 +330,16 @@ class ScenarioSpec:
     #: query, mirroring the protocol's retry behavior under churn
     #: (:class:`repro.simnet.node.NodeConfig.query_retries`).
     query_retries: int = 2
+    #: Death-certificate lifetime for the message backend; ``None``
+    #: defers to ``MessageNetConfig.tombstone_ttl_s``.  Scenarios whose
+    #: reconciliation horizon outlives the default TTL (restart storms:
+    #: a delete acked mid-storm must still be enforceable against a
+    #: peer that restores a pre-delete snapshot and only reconciles via
+    #: slow anti-entropy near the scenario end) provision a TTL that
+    #: covers the delete-to-audit window, the classic Demers trade made
+    #: explicit per experiment.  Dilated by :meth:`scaled` like every
+    #: other duration.  The data plane has no tombstone clock.
+    tombstone_ttl_s: Optional[float] = None
 
     def __post_init__(self):
         # Accept any sequence of phases but store a hashable tuple.
@@ -322,6 +382,8 @@ class ScenarioSpec:
             raise SimulationError("report bin width must be positive")
         if self.query_retries < 0:
             raise SimulationError("query retries must be non-negative")
+        if self.tombstone_ttl_s is not None and self.tombstone_ttl_s <= 0:
+            raise SimulationError("tombstone TTL must be positive when set")
         for phase in self.phases:
             phase.validate()
 
@@ -354,7 +416,26 @@ class ScenarioSpec:
                         max_online_s=p.churn.max_online_s * duration_scale,
                     )
                 ),
+                restarts=(
+                    None
+                    if p.restarts is None
+                    else replace(
+                        p.restarts,
+                        min_down_s=p.restarts.min_down_s * duration_scale,
+                        max_down_s=p.restarts.max_down_s * duration_scale,
+                        stagger_s=p.restarts.stagger_s * duration_scale,
+                    )
+                ),
             )
             for p in self.phases
         )
-        return replace(self, phases=phases, report_bin_s=self.report_bin_s * duration_scale)
+        return replace(
+            self,
+            phases=phases,
+            report_bin_s=self.report_bin_s * duration_scale,
+            tombstone_ttl_s=(
+                None
+                if self.tombstone_ttl_s is None
+                else self.tombstone_ttl_s * duration_scale
+            ),
+        )

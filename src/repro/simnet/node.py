@@ -225,23 +225,79 @@ class PGridNode:
             self._suspect_ref(dst)
         return cause
 
-    def set_online(self, online: bool) -> None:
+    def set_online(self, online: bool, *, warm: bool = False) -> None:
         """Churn hook: toggling availability clears in-flight handshakes.
 
         Coming back online restarts the probe chain of every suspect
         whose probes were voided by our own absence -- otherwise a
         reference could stay suspect (and routed around) forever.
+
+        ``warm=True`` is the warm-rejoin path after
+        :meth:`restore_state`: instead of the cold sponsored join, the
+        node resumes with its restored state and immediately initiates
+        one anti-entropy exchange with a restored replica to reconcile
+        the delta accumulated while down (periodic maintenance finishes
+        the job).  Restored routing refs were already marked
+        unconfirmed by the restore -- the liveness machine probes them
+        before trusting them (see :mod:`repro.pgrid.state`).
         """
         self.online = online
         if not online:
             self._inflight_exchange = None
-        elif self.config.repair.enabled:
+            return
+        if self.config.repair.enabled:
             for ref in sorted(self.liveness.strikes):
                 if (
                     self.liveness.strikes[ref] >= 1
                     and ref not in self.liveness.probe_nonce
                 ):
                     self._send_probe(ref)
+        if warm:
+            partners = sorted(self.replicas - {self.node_id})
+            if partners:
+                partner = partners[self.rng.randrange(len(partners))]
+                self._begin_exchange(partner)
+
+    # -- durability (see repro.pgrid.state) ---------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture this node's durable state as a versioned snapshot
+        dict (schema :data:`repro.pgrid.state.SCHEMA`)."""
+        from ..pgrid.state import snapshot_node
+
+        return snapshot_node(self, self.sim.now)
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Resume from a :meth:`snapshot_state` checkpoint.
+
+        Durable state (keys, outbox, tombstone clocks, routing refs,
+        liveness beliefs) is restored per the warm-rejoin contract in
+        :mod:`repro.pgrid.state`; transient state (pending operations,
+        exchange handshakes, idle strikes) starts empty because it did
+        not survive the restart.
+        """
+        from ..pgrid.state import restore_node
+
+        restore_node(self, snapshot, self.sim.now)
+        self.idle_strikes = 0
+        self._inflight_exchange = None
+
+    def abort_inflight(self) -> None:
+        """Restart hook: void every in-flight origin-side operation.
+
+        A process shutdown loses pending query/write/range state; each
+        pending entry is finished as ``moot`` so the observers fire (the
+        scenario runner pops its per-qid bookkeeping) and the
+        attempt-bound timers still queued in the simulator find no
+        pending entry when they expire -- no leaked timers, no stale
+        attempts burning retry budgets after a warm rejoin.
+        """
+        for qid, pending in list(self._queries.items()):
+            self._finish_query(qid, pending, pending.hops, False, moot=True)
+        for wid, pending in list(self._writes.items()):
+            self._finish_write(wid, pending, pending.hops, False, moot=True)
+        for qid, pending in list(self._ranges.items()):
+            self._finish_range(qid, pending, False, moot=True)
 
     def add_route(self, level: int, other: int) -> None:
         """Record a complementary-subtree reference at ``level``."""

@@ -412,3 +412,103 @@ class TestSnapshotMergeOrder:
         payload = json.loads(path.read_text())
         assert payload["results"]["lookup_us"]["256"] == 4.4
         assert "scenarios" in payload  # foreign section preserved
+
+
+def recovery_section(
+    warm_time=2.0,
+    warm_bytes=100_000,
+    cold_time=50.0,
+    cold_bytes=400_000,
+    lost=0,
+    resurrected=0,
+    *,
+    crashes=0,
+    durability=True,
+):
+    """A scenario section carrying one restart entry with inline cold pass."""
+    section = scenario_section()
+    section["results"]["restart-storm"] = {
+        "success_rate": 0.99,
+        "queries": 3600,
+        "recovery_time_s": warm_time,
+        "recovery_maint_bytes": warm_bytes,
+        "lost_acked_writes": lost,
+        "tombstone_resurrections": resurrected,
+        "recovery": {
+            "durability_enabled": durability,
+            "restarts": 24,
+            "clean_shutdowns": 24 - crashes,
+            "crashes": crashes,
+            "cold": {
+                "time_to_converged_divergence_s": cold_time,
+                "recovery_maint_bytes": cold_bytes,
+                "lost_acked_writes": 3,
+                "tombstone_resurrections": 2,
+            },
+        },
+    }
+    return section
+
+
+class TestRecoveryGate:
+    """The persistence gate: warm rejoin must beat the inline cold pass,
+    and clean-shutdown durable runs must lose nothing -- intra-snapshot
+    checks that run even without a comparable baseline."""
+
+    def pair(self, tmp_path, cand_section):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": cand_section}))
+        return ["--baseline", str(base), "--candidate", str(cand)]
+
+    def test_healthy_recovery_passes(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, recovery_section())
+        assert check_regression.main(argv) == 0
+        assert "recovery gate" in capsys.readouterr().out
+
+    def test_warm_time_exceeding_cold_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, recovery_section(warm_time=60.0))
+        assert check_regression.main(argv) == 1
+        assert "time-to-converged-divergence" in capsys.readouterr().err
+
+    def test_warm_bytes_must_be_strictly_below_cold(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, recovery_section(warm_bytes=400_000))
+        assert check_regression.main(argv) == 1
+        assert "maintenance bytes" in capsys.readouterr().err
+
+    def test_clean_shutdown_loss_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, recovery_section(lost=1))
+        assert check_regression.main(argv) == 1
+        assert "lost_acked_writes" in capsys.readouterr().err
+
+    def test_clean_shutdown_resurrection_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, recovery_section(resurrected=2))
+        assert check_regression.main(argv) == 1
+        assert "tombstone_resurrections" in capsys.readouterr().err
+
+    def test_crash_runs_are_not_zero_gated(self, tmp_path):
+        argv = self.pair(
+            tmp_path, recovery_section(lost=4, resurrected=1, crashes=8)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_durability_off_runs_are_not_zero_gated(self, tmp_path):
+        argv = self.pair(
+            tmp_path, recovery_section(lost=4, resurrected=1, durability=False)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_recovery_rows_reach_the_step_summary(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": recovery_section()}))
+        summary = tmp_path / "summary.md"
+        assert check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ]) == 0
+        text = summary.read_text()
+        assert "### Recovery" in text
+        assert "warm_bytes<cold_bytes" in text

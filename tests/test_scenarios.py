@@ -41,6 +41,7 @@ class TestSpecValidation:
         assert sorted(SCENARIOS) == [
             "asymmetric-partition-writes",
             "correlated-churn",
+            "datacenter-power-cycle",
             "flash-crowd",
             "mass-join",
             "mass-leave",
@@ -48,6 +49,8 @@ class TestSpecValidation:
             "pareto-hotspot",
             "read-write-balanced",
             "regional-outage",
+            "restart-storm",
+            "rolling-deploy",
             "uniform-baseline",
             "write-hotspot-adversarial",
         ]
