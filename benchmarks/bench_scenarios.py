@@ -8,8 +8,11 @@ workloads read-write-balanced, write-hotspot-adversarial and
 asymmetric-partition-writes, plus the persistence/restart scenarios
 restart-storm, rolling-deploy and datacenter-power-cycle -- the latter
 run twice, once with durability on and once as the cold-rejoin
-baseline, recorded inline under ``recovery.cold``) on one or both
-execution backends and
+baseline, recorded inline under ``recovery.cold``, plus the
+serving-layer scenarios zipf-serving and cache-coherence-storm --
+likewise run twice, once with caches on and once with
+``CachePolicy(enabled=False)``, recorded inline under
+``serving.off``) on one or both execution backends and
 merges the results into the repo's perf snapshot, so the stress
 trajectory travels with the perf trajectory:
 
@@ -47,6 +50,7 @@ the underlying reports is enforced separately by
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -163,6 +167,51 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> 
                     "tombstone_resurrections": cold["tombstone_resurrections"],
                 },
             }
+        if report.serving is not None:
+            # Query-serving front-end metrics (gated by
+            # check_regression.py): cache effectiveness, coherence cost
+            # (measured stale reads against the authoritative key view)
+            # and per-peer load spread.  A second pass of the same spec
+            # with ``CachePolicy(enabled=False)`` records the cache-off
+            # baseline inline under ``serving.off``, so the snapshot
+            # itself proves the caches improve tail latency and load
+            # balance rather than merely adding machinery.
+            srv = report.serving
+            entry["cache_hit_rate"] = srv["cache_hit_rate"]
+            entry["stale_read_rate"] = srv["stale_read_rate"]
+            entry["serving_p99_s"] = srv["latency_s"].get("p99")
+            entry["load_gini"] = srv["load_gini"]
+            off_spec = dataclasses.replace(
+                spec, cache=dataclasses.replace(spec.cache, enabled=False)
+            )
+            t0 = time.perf_counter()
+            off_report = runner_cls(off_spec).run()
+            off_wall = time.perf_counter() - t0
+            off = off_report.serving
+            entry["serving"] = {
+                "enabled": srv["enabled"],
+                "policy": srv["policy"],
+                "cache_hits": srv["cache_hits"],
+                "cache_misses": srv["cache_misses"],
+                "audited_hits": srv["audited_hits"],
+                "stale_reads": srv["stale_reads"],
+                "dedup_joined": srv["dedup_joined"],
+                "invalidations": srv["invalidations"],
+                "route_uses": srv["route_uses"],
+                "route_invalidations": srv["route_invalidations"],
+                "grants": srv["grants"],
+                "revokes": srv["revokes"],
+                "grant_hits": srv["grant_hits"],
+                "helpers_final": srv["helpers_final"],
+                "latency_s": srv["latency_s"],
+                "off": {
+                    "wall_s": round(off_wall, 3),
+                    "success_rate": off_report.totals["success_rate"],
+                    "serving_p99_s": off["latency_s"].get("p99"),
+                    "load_gini": off["load_gini"],
+                    "latency_s": off["latency_s"],
+                },
+            }
         if report.message_level is not None:
             ml = report.message_level
             entry["message_level"] = {
@@ -272,6 +321,19 @@ def main(argv=None) -> int:
                     f"  writes {entry['writes']:6d}  "
                     f"w-success {'n/a' if wsr is None else format(wsr, '.4f')}  "
                     f"div {entry['divergence_final']:.4f}"
+                )
+            srv = entry.get("serving")
+            if srv:
+                hit = entry["cache_hit_rate"]
+                stale = entry["stale_read_rate"]
+                p99_on = entry["serving_p99_s"]
+                p99_off = srv["off"]["serving_p99_s"]
+                line += (
+                    f"  hit {'n/a' if hit is None else format(hit, '.3f')}  "
+                    f"stale {'n/a' if stale is None else format(stale, '.3f')}  "
+                    f"p99 {'n/a' if p99_on is None else format(p99_on, '.2f')}s"
+                    f"/off {'n/a' if p99_off is None else format(p99_off, '.2f')}s  "
+                    f"gini {entry['load_gini']:.3f}/off {srv['off']['load_gini']:.3f}"
                 )
             rec = entry.get("recovery")
             if rec:

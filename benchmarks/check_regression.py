@@ -38,7 +38,15 @@ instead of silently ignoring unknown keys:
   write-path bandwidth blowup is a regression even when success holds;
 * ``recovery_time_s`` / ``recovery_maint_bytes`` -- ratio growth fails:
   warm rejoin getting slower or chattier than its committed numbers;
-* ``lost_acked_writes`` / ``tombstone_resurrections`` -- any rise fails.
+* ``lost_acked_writes`` / ``tombstone_resurrections`` -- any rise fails;
+* ``cache_hit_rate`` -- an absolute drop beyond the scenario tolerance
+  fails: the serving front end losing its hits means caching stopped
+  absorbing the Zipf head;
+* ``stale_read_rate`` -- an absolute *rise* beyond the same tolerance
+  fails: coherence (write invalidation + TTL) regressing silently;
+* ``serving_p99_s`` -- ratio growth fails: the cached tail latency is
+  the headline serving win and must not drift back to the uncached
+  timeout band.
 
 Restart scenarios additionally get an **intra-snapshot** recovery gate
 (:func:`check_recovery`, candidate only, no baseline needed): warm
@@ -47,6 +55,14 @@ time-to-converged-divergence and recovery maintenance bytes, and a
 clean-shutdown run with durability enabled must report zero lost acked
 writes and zero tombstone resurrections.  Because it needs no
 baseline, this gate runs in the perf-smoke quick job too.
+
+Serving scenarios get the analogous **intra-snapshot** serving gate
+(:func:`check_serving`): with caches on, serving p99 latency and the
+per-peer load Gini must be strictly better than the inline
+``serving.off`` baseline pass (same spec, ``CachePolicy(enabled=
+False)``) recorded by ``bench_scenarios.py``, and end-to-end query
+success must not drop -- a cache that serves stale garbage fast would
+otherwise look like a win.
 
 Scenario sections are only compared when both snapshots ran the same
 population and duration scale (the quick CI candidate at N=256 is
@@ -60,9 +76,11 @@ run's summary page instead of raw logs.
 
 Guards: the PR-1 data-plane speedups (sorted key stores, memoized
 inversions, query fast paths), the PR-4 message-level route-repair
-success floor, the PR-5 write-path success/divergence floors, and the
+success floor, the PR-5 write-path success/divergence floors, the
 PR-6 persistence/recovery floors (warm-beats-cold, zero loss on clean
-shutdown), as committed in ``BENCH_core.json``.
+shutdown), and the PR-7 serving-layer floors (cache-on beats cache-off
+on tail latency and load spread, bounded staleness), as committed in
+``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -131,6 +149,11 @@ SCENARIO_METRICS = (
     ("recovery_maint_bytes", "ratio"),
     ("lost_acked_writes", "rise"),
     ("tombstone_resurrections", "rise"),
+    # Serving front-end metrics (serving scenarios only; written by
+    # bench_scenarios.py from the report's ``serving`` section).
+    ("cache_hit_rate", "drop"),
+    ("stale_read_rate", "rise"),
+    ("serving_p99_s", "ratio"),
 )
 
 
@@ -282,6 +305,88 @@ def check_recovery(candidate: dict) -> Tuple[List[Tuple[str, str, str]], List[st
     return rows, failures
 
 
+def check_serving(
+    candidate: dict, tolerance: float = DEFAULT_SCENARIO_TOLERANCE
+) -> Tuple[List[Tuple[str, str, str, bool]], List[str]]:
+    """Intra-snapshot serving gates on the *candidate* alone.
+
+    The serving front end must *earn* its machinery, checkable without
+    a baseline because ``bench_scenarios.py`` records a cache-off pass
+    of the same spec inline under ``serving.off``:
+
+    * **caches cut the tail** -- with caches on, serving p99 latency
+      must be strictly below the cache-off pass's (the ISSUE's headline
+      acceptance: cached hot keys answer locally instead of riding the
+      wire into the timeout band);
+    * **caches flatten the load** -- the per-peer load Gini with caches
+      on must be strictly below cache-off: hits absorbed at the front
+      end plus direct-routed misses must relieve the trie-top peers;
+    * **no success regression** -- end-to-end query success with caches
+      on must not drop more than ``tolerance`` below cache-off; a cache
+      serving wrong answers fast must not pass the latency gate.
+
+    Latency rows only exist on the message backend (the dataplane has
+    no wire and reports no serving percentiles); the Gini and success
+    rows gate both backends.  Returns ``(rows, failures)``; rows are
+    ``(section/scenario, check, detail, breached)`` for printing.
+    """
+    rows: List[Tuple[str, str, str, bool]] = []
+    failures: List[str] = []
+    for section in SCENARIO_SECTIONS:
+        results = (candidate.get(section) or {}).get("results", {})
+        for name in sorted(results):
+            entry = results[name]
+            srv = entry.get("serving")
+            if not srv or not srv.get("enabled"):
+                continue
+            off = srv.get("off")
+            if not off:
+                continue
+            where = f"{section}/{name}"
+            p99_on = entry.get("serving_p99_s")
+            p99_off = off.get("serving_p99_s")
+            if p99_on is not None and p99_off is not None:
+                ok = p99_on < p99_off
+                rows.append(
+                    (where, "p99_on<p99_off",
+                     f"{p99_on:g} vs {p99_off:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: serving p99 with caches on {p99_on:g}s "
+                        f"not strictly below cache-off baseline {p99_off:g}s"
+                    )
+            gini_on = entry.get("load_gini")
+            gini_off = off.get("load_gini")
+            if gini_on is not None and gini_off is not None:
+                ok = gini_on < gini_off
+                rows.append(
+                    (where, "gini_on<gini_off",
+                     f"{gini_on:g} vs {gini_off:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: per-peer load Gini with caches on "
+                        f"{gini_on:g} not strictly below cache-off baseline "
+                        f"{gini_off:g}"
+                    )
+            succ_on = entry.get("success_rate")
+            succ_off = off.get("success_rate")
+            if succ_on is not None and succ_off is not None:
+                ok = succ_on >= succ_off - tolerance
+                rows.append(
+                    (where, "success_on>=off",
+                     f"{succ_on:g} vs {succ_off:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: query success with caches on {succ_on:g} "
+                        f"dropped more than {tolerance:g} below cache-off "
+                        f"baseline {succ_off:g}"
+                    )
+    return rows, failures
+
+
 def build_step_summary(
     perf_rows: List[Tuple[str, str, float, float, float]],
     tolerance: float,
@@ -289,6 +394,7 @@ def build_step_summary(
     scenario_tolerance: float,
     failures: List[str],
     recovery_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
+    serving_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
 ) -> str:
     """The gate verdicts as a GitHub-flavored markdown fragment.
 
@@ -338,6 +444,17 @@ def build_step_summary(
             "| --- | --- | ---: | :---: |",
         ]
         for where, check, detail, breached in recovery_rows:
+            verdict = "❌ fail" if breached else "✅ ok"
+            lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
+    if serving_rows:
+        lines += [
+            "",
+            "### Serving (intra-snapshot: caches on vs off)",
+            "",
+            "| scenario | check | values | verdict |",
+            "| --- | --- | ---: | :---: |",
+        ]
+        for where, check, detail, breached in serving_rows:
             verdict = "❌ fail" if breached else "✅ ok"
             lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
     if failures:
@@ -440,10 +557,20 @@ def main(argv=None) -> int:
             print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
     failures += recovery_failures
 
+    serving_rows, serving_failures = check_serving(
+        candidate, args.scenario_tolerance
+    )
+    if serving_rows:
+        print("serving gate (caches on vs inline cache-off baseline)")
+        for where, check, detail, breached in serving_rows:
+            verdict = "FAIL" if breached else "ok  "
+            print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
+    failures += serving_failures
+
     write_step_summary(
         build_step_summary(
             rows, args.tolerance, scenario_results, args.scenario_tolerance,
-            failures, recovery_rows,
+            failures, recovery_rows, serving_rows,
         ),
         args.summary or os.environ.get("GITHUB_STEP_SUMMARY"),
     )

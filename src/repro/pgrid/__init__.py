@@ -32,6 +32,11 @@ Sub-modules
 ``replication``
     Anti-entropy reconciliation between replicas, including delete-wins
     tombstone propagation and the replica-divergence aggregates.
+``serving``
+    The query-serving front end: :class:`~repro.pgrid.serving.
+    CachePolicy` knobs, TTL + write-invalidation result/route caches,
+    and the adaptive-replication grant contract (see the module
+    docstring for the coherence/audit model).
 """
 
 from . import (  # noqa: F401
@@ -45,4 +50,5 @@ from . import (  # noqa: F401
     replication,
     routing,
     search,
+    serving,
 )

@@ -33,13 +33,15 @@ This package turns the repo's stress ingredients -- churn processes
     message/bandwidth totals, per-peer load imbalance and replication
     health over time, with byte-stable JSON for golden-trace testing.
 ``library``
-    Fourteen named scenarios (uniform-baseline, pareto-hotspot,
+    Sixteen named scenarios (uniform-baseline, pareto-hotspot,
     flash-crowd, mass-join, mass-leave, paper-sec51-churn,
     regional-outage, correlated-churn, the write workloads
     read-write-balanced, write-hotspot-adversarial and
-    asymmetric-partition-writes, plus the persistence/restart
+    asymmetric-partition-writes, the persistence/restart
     scenarios restart-storm, rolling-deploy and
-    datacenter-power-cycle) runnable at N=4096 on either backend.
+    datacenter-power-cycle, plus the serving-layer scenarios
+    zipf-serving and cache-coherence-storm) runnable at N=4096 on
+    either backend.
     Restart phases (:class:`RestartSpec`) drive the persistence &
     recovery subsystem (:mod:`repro.pgrid.state`): warm rejoins from
     checkpoints when durability is on
@@ -77,6 +79,7 @@ from .message_runner import MessageNetConfig, MessageScenarioRunner  # noqa: F40
 from .report import ScenarioReport  # noqa: F401
 from .runner import ScenarioRunner  # noqa: F401
 from .spec import (  # noqa: F401
+    CachePolicy,
     ChurnSpec,
     Hotspot,
     PartitionSpec,
@@ -124,6 +127,7 @@ __all__ = [
     "Phase",
     "QueryMix",
     "WriteMix",
+    "CachePolicy",
     "Hotspot",
     "ChurnSpec",
     "PartitionSpec",

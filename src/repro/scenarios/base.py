@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .._util import make_rng, mean, std
 from ..pgrid.network import PGridNetwork
+from ..pgrid.serving import gini
 from ..pgrid.state import SCHEMA as STATE_SCHEMA
 from ..pgrid.state import DurabilityPolicy, StateStore
 from ..simnet.churn import start_churn
@@ -215,6 +216,19 @@ class ScenarioRunnerBase:
         #: lost-acked-write / tombstone-resurrection audit; only tracked
         #: when restarts are active).
         self._last_write: Dict[int, list] = {}
+        #: The serving-layer cache policy (``None`` when the spec
+        #: carries none -- the golden-pinned path: no serving section,
+        #: no extra branches).  ``enabled=False`` still produces the
+        #: report section (zero counters) so cache-off baselines are
+        #: comparable A/B runs.
+        self._cache = spec.cache
+        #: Authoritative present-key view for the stale-read audit:
+        #: seeded from the workload, updated at every acked write.  A
+        #: cache hit whose remembered presence disagrees with this set
+        #: at hit time is a stale read.
+        self._serving_auth: Optional[Set[int]] = None
+        self._audited_hits = 0
+        self._stale_reads = 0
 
     # -- public API --------------------------------------------------------
 
@@ -263,6 +277,14 @@ class ScenarioRunnerBase:
         self._setup(peer_keys, build_rng)
         if self._writes_active:
             self._key_pool = sorted({k for keys in peer_keys for k in keys})
+        # Zipf point draws and the stale-read audit both need the
+        # workload-key universe; only built when something asks for it
+        # so cache-free runs allocate nothing new.
+        universe: Optional[List[int]] = None
+        if self._cache is not None or any(p.mix.zipf_keys > 0 for p in spec.phases):
+            universe = sorted({k for keys in peer_keys for k in keys})
+        if self._cache is not None:
+            self._serving_auth = set(universe)
 
         tally = _Tally(spec.report_bin_s, len(spec.phases))
         departed: Set[int] = set()
@@ -282,7 +304,7 @@ class ScenarioRunnerBase:
 
         # -- per-phase compilation ----------------------------------------
         for idx, (phase, (start, end)) in enumerate(zip(spec.phases, boundaries)):
-            sampler = phase.mix.to_sampler()
+            sampler = phase.mix.to_sampler(universe=universe)
             sim.schedule(
                 start,
                 self._make_phase_start(
@@ -479,6 +501,18 @@ class ScenarioRunnerBase:
         backend only)."""
         return None
 
+    def _serving_counters(self) -> Dict[str, int]:
+        """Serving-layer counters aggregated across the backend's cache
+        sites (only called when the spec carries a cache policy).
+        Missing keys read as zero."""
+        return {}
+
+    def _serving_latency(self) -> Dict[str, float]:
+        """Point-query latency stats under the serving layer (the
+        message backend reports wall-clock percentiles; the data-plane
+        backend has no wire time)."""
+        return {"count": 0}
+
     # -- shared helpers ----------------------------------------------------
 
     def _build_blueprint(
@@ -613,14 +647,25 @@ class ScenarioRunnerBase:
 
             # -- query arrival process -------------------------------------
             if phase.query_rate > 0:
+                # Batched issue: each arrival releases ``batch_size``
+                # concurrent queries, with the inter-arrival gap widened
+                # by the same factor so the long-run rate is unchanged.
+                # batch_size == 1 divides by one and loops once -- the
+                # golden-pinned path is bit-identical.
+                batch = phase.mix.batch_size
 
                 def query_tick() -> None:
                     if sim.now >= end:
                         return
-                    self._run_one_query(tally, phase, idx, sampler, query_rng)
-                    sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
+                    for _ in range(batch):
+                        self._run_one_query(tally, phase, idx, sampler, query_rng)
+                    sim.schedule(
+                        query_rng.expovariate(phase.query_rate / batch), query_tick
+                    )
 
-                sim.schedule(query_rng.expovariate(phase.query_rate), query_tick)
+                sim.schedule(
+                    query_rng.expovariate(phase.query_rate / batch), query_tick
+                )
 
             # -- write arrival process -------------------------------------
             if phase.writes is not None:
@@ -717,14 +762,30 @@ class ScenarioRunnerBase:
 
     def _note_acked_write(self, op: str, key: int) -> None:
         """Backend callback: mutation ``op`` on ``key`` was acked to the
-        issuer.  Flips the durability audit's ``acked`` bit if the ack
-        still matches the last issued operation for the key."""
+        issuer.  Updates the serving-layer stale-read authority (acked
+        state is the strongest claim the system made to a client) and
+        flips the durability audit's ``acked`` bit if the ack still
+        matches the last issued operation for the key."""
+        norm = "delete" if op == "delete" else "insert"
+        if self._serving_auth is not None:
+            if norm == "delete":
+                self._serving_auth.discard(key)
+            else:
+                self._serving_auth.add(key)
         if self._recovery is None:
             return
         entry = self._last_write.get(key)
-        norm = "delete" if op == "delete" else "insert"
         if entry is not None and entry[0] == norm:
             entry[1] = True
+
+    def _audit_cache_hit(self, node_id: int, key: int, present: bool) -> None:
+        """Backend callback: a cached answer for ``key`` was served at
+        ``node_id``.  Compares the remembered presence against the
+        authoritative key view *at hit time*; a disagreement is a stale
+        read (the answer a coherent cache would not have given)."""
+        self._audited_hits += 1
+        if self._serving_auth is not None and present != (key in self._serving_auth):
+            self._stale_reads += 1
 
     def _draw_write(
         self, mix: WriteMix, sampler: QuerySampler, rng
@@ -890,6 +951,10 @@ class ScenarioRunnerBase:
         if self._recovery is not None:
             recovery_section = self._recovery_section(tally)
 
+        serving_section = None
+        if self._cache is not None:
+            serving_section = self._serving_section(loads)
+
         return ScenarioReport(
             scenario=spec.name,
             seed=spec.seed,
@@ -909,7 +974,58 @@ class ScenarioRunnerBase:
             message_level=self._message_section(),
             writes=writes_section,
             recovery=recovery_section,
+            serving=serving_section,
         )
+
+    def _serving_section(self, loads: List[int]) -> dict:
+        """The report's ``serving`` section (cache-carrying specs only).
+
+        Emitted for ``enabled=False`` policies too: the counters are
+        all zero then, but ``load_gini`` and ``latency_s`` measure the
+        *same* quantities as the cache-on run, which is what makes the
+        on/off pair an A/B comparison instead of two incomparable
+        reports.  ``stale_read_rate`` is stale reads over *audited*
+        hits -- every hit is audited synchronously at serve time, so
+        the denominator equals ``cache_hits``.
+        """
+        policy = self._cache
+        counters = self._serving_counters()
+        hits = int(counters.get("result_hits", 0))
+        misses = int(counters.get("result_misses", 0))
+        lookups = hits + misses
+        return {
+            "enabled": policy.enabled,
+            "policy": {
+                "result_ttl_s": policy.result_ttl_s,
+                "route_ttl_s": policy.route_ttl_s,
+                "result_capacity": policy.result_capacity,
+                "route_capacity": policy.route_capacity,
+                "adaptive_replication": policy.adaptive_replication,
+                "hot_threshold": policy.hot_threshold,
+                "replica_boost": policy.replica_boost,
+                "decay_interval_s": policy.decay_interval_s,
+                "grant_ttl_s": policy.grant_ttl_s,
+                "front_ends": policy.front_ends,
+            },
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "audited_hits": self._audited_hits,
+            "stale_reads": self._stale_reads,
+            "stale_read_rate": (
+                (self._stale_reads / self._audited_hits) if self._audited_hits else 0.0
+            ),
+            "dedup_joined": int(counters.get("dedup_joined", 0)),
+            "invalidations": int(counters.get("invalidations", 0)),
+            "route_uses": int(counters.get("route_uses", 0)),
+            "route_invalidations": int(counters.get("route_invalidations", 0)),
+            "grants": int(counters.get("grants", 0)),
+            "revokes": int(counters.get("revokes", 0)),
+            "grant_hits": int(counters.get("grant_hits", 0)),
+            "helpers_final": int(counters.get("helpers_final", 0)),
+            "load_gini": gini(loads),
+            "latency_s": self._serving_latency(),
+        }
 
     def _recovery_section(self, tally: _Tally) -> dict:
         """The report's ``recovery`` section (restart scenarios only).

@@ -1,6 +1,6 @@
 """Named, ready-to-run stress scenarios (the ISSUE-2 library).
 
-Fourteen scenarios cover the stress axes of the paper's evaluation and the
+Sixteen scenarios cover the stress axes of the paper's evaluation and the
 ROADMAP's "as many scenarios as you can imagine" ambition:
 
 ==================  ====================================================
@@ -46,6 +46,18 @@ ROADMAP's "as many scenarios as you can imagine" ambition:
                       and return minutes later -- restores come from
                       the last periodic checkpoint, quantifying the
                       crash model's bounded write loss
+``zipf-serving``      Zipf-ranked repeat-heavy reads entering through a
+                      gateway tier with result/route caches, batched
+                      issue and adaptive replication on, plus a light
+                      hotspot write mix so the stale-read audit has
+                      something to catch -- the serving layer's
+                      headline scenario (A/B against
+                      ``CachePolicy(enabled=False)`` in the bench)
+``cache-coherence-storm``  delete-heavy hotspot writes hammer exactly
+                      the keys the caches hold while part of the
+                      population churns -- the adversarial coherence
+                      test: invalidation traffic racing cached results,
+                      measured as ``serving.stale_read_rate``
 ==================  ====================================================
 
 Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
@@ -63,6 +75,7 @@ from typing import Callable, Dict
 
 from ..exceptions import DomainError
 from .spec import (
+    CachePolicy,
     ChurnSpec,
     Hotspot,
     PartitionSpec,
@@ -90,6 +103,8 @@ __all__ = [
     "restart_storm",
     "rolling_deploy",
     "datacenter_power_cycle",
+    "zipf_serving",
+    "cache_coherence_storm",
 ]
 
 #: Default population: the ROADMAP's 4096-peer scale point.
@@ -546,6 +561,144 @@ def datacenter_power_cycle(
     )
 
 
+def zipf_serving(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Zipf repeat-heavy reads through a gateway tier, caches on.
+
+    The serving layer's headline scenario: queries enter through 16
+    front-end gateways, 95% of them drawn Zipf(1.1) from 64 popular
+    workload keys inside a 4% hotspot window, released in batches of
+    four.  Result caches absorb the repeats, route caches short-circuit
+    the trie walk for the rest, and the hot owners grant helper
+    replicas that the gateways' route rotation actually spreads load
+    onto.  A light hotspot write mix runs through the storm so
+    invalidation traffic and the ``stale_read_rate`` audit are
+    exercised, not just idle.  The bench script re-runs this spec with
+    ``CachePolicy(enabled=False)`` (same gateways, no caches) -- the
+    cache-on run must beat that baseline on p99 latency and per-peer
+    load Gini.
+    """
+    hot = Hotspot(lo=0.30, hi=0.34, weight=0.95)
+    zipf = QueryMix(
+        point_weight=1.0,
+        range_weight=0.0,
+        hotspot=hot,
+        batch_size=4,
+        zipf_keys=64,
+        zipf_exponent=1.1,
+    )
+    writes = WriteMix(
+        write_rate=1.0,
+        insert_weight=0.3,
+        delete_weight=0.4,
+        update_weight=0.3,
+        hotspot=hot,
+    )
+    return _build(
+        "zipf-serving",
+        [
+            Phase(name="warmup", duration_s=180.0, maintenance_interval_s=120.0),
+            Phase(
+                name="zipf-storm",
+                duration_s=480.0,
+                query_rate=16.0,
+                mix=zipf,
+                writes=writes,
+                maintenance_interval_s=120.0,
+            ),
+            Phase(
+                name="tail",
+                duration_s=240.0,
+                query_rate=8.0,
+                mix=zipf,
+                maintenance_interval_s=120.0,
+            ),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        cache=CachePolicy(
+            result_ttl_s=180.0,
+            route_ttl_s=300.0,
+            hot_threshold=48,
+            replica_boost=2,
+            front_ends=16,
+        ),
+    )
+
+
+def cache_coherence_storm(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """Delete-heavy hotspot writes race the caches that hold those keys.
+
+    The adversarial coherence composition: a read phase warms every
+    gateway cache on 48 popular keys with a *long* result TTL (180s --
+    deliberately useless as a coherence mechanism, so eager write
+    invalidation has to do all the work), then a 6/s delete-leaning
+    mutation stream collapses onto the same 2% window while a quarter
+    of the population churns.  Every churned-out replica that misses a
+    ``replica_sync`` is a chance for some cache to keep serving a key
+    the index already deleted; the measured ``serving.stale_read_rate``
+    is exactly how often that happened.
+    """
+    hot = Hotspot(lo=0.50, hi=0.52, weight=0.95)
+    reads = QueryMix(
+        point_weight=1.0,
+        range_weight=0.0,
+        hotspot=hot,
+        batch_size=8,
+        zipf_keys=48,
+        zipf_exponent=1.0,
+    )
+    writes = WriteMix(
+        write_rate=6.0,
+        insert_weight=0.2,
+        delete_weight=0.55,
+        update_weight=0.25,
+        hotspot=hot,
+    )
+    return _build(
+        "cache-coherence-storm",
+        [
+            Phase(
+                name="warm-cache",
+                duration_s=240.0,
+                query_rate=12.0,
+                mix=reads,
+                maintenance_interval_s=120.0,
+            ),
+            Phase(
+                name="write-storm",
+                duration_s=360.0,
+                query_rate=12.0,
+                mix=reads,
+                writes=writes,
+                churn=ChurnSpec(fraction=0.25),
+                maintenance_interval_s=60.0,
+            ),
+            Phase(
+                name="drain",
+                duration_s=240.0,
+                query_rate=6.0,
+                mix=reads,
+                maintenance_interval_s=60.0,
+            ),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        cache=CachePolicy(
+            result_ttl_s=180.0,
+            route_ttl_s=240.0,
+            hot_threshold=40,
+            replica_boost=2,
+            front_ends=24,
+        ),
+    )
+
+
 #: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
 SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "uniform-baseline": uniform_baseline,
@@ -562,6 +715,8 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "restart-storm": restart_storm,
     "rolling-deploy": rolling_deploy,
     "datacenter-power-cycle": datacenter_power_cycle,
+    "zipf-serving": zipf_serving,
+    "cache-coherence-storm": cache_coherence_storm,
 }
 
 

@@ -49,6 +49,7 @@ report, golden-trace tested like the data-plane backend.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -141,6 +142,9 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         self.transport: Optional[Network] = None
         self.stats: Optional[StatsCollector] = None
         self._node_tuple: Optional[Tuple[PGridNode, ...]] = None
+        #: Query-origin gateway tier (``CachePolicy.front_ends``);
+        #: ``None`` = unrestricted random origins.
+        self._gateways: Optional[Tuple[PGridNode, ...]] = None
         # qid -> (phase index, query kind, issue time)
         self._meta: Dict[int, Tuple[int, str, float]] = {}
         # wid -> (phase index, write op, key, issue time); the key rides
@@ -188,6 +192,10 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 if spec.tombstone_ttl_s is not None
                 else cfg.tombstone_ttl_s
             ),
+            # The serving front end rides the spec (like the repair and
+            # durability policies ride the net config); enabled=False
+            # keeps node behaviour identical to no policy at all.
+            serving=spec.cache,
         )
         for pid in sorted(blueprint.peers):
             peer = blueprint.peers[pid]
@@ -201,6 +209,34 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 if refs
             }
             node.replicas = set(peer.replicas)
+        cache = spec.cache
+        if cache is not None and cache.front_ends > 0:
+            # Gateway tier: queries enter through a fixed, evenly spaced
+            # subset of the initial population (the deployment shape the
+            # serving layer models).  Installed for enabled=False runs
+            # too, so the cache on/off A/B differs only in the cache
+            # machinery, never in where queries originate.
+            pids = sorted(self.nodes)
+            count = min(cache.front_ends, len(pids))
+            step = len(pids) / count
+            self._gateways = tuple(
+                self.nodes[pids[int(i * step)]] for i in range(count)
+            )
+        if cache is not None and cache.enabled and cache.adaptive_replication:
+            # The decay-window heartbeat of adaptive replication: every
+            # node examines its served-query counter and grants/revokes
+            # helper replicas.  Runner-driven (sorted ids) so the event
+            # order is deterministic; only scheduled with the cache on,
+            # so cache-off event streams stay bit-identical.
+            interval = cache.decay_interval_s
+
+            def serving_tick() -> None:
+                for pid in sorted(self.nodes):
+                    self.nodes[pid].serving_tick()
+                if sim.now + interval <= spec.duration_s:
+                    sim.schedule(interval, serving_tick)
+
+            sim.schedule(interval, serving_tick)
 
     def _spawn_node(self, pid: int) -> PGridNode:
         node = PGridNode(
@@ -214,6 +250,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         node.on_query_done = self._query_done
         node.on_range_done = self._range_done
         node.on_write_done = self._write_done
+        node.on_cache_hit = self._audit_cache_hit
         self.nodes[pid] = node
         self._node_tuple = None
         return node
@@ -425,13 +462,20 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             self._node_tuple = nodes
         return sample_online(nodes, lambda node: node.online, rng)
 
+    def _query_origin(self, rng) -> Optional[PGridNode]:
+        """Where the next query enters: a random online gateway when a
+        front-end tier is configured, else any random online node."""
+        if self._gateways is not None:
+            return sample_online(self._gateways, lambda node: node.online, rng)
+        return self._random_online_node(rng)
+
     def _run_one_query(
         self, tally: _Tally, phase: Phase, idx: int, sampler: QuerySampler, rng
     ) -> None:
         kind = sampler.draw_kind(rng)
         if kind == POINT:
             key = sampler.draw_point_key(rng)
-            origin = self._random_online_node(rng)
+            origin = self._query_origin(rng)
             if origin is None:
                 tally.record_query(
                     self.simulator.now, idx, kind=POINT, success=False,
@@ -441,7 +485,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             qid = origin.issue_query(key)
         else:
             lo, hi = sampler.draw_range(rng)
-            origin = self._random_online_node(rng)
+            origin = self._query_origin(rng)
             if origin is None:
                 tally.range_incomplete += 1
                 tally.record_query(
@@ -734,6 +778,21 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             }
         return section
 
+    def _serving_counters(self) -> Dict[str, int]:
+        """Node-aggregated serving-layer counters (zeros when the cache
+        is off -- the section still reports them for the A/B)."""
+        totals: Dict[str, int] = {}
+        for pid in sorted(self.nodes):
+            for key, value in self.nodes[pid].serving_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        totals["helpers_final"] = sum(
+            len(self.nodes[pid]._helpers) for pid in sorted(self.nodes)
+        )
+        return totals
+
+    def _serving_latency(self) -> dict:
+        return _latency_stats(self._point_latencies)
+
     # -- inspection --------------------------------------------------------
 
     def as_network(self) -> PGridNetwork:
@@ -763,20 +822,30 @@ class MessageScenarioRunner(ScenarioRunnerBase):
 
 
 def _latency_stats(samples: List[float]) -> dict:
-    """Deterministic percentile summary of successful-query latencies."""
+    """Deterministic percentile summary of successful-query latencies.
+
+    Nearest-rank percentiles: the q-quantile of n samples is the
+    ``ceil(q * n)``-th order statistic.  (The previous
+    ``int(q * n)`` index was biased one rank high -- p50 of two
+    samples returned the larger, p50 of three the second-largest.)
+    """
     if not samples:
         return {"count": 0}
     ordered = sorted(samples)
+    n = len(ordered)
 
     def pct(q: float) -> float:
-        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+        return ordered[max(0, math.ceil(q * n) - 1)]
 
     return {
-        "count": len(ordered),
-        "mean": mean(ordered),
+        "count": n,
+        # A single-sample bin IS its own mean; skip the float summation
+        # so the degenerate case cannot pick up rounding noise.
+        "mean": ordered[0] if n == 1 else mean(ordered),
         "p50": pct(0.50),
         "p90": pct(0.90),
         "p99": pct(0.99),
+        "p999": pct(0.999),
         "max": ordered[-1],
     }
 

@@ -85,6 +85,14 @@ class ScenarioReport:
     #: serialized form then, keeping existing golden traces
     #: byte-identical.
     recovery: Optional[Dict[str, Any]] = None
+    #: Query-serving front-end section (result/route cache hit rates,
+    #: stale-read audit, dedup and invalidation counters, adaptive
+    #: replication grants, per-peer load Gini, point-query latency
+    #: percentiles -- see
+    #: :meth:`repro.scenarios.base.ScenarioRunnerBase._serving_section`).
+    #: ``None`` for cache-free specs and *omitted* from the serialized
+    #: form then, keeping existing golden traces byte-identical.
+    serving: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
 
@@ -108,6 +116,8 @@ class ScenarioReport:
             payload["writes"] = self.writes
         if self.recovery is not None:
             payload["recovery"] = self.recovery
+        if self.serving is not None:
+            payload["serving"] = self.serving
         return _canonical(payload)
 
     def to_json(self) -> str:
@@ -178,5 +188,13 @@ class ScenarioReport:
                 ("lost acked writes", _f(self.recovery.get("lost_acked_writes", 0))),
                 ("tombstone resurrections",
                  _f(self.recovery.get("tombstone_resurrections", 0))),
+            ]
+        if self.serving is not None:
+            latency = self.serving.get("latency_s", {})
+            rows += [
+                ("cache hit rate", _f(self.serving.get("cache_hit_rate"))),
+                ("stale read rate", _f(self.serving.get("stale_read_rate"))),
+                ("serving p99 latency (s)", _f(latency.get("p99"))),
+                ("per-peer load Gini", _f(self.serving.get("load_gini"))),
             ]
         return rows

@@ -33,6 +33,7 @@ from ..pgrid.maintenance import sequential_join
 from ..pgrid.network import PGridNetwork
 from ..pgrid.replication import anti_entropy_sweep, divergence_stats
 from ..pgrid.routing import RoutingTable
+from ..pgrid.serving import ResultCache
 from ..pgrid.state import DurabilityPolicy
 from ..workloads.queries import POINT, QuerySampler
 from .base import ScenarioRunnerBase, _Tally
@@ -67,10 +68,21 @@ class ScenarioRunner(ScenarioRunnerBase):
         #: blind-routing degradation baseline on this backend too.
         self.repair_policy = repair_policy or RouteRepairPolicy()
         self._partition_cut: List[int] = []
+        #: Data-plane serving approximation: queries are synchronous, so
+        #: there is no concurrency to dedup and no wire to shortcut with
+        #: a route cache -- but the *result* cache and its write
+        #: invalidation are backend-independent semantics.  One
+        #: front-end cache stands in for the per-node caches of the
+        #: message backend (the issuing side is not modeled here).
+        self._dp_cache: Optional[ResultCache] = None
+        self._dp_stats = {"result_hits": 0, "result_misses": 0, "invalidations": 0}
     # -- lifecycle hooks ---------------------------------------------------
 
     def _setup(self, peer_keys, build_rng) -> None:
         self.network = self._build_blueprint(peer_keys, build_rng)
+        cache = self._cache
+        if cache is not None and cache.enabled:
+            self._dp_cache = ResultCache(cache.result_ttl_s, cache.result_capacity)
 
     def _first_free_id(self) -> int:
         net = self.network
@@ -168,6 +180,20 @@ class ScenarioRunner(ScenarioRunnerBase):
         kind = sampler.draw_kind(rng)
         if kind == POINT:
             key = sampler.draw_point_key(rng)
+            if self._dp_cache is not None:
+                cached = self._dp_cache.get(key, sim.now)
+                if cached is not None:
+                    # Served from the front-end cache: no routing, no
+                    # per-peer load.  Audited against the authoritative
+                    # key view exactly like a node-side hit.
+                    self._dp_stats["result_hits"] += 1
+                    self._audit_cache_hit(-1, key, cached)
+                    tally.record_query(
+                        sim.now, idx, kind=kind, success=True,
+                        hops=0, messages=0, size=0,
+                    )
+                    return
+                self._dp_stats["result_misses"] += 1
             hops = messages = size = 0
             success = False
             for _ in range(attempts):
@@ -183,6 +209,8 @@ class ScenarioRunner(ScenarioRunnerBase):
                 if res.found:
                     success = True
                     hops = res.hops  # hops of the successful attempt
+                    if self._dp_cache is not None:
+                        self._dp_cache.put(key, res.value_present, sim.now)
                     break
             tally.record_query(
                 sim.now,
@@ -251,6 +279,8 @@ class ScenarioRunner(ScenarioRunnerBase):
                 break
         if success:
             self._note_acked_write(op, key)
+            if self._dp_cache is not None and self._dp_cache.invalidate(key):
+                self._dp_stats["invalidations"] += 1
         tally.record_write(
             sim.now, idx, op=op, success=success, messages=messages, size=size
         )
@@ -363,6 +393,12 @@ class ScenarioRunner(ScenarioRunnerBase):
         return present, tombstones
 
     # -- assembly hooks ----------------------------------------------------
+
+    def _serving_counters(self) -> Dict[str, int]:
+        """Front-end cache counters; dedup/route/grant counters stay
+        zero on this backend (queries are synchronous -- there is no
+        in-flight concurrency and no wire, see ``_dp_cache``)."""
+        return dict(self._dp_stats)
 
     def _load_by_peer(self, tally: _Tally) -> List[int]:
         return [tally.load.get(pid, 0) for pid in sorted(self.network.peers)]

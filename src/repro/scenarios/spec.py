@@ -29,11 +29,13 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import DomainError, SimulationError
+from ..pgrid.serving import CachePolicy
 from ..simnet.churn import ChurnConfig
 from ..workloads.distributions import DISTRIBUTIONS
 from ..workloads.queries import QuerySampler
 
 __all__ = [
+    "CachePolicy",
     "ChurnSpec",
     "Hotspot",
     "PartitionSpec",
@@ -175,14 +177,40 @@ class Hotspot:
 
 @dataclass(frozen=True)
 class QueryMix:
-    """Relative blend of point lookups and range scans for one phase."""
+    """Relative blend of point lookups and range scans for one phase.
+
+    ``batch_size`` releases that many concurrent queries per arrival
+    tick instead of one-at-a-time (the arrival rate is divided by the
+    batch size, so the mean query rate is unchanged; ``1`` reproduces
+    the one-at-a-time event stream bit-for-bit).  ``zipf_keys`` > 0
+    switches point targets from fresh uniform draws to a Zipf-ranked
+    popular set of that many *workload* keys (exponent
+    ``zipf_exponent``), the repeat-heavy access pattern the serving
+    caches exist for; the popular set concentrates inside ``hotspot``
+    when one is configured.
+    """
 
     point_weight: float = 0.9
     range_weight: float = 0.1
     range_span: float = 0.02
     hotspot: Optional[Hotspot] = None
+    batch_size: int = 1
+    zipf_keys: int = 0
+    zipf_exponent: float = 0.9
 
     def validate(self) -> None:
+        if self.batch_size < 1:
+            raise SimulationError(
+                f"query batch size must be >= 1, got {self.batch_size}"
+            )
+        if self.zipf_keys < 0:
+            raise SimulationError(
+                f"zipf_keys must be >= 0, got {self.zipf_keys}"
+            )
+        if self.zipf_exponent <= 0:
+            raise SimulationError(
+                f"zipf exponent must be positive, got {self.zipf_exponent}"
+            )
         # The sampler is the single authority on mix validity (weights,
         # span, hotspot bounds); surface its verdict as a spec error.
         try:
@@ -190,15 +218,20 @@ class QueryMix:
         except DomainError as exc:
             raise SimulationError(str(exc)) from None
 
-    def to_sampler(self) -> QuerySampler:
+    def to_sampler(self, universe: Optional[Sequence[int]] = None) -> QuerySampler:
         """The :class:`~repro.workloads.queries.QuerySampler` this mix
         configures (raises :class:`~repro.exceptions.DomainError` on an
-        invalid mix)."""
+        invalid mix).  ``universe`` is the sorted workload key set Zipf
+        popular keys are drawn from; without one, ``zipf_keys`` is
+        inert and point draws stay uniform."""
         return QuerySampler(
             point_weight=self.point_weight,
             range_weight=self.range_weight,
             range_span=self.range_span,
             hotspot=self.hotspot.as_tuple() if self.hotspot is not None else None,
+            universe=universe,
+            zipf_keys=self.zipf_keys,
+            zipf_exponent=self.zipf_exponent,
         )
 
 
@@ -340,6 +373,12 @@ class ScenarioSpec:
     #: explicit per experiment.  Dilated by :meth:`scaled` like every
     #: other duration.  The data plane has no tombstone clock.
     tombstone_ttl_s: Optional[float] = None
+    #: Query-serving front end (:class:`repro.pgrid.serving.CachePolicy`).
+    #: ``None`` = no serving layer and no ``serving`` report section
+    #: (the pre-serving behavior, bit-for-bit);
+    #: ``CachePolicy(enabled=False)`` = unmodified protocol but the
+    #: report still carries the section, for cache on/off A/Bs.
+    cache: Optional[CachePolicy] = None
 
     def __post_init__(self):
         # Accept any sequence of phases but store a hashable tuple.
@@ -384,6 +423,11 @@ class ScenarioSpec:
             raise SimulationError("query retries must be non-negative")
         if self.tombstone_ttl_s is not None and self.tombstone_ttl_s <= 0:
             raise SimulationError("tombstone TTL must be positive when set")
+        if self.cache is not None:
+            try:
+                self.cache.validate()
+            except DomainError as exc:
+                raise SimulationError(str(exc)) from None
         for phase in self.phases:
             phase.validate()
 
@@ -437,5 +481,8 @@ class ScenarioSpec:
                 None
                 if self.tombstone_ttl_s is None
                 else self.tombstone_ttl_s * duration_scale
+            ),
+            cache=(
+                None if self.cache is None else self.cache.scaled(duration_scale)
             ),
         )

@@ -25,6 +25,7 @@ from ..core.probabilities import decision_probabilities
 from ..pgrid.bits import Path, ROOT
 from ..pgrid.keyspace import KEY_BITS, bit_at
 from ..pgrid.liveness import LivenessTracker, RouteRepairPolicy
+from ..pgrid.serving import CachePolicy, ResultCache, RouteCache
 from . import protocol as P
 from .engine import Simulator
 from .transport import HEADER_BYTES, Message, Network, REF_BYTES
@@ -57,6 +58,11 @@ class NodeConfig:
     #: :mod:`repro.pgrid.liveness`); ``RouteRepairPolicy(enabled=False)``
     #: reproduces the repair-less blind-routing behavior.
     repair: RouteRepairPolicy = field(default_factory=RouteRepairPolicy)
+    #: Query-serving front end (:mod:`repro.pgrid.serving`): result/route
+    #: caches with write invalidation, in-flight dedup and adaptive
+    #: replication.  ``None`` or ``enabled=False`` reproduces the
+    #: serving-less protocol bit-for-bit.
+    serving: Optional[CachePolicy] = None
 
 
 @dataclass
@@ -70,6 +76,16 @@ class _PendingQuery:
     #: First-hop reference the current attempt left through (liveness
     #: evidence: a timed-out attempt marks it suspect).
     via: Optional[int] = None
+    #: Served from the local result cache (no wire traffic at all).
+    cached: bool = False
+    #: Joined an identical in-flight lookup as a waiter: resolves with
+    #: the primary's outcome and zero additional messages.
+    shared: bool = False
+    #: Route-cache target the current attempt was direct-sent to (a
+    #: timeout invalidates the route entry as well as suspecting it).
+    direct: Optional[int] = None
+    #: Presence flag learned from the answering node (rides QUERY_HIT).
+    present: Optional[bool] = None
 
 
 @dataclass
@@ -203,6 +219,44 @@ class PGridNode:
         self.on_query_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
         self.on_range_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
         self.on_write_done: Optional[Callable[[int, int, QueryOutcome], None]] = None
+        # Query-serving front end (pgrid.serving).  ``_serving`` is the
+        # active policy or None; an ``enabled=False`` policy behaves
+        # exactly like no policy at the protocol level.
+        sv = self.config.serving
+        self._serving: Optional[CachePolicy] = (
+            sv if (sv is not None and sv.enabled) else None
+        )
+        if self._serving is not None:
+            self.result_cache = ResultCache(sv.result_ttl_s, sv.result_capacity)
+            self.route_cache = RouteCache(sv.route_ttl_s, sv.route_capacity)
+        else:
+            self.result_cache = None
+            self.route_cache = None
+        #: key -> primary qid of the in-flight lookup (dedup joins it).
+        self._inflight_by_key: Dict[int, int] = {}
+        #: primary qid -> waiter qids resolved with the primary's outcome.
+        self._waiters: Dict[int, List[int]] = {}
+        #: Queries answered as owner within the current decay window.
+        self._served_window = 0
+        #: Owner side: helper id -> grant time (adaptive replication).
+        self._helpers: Dict[int, float] = {}
+        #: Helper side: path str -> [Path, key set, expires_at].
+        self._grants: Dict[str, list] = {}
+        self.serving_stats: Dict[str, int] = {
+            "result_hits": 0,
+            "result_misses": 0,
+            "dedup_joined": 0,
+            "invalidations": 0,
+            "route_uses": 0,
+            "route_invalidations": 0,
+            "grants": 0,
+            "revokes": 0,
+            "grant_hits": 0,
+        }
+        #: Audit observer: (node_id, key, cached_present) on every result
+        #: cache hit, before it serves (the runner compares the cached
+        #: presence against its authoritative durable view).
+        self.on_cache_hit: Optional[Callable[[int, int, bool], None]] = None
         network.register(self)
 
     # -- helpers -----------------------------------------------------------
@@ -281,6 +335,14 @@ class PGridNode:
         restore_node(self, snapshot, self.sim.now)
         self.idle_strikes = 0
         self._inflight_exchange = None
+        # Serving state is transient: caches, grants and the served-load
+        # window did not survive the process restart.
+        if self._serving is not None:
+            self.result_cache.clear()
+            self.route_cache.clear()
+        self._grants.clear()
+        self._helpers.clear()
+        self._served_window = 0
 
     def abort_inflight(self) -> None:
         """Restart hook: void every in-flight origin-side operation.
@@ -293,6 +355,11 @@ class PGridNode:
         attempts burning retry budgets after a warm rejoin.
         """
         for qid, pending in list(self._queries.items()):
+            if pending.done:
+                # Already resolved as a waiter of an earlier entry in
+                # this very loop -- finishing it again would fire the
+                # observer twice (double-counted moot query).
+                continue
             self._finish_query(qid, pending, pending.hops, False, moot=True)
         for wid, pending in list(self._writes.items()):
             self._finish_write(wid, pending, pending.hops, False, moot=True)
@@ -1151,11 +1218,36 @@ class PGridNode:
         re-entrantly inside this call: a query the origin can answer
         itself would otherwise complete -- and invoke the observer
         callbacks -- before the caller even learned its qid.
+
+        With serving enabled, a fresh result-cache entry answers
+        locally (zero wire traffic; audited via ``on_cache_hit``), and
+        a lookup identical to one already in flight joins it as a
+        waiter instead of issuing duplicate wire traffic.
         """
         self._query_seq += 1
         qid = (self.node_id << 20) | self._query_seq
         pending = _PendingQuery(key=key, issued_at=self.sim.now)
         self._queries[qid] = pending
+        if self._serving is not None:
+            present = self.result_cache.get(key, self.sim.now)
+            if present is not None:
+                self.serving_stats["result_hits"] += 1
+                pending.cached = True
+                pending.present = present
+                if self.on_cache_hit is not None:
+                    self.on_cache_hit(self.node_id, key, present)
+                self.sim.schedule(
+                    0.0, lambda: self._complete_query(qid, 0, True)
+                )
+                return qid
+            self.serving_stats["result_misses"] += 1
+            primary = self._inflight_by_key.get(key)
+            if primary is not None and primary in self._queries:
+                pending.shared = True
+                self._waiters.setdefault(primary, []).append(qid)
+                self.serving_stats["dedup_joined"] += 1
+                return qid
+            self._inflight_by_key[key] = qid
         self.sim.schedule(0.0, lambda: self._send_query_attempt(qid))
         return qid
 
@@ -1165,7 +1257,40 @@ class PGridNode:
             return
         pending.attempts += 1
         pending.via = None  # evidence belongs to the attempt that used it
+        pending.direct = None
         attempt = pending.attempts
+        if self._serving is not None and attempt == 1:
+            # First attempt may shortcut straight to a remembered
+            # responder (rotating across the owner's advertised replica
+            # set); a visible connect failure or a timeout falls back to
+            # trie routing and drops the route entry.
+            target = self.route_cache.pick(pending.key, self.sim.now)
+            if target is not None and target != self.node_id:
+                self.serving_stats["route_uses"] += 1
+                pending.direct = target
+                pending.via = target
+                cause = self.send(
+                    target,
+                    P.QUERY,
+                    {
+                        "key": pending.key,
+                        "origin": self.node_id,
+                        "qid": qid,
+                        "attempt": attempt,
+                        "hops": 1,
+                    },
+                    category=P.QUERY_TRAFFIC,
+                )
+                if cause in (None, "loss", "offline"):
+                    self.sim.schedule(
+                        self.config.query_timeout,
+                        lambda: self._query_timeout(qid, attempt),
+                    )
+                    return
+                self.serving_stats["route_invalidations"] += 1
+                self.route_cache.invalidate(pending.key)
+                pending.direct = None
+                pending.via = None
         self._route_query(
             {
                 "key": pending.key,
@@ -1211,10 +1336,27 @@ class PGridNode:
                     success=success,
                     attempts=pending.attempts,
                     timeouts=pending.timeouts,
-                    messages=hops + (1 if hops else 0),
+                    # A waiter shares the primary's wire traffic: its
+                    # outcome reports the path length but zero messages,
+                    # or the dedup would double-bill every shared hop.
+                    messages=0 if pending.shared else hops + (1 if hops else 0),
                     moot=moot,
                 ),
             )
+        if self._serving is not None:
+            if self._inflight_by_key.get(pending.key) == qid:
+                del self._inflight_by_key[pending.key]
+            waiters = self._waiters.pop(qid, None)
+            if waiters:
+                # Resolve every waiter exactly once with the primary's
+                # outcome -- including the moot path, where the abort
+                # loop's done-guard keeps them from resolving twice.
+                for wqid in waiters:
+                    wpending = self._queries.get(wqid)
+                    if wpending is None or wpending.done:
+                        continue
+                    wpending.present = pending.present
+                    self._finish_query(wqid, wpending, hops, success, moot=moot)
 
     def _query_timeout(self, qid: int, attempt: int) -> None:
         pending = self._queries.get(qid)
@@ -1234,6 +1376,12 @@ class PGridNode:
             # suspicion (an innocent one answers the probe and is
             # cleared).
             self._suspect_ref(pending.via)
+        if pending.direct is not None and self._serving is not None:
+            # The remembered responder did not answer: routing evidence,
+            # the one thing (besides TTL) that kills a route entry.
+            self.serving_stats["route_invalidations"] += 1
+            self.route_cache.invalidate(pending.key)
+            pending.direct = None
         if pending.attempts <= self.config.query_retries:
             self._send_query_attempt(qid)
         else:
@@ -1241,18 +1389,37 @@ class PGridNode:
 
     def _route_query(self, payload: dict) -> None:
         key = payload["key"]
-        if self.responsible_for(key):
+        responsible = self.responsible_for(key)
+        grant_present: Optional[bool] = None
+        if not responsible and self._serving is not None:
+            grant_present = self._grant_presence(key)
+        if responsible or grant_present is not None:
             # Reaching an online responsible peer IS query success, the
             # same semantics as the data plane's LookupResult.found --
             # whether the key is stored is a data property, not a
-            # routing outcome.
+            # routing outcome.  A grant helper answers for the owner's
+            # range the same way (adaptive replication).
+            reply = {"qid": payload["qid"], "hops": payload["hops"]}
+            if self._serving is not None:
+                if responsible:
+                    self._served_window += 1
+                    reply["present"] = key in self.keys
+                    # Advertise the current replica set so origin route
+                    # caches rotate direct sends across it.
+                    reply["targets"] = [self.node_id] + sorted(self._helpers)
+                else:
+                    self.serving_stats["grant_hits"] += 1
+                    reply["present"] = grant_present
+                    reply["targets"] = [self.node_id]
             if payload["origin"] == self.node_id:
-                self._complete_query(payload["qid"], payload["hops"], True)
+                self._complete_query(
+                    payload["qid"], payload["hops"], True, info=reply
+                )
             else:
                 self.send(
                     payload["origin"],
                     P.QUERY_HIT,
-                    {"qid": payload["qid"], "hops": payload["hops"]},
+                    reply,
                     category=P.QUERY_TRAFFIC,
                 )
             return
@@ -1290,7 +1457,10 @@ class PGridNode:
         self._route_query(msg.payload)
 
     def _on_query_hit(self, msg: Message) -> None:
-        self._complete_query(msg.payload["qid"], msg.payload["hops"], True)
+        self._complete_query(
+            msg.payload["qid"], msg.payload["hops"], True,
+            info=msg.payload, responder=msg.src,
+        )
 
     def _on_query_miss(self, msg: Message) -> None:
         # A dead-end report lets the origin retry sooner than the timeout.
@@ -1309,10 +1479,33 @@ class PGridNode:
         else:
             self._finish_query(qid, pending, pending.hops, False)
 
-    def _complete_query(self, qid: int, hops: int, success: bool) -> None:
+    def _complete_query(
+        self,
+        qid: int,
+        hops: int,
+        success: bool,
+        info: Optional[dict] = None,
+        responder: Optional[int] = None,
+    ) -> None:
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
+        if (
+            success
+            and self._serving is not None
+            and info is not None
+            and "present" in info
+        ):
+            pending.present = info["present"]
+            now = self.sim.now
+            if not pending.cached:
+                self.result_cache.put(pending.key, info["present"], now)
+            if responder is not None:
+                targets = [responder] + [
+                    t for t in info.get("targets", ())
+                    if t != self.node_id and t != responder
+                ]
+                self.route_cache.put(pending.key, targets, now)
         self._finish_query(qid, pending, hops, success)
 
     # -- writes (routed inserts/deletes with eager replica sync) -----------------
@@ -1367,6 +1560,10 @@ class PGridNode:
     def _route_write(self, payload: dict) -> None:
         key = payload["key"]
         op = payload["op"]
+        # Write traffic passing through (origin, forwarder or owner)
+        # invalidates our cached result for the key: the cheapest
+        # coherence signal the serving layer gets for free.
+        self._serving_invalidate(key)
         if self.responsible_for(key):
             self.apply_mutation(op, key)
             self._sync_replicas(op, key)
@@ -1413,6 +1610,7 @@ class PGridNode:
         evidence than the delete that left it); a delete leaves one so
         union-style anti-entropy cannot resurrect the key.
         """
+        self._serving_invalidate(key)
         if not self.responsible_for(key):
             return
         if op == "insert":
@@ -1465,17 +1663,137 @@ class PGridNode:
                     n_keys=1,
                     category=P.UPDATE_TRAFFIC,
                 )
+        if self._serving is not None and self._helpers:
+            # Grant helpers serve our range, so they join the eager
+            # fan-out -- grants stay write-coherent, not just TTL-fresh.
+            for hid in sorted(self._helpers):
+                if hid != self.node_id and hid not in self.replicas:
+                    self.send(
+                        hid,
+                        P.REPLICA_SYNC,
+                        {"op": op, "keys": [key]},
+                        n_keys=1,
+                        category=P.UPDATE_TRAFFIC,
+                    )
 
     def _on_replica_sync(self, msg: Message) -> None:
         op = msg.payload["op"]
         for key in msg.payload["keys"]:
             self.apply_mutation(op, key)
+            if self._serving is not None:
+                for entry in self._grants.values():
+                    if entry[0].contains_key(key, KEY_BITS):
+                        if op == "insert":
+                            entry[1].add(key)
+                        else:
+                            entry[1].discard(key)
 
     def _on_insert(self, msg: Message) -> None:
         self._route_write(msg.payload)
 
     def _on_delete(self, msg: Message) -> None:
         self._route_write(msg.payload)
+
+    # -- query-serving front end (pgrid.serving) -----------------------------
+    #
+    # Result caches invalidate on every write signal a node observes
+    # (routing a mutation, applying one, hearing a replica sync); route
+    # caches invalidate only on routing evidence.  Adaptive replication
+    # is owner-driven: the per-window served-query counter crosses
+    # ``hot_threshold`` -> grant the range to routing-table neighbours,
+    # decays below it -> revoke.  ``serving_tick`` is driven by the
+    # scenario runner at the policy's ``decay_interval_s`` cadence.
+
+    def _serving_invalidate(self, key: int) -> None:
+        if self._serving is None:
+            return
+        if self.result_cache.invalidate(key):
+            self.serving_stats["invalidations"] += 1
+
+    def _grant_presence(self, key: int) -> Optional[bool]:
+        """Presence flag if a live grant covers ``key``, else None."""
+        if not self._grants:
+            return None
+        now = self.sim.now
+        for pstr in list(self._grants):
+            path, keys, expires = self._grants[pstr]
+            if now >= expires:
+                del self._grants[pstr]
+                continue
+            if path.contains_key(key, KEY_BITS):
+                return key in keys
+        return None
+
+    def _grant_candidates(self) -> List[int]:
+        """Helper candidates, deepest routing levels first (closest in
+        the trie, so grant traffic stays local), live-believed only."""
+        out: List[int] = []
+        seen = {self.node_id}
+        for level in sorted(self.routing, reverse=True):
+            for ref in self.routing[level]:
+                if ref in seen or self.liveness.suspected(ref):
+                    continue
+                seen.add(ref)
+                out.append(ref)
+        return out
+
+    def serving_tick(self) -> None:
+        """One decay-window boundary: examine the served-query counter
+        and grant/revoke helper replicas accordingly."""
+        sv = self._serving
+        if sv is None or not sv.adaptive_replication:
+            return
+        load = self._served_window
+        self._served_window = 0
+        if not self.online:
+            return
+        now = self.sim.now
+        if load >= sv.hot_threshold and self.path.length > 0:
+            keys = sorted(self.keys)
+            for cand in self._grant_candidates():
+                if len(self._helpers) >= sv.replica_boost:
+                    break
+                if cand in self._helpers:
+                    continue
+                cause = self.send(
+                    cand,
+                    P.REPLICA_GRANT,
+                    {
+                        "path": self.path,
+                        "keys": keys,
+                        "expires": now + sv.grant_ttl_s,
+                    },
+                    n_keys=len(keys),
+                    category=P.UPDATE_TRAFFIC,
+                )
+                if cause in (None, "loss", "offline"):
+                    self._helpers[cand] = now
+                    self.serving_stats["grants"] += 1
+        elif self._helpers:
+            for hid in sorted(self._helpers):
+                self.send(
+                    hid,
+                    P.REPLICA_REVOKE,
+                    {"path": self.path},
+                    category=P.UPDATE_TRAFFIC,
+                )
+                self.serving_stats["revokes"] += 1
+            self._helpers.clear()
+
+    def _on_replica_grant(self, msg: Message) -> None:
+        if self._serving is None:
+            return
+        payload = msg.payload
+        self._grants[str(payload["path"])] = [
+            payload["path"],
+            set(payload["keys"]),
+            payload["expires"],
+        ]
+
+    def _on_replica_revoke(self, msg: Message) -> None:
+        if self._serving is None:
+            return
+        self._grants.pop(str(msg.payload["path"]), None)
 
     def _on_update_ack(self, msg: Message) -> None:
         self._complete_write(msg.payload["qid"], msg.payload["hops"], True)

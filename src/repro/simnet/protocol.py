@@ -24,6 +24,8 @@ __all__ = [
     "UPDATE_ACK",
     "UPDATE_MISS",
     "REPLICA_SYNC",
+    "REPLICA_GRANT",
+    "REPLICA_REVOKE",
     "PING",
     "PONG",
     "VOTE_REQ",
@@ -52,6 +54,8 @@ DELETE = "delete"  #: key delete being routed (tombstoned at the owner)
 UPDATE_ACK = "update_ack"  #: responsible peer -> origin: mutation applied
 UPDATE_MISS = "update_miss"  #: routing dead-end -> origin (mutation retries)
 REPLICA_SYNC = "replica_sync"  #: owner -> replicas: eager mutation fan-out
+REPLICA_GRANT = "replica_grant"  #: hot owner -> helper: serve my range (adaptive replication)
+REPLICA_REVOKE = "replica_revoke"  #: owner -> helper: load decayed, stop serving
 PING = "ping"  #: liveness probe of a suspect routing reference
 PONG = "pong"  #: probe answer (proof of life)
 VOTE_REQ = "vote_req"  #: index-initiation vote flood (Sec. 4.1)

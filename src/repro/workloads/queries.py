@@ -17,7 +17,8 @@ nodes, or a future service API.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
 
 from .._util import RngLike, make_rng
 from ..exceptions import DomainError
@@ -44,9 +45,27 @@ class QuerySampler:
         Optional ``(lo, hi, weight)`` with ``0 <= lo < hi <= 1``:
         with probability ``weight`` a query targets the hot interval
         instead of the whole key space.
+    universe / zipf_keys / zipf_exponent:
+        When ``zipf_keys > 0`` and a (sorted) ``universe`` of workload
+        keys is supplied, point draws switch from fresh uniform keys to
+        a Zipf-ranked *popular set*: ``zipf_keys`` evenly spaced keys
+        from the universe (restricted to the hotspot interval when one
+        is configured), rank *i* drawn with weight ``1/(i+1)**s``.
+        This is the repeat-heavy access pattern the serving-layer
+        result caches exist for; fresh 53-bit uniform draws essentially
+        never repeat, so without it a result cache can never hit.
+        With a hotspot, its ``weight`` still splits traffic between the
+        (Zipf) head and the uniform background tail.
     """
 
-    __slots__ = ("point_weight", "range_weight", "range_span", "hotspot")
+    __slots__ = (
+        "point_weight",
+        "range_weight",
+        "range_span",
+        "hotspot",
+        "_popular",
+        "_zipf_cum",
+    )
 
     def __init__(
         self,
@@ -55,6 +74,9 @@ class QuerySampler:
         range_weight: float = 0.0,
         range_span: float = 0.02,
         hotspot: Optional[Tuple[float, float, float]] = None,
+        universe: Optional[Sequence[int]] = None,
+        zipf_keys: int = 0,
+        zipf_exponent: float = 0.9,
     ):
         if point_weight < 0 or range_weight < 0:
             raise DomainError("query-mix weights must be non-negative")
@@ -68,10 +90,62 @@ class QuerySampler:
                 raise DomainError(f"hotspot interval [{lo}, {hi}) is invalid")
             if not 0.0 <= weight <= 1.0:
                 raise DomainError(f"hotspot weight must lie in [0, 1], got {weight}")
+        if zipf_keys < 0:
+            raise DomainError(f"zipf_keys must be >= 0, got {zipf_keys}")
+        if zipf_exponent <= 0:
+            raise DomainError(
+                f"zipf exponent must be positive, got {zipf_exponent}"
+            )
         self.point_weight = float(point_weight)
         self.range_weight = float(range_weight)
         self.range_span = float(range_span)
         self.hotspot = hotspot
+        self._popular = self._popular_set(universe, zipf_keys)
+        self._zipf_cum = self._cum_weights(len(self._popular), zipf_exponent)
+
+    # -- Zipf popular set --------------------------------------------------
+
+    def _popular_set(
+        self, universe: Optional[Sequence[int]], zipf_keys: int
+    ) -> List[int]:
+        if zipf_keys <= 0 or not universe:
+            return []
+        candidates: Sequence[int] = universe
+        if self.hotspot is not None:
+            lo, hi, _ = self.hotspot
+            lo_k = float_to_key(lo)
+            hi_k = float_to_key(min(hi, _BELOW_ONE))
+            start = bisect_left(universe, lo_k)
+            stop = bisect_left(universe, hi_k)
+            if stop > start:
+                candidates = universe[start:stop]
+        n = len(candidates)
+        if n <= zipf_keys:
+            return list(candidates)
+        # Evenly spaced picks keep the popular set spread over the
+        # candidate interval (many owners) instead of one trie leaf.
+        step = n / zipf_keys
+        return [candidates[int(i * step)] for i in range(zipf_keys)]
+
+    @staticmethod
+    def _cum_weights(n: int, exponent: float) -> List[float]:
+        cum: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / (rank + 1.0) ** exponent
+            cum.append(total)
+        return [c / total for c in cum] if total > 0 else []
+
+    def _draw_popular(self, rand) -> int:
+        u = rand.random()
+        lo, hi = 0, len(self._zipf_cum) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._zipf_cum[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._popular[lo]
 
     # -- drawing -----------------------------------------------------------
 
@@ -90,7 +164,15 @@ class QuerySampler:
 
     def draw_point_key(self, rng: RngLike = None) -> int:
         """An integer key for one exact-match lookup."""
-        return float_to_key(min(self._target_float(make_rng(rng)), _BELOW_ONE))
+        rand = make_rng(rng)
+        if self._popular:
+            if self.hotspot is not None:
+                _, _, weight = self.hotspot
+                if rand.random() < weight:
+                    return self._draw_popular(rand)
+                return float_to_key(min(rand.random(), _BELOW_ONE))
+            return self._draw_popular(rand)
+        return float_to_key(min(self._target_float(rand), _BELOW_ONE))
 
     def draw_range(self, rng: RngLike = None) -> Tuple[int, int]:
         """A half-open integer key range of width ``range_span``."""

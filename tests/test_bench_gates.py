@@ -512,3 +512,149 @@ class TestRecoveryGate:
         text = summary.read_text()
         assert "### Recovery" in text
         assert "warm_bytes<cold_bytes" in text
+
+
+def serving_section(
+    p99_on=0.4,
+    p99_off=30.5,
+    gini_on=0.22,
+    gini_off=0.34,
+    succ_on=0.99,
+    succ_off=0.99,
+    *,
+    enabled=True,
+    hit_rate=0.5,
+    stale_rate=0.1,
+):
+    """A scenario section carrying one serving entry with inline off pass."""
+    section = scenario_section()
+    section["results"]["zipf-serving"] = {
+        "success_rate": succ_on,
+        "queries": 7200,
+        "cache_hit_rate": hit_rate,
+        "stale_read_rate": stale_rate,
+        "serving_p99_s": p99_on,
+        "load_gini": gini_on,
+        "serving": {
+            "enabled": enabled,
+            "off": {
+                "success_rate": succ_off,
+                "serving_p99_s": p99_off,
+                "load_gini": gini_off,
+            },
+        },
+    }
+    return section
+
+
+class TestServingGate:
+    """The serving gate: caches on must beat the inline cache-off pass
+    on tail latency and load spread without losing query success --
+    intra-snapshot checks that run even without a comparable baseline."""
+
+    def pair(self, tmp_path, cand_section):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": cand_section}))
+        return ["--baseline", str(base), "--candidate", str(cand)]
+
+    def test_healthy_serving_passes(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, serving_section())
+        assert check_regression.main(argv) == 0
+        assert "serving gate" in capsys.readouterr().out
+
+    def test_p99_not_below_off_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, serving_section(p99_on=30.5, p99_off=30.5))
+        assert check_regression.main(argv) == 1
+        assert "serving p99" in capsys.readouterr().err
+
+    def test_gini_not_below_off_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, serving_section(gini_on=0.34, gini_off=0.34))
+        assert check_regression.main(argv) == 1
+        assert "load Gini" in capsys.readouterr().err
+
+    def test_success_drop_beyond_tolerance_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, serving_section(succ_on=0.80, succ_off=0.99))
+        assert check_regression.main(argv) == 1
+        assert "query success" in capsys.readouterr().err
+
+    def test_success_drop_inside_tolerance_passes(self, tmp_path):
+        argv = self.pair(tmp_path, serving_section(succ_on=0.97, succ_off=0.99))
+        assert check_regression.main(argv) == 0
+
+    def test_disabled_entries_are_not_gated(self, tmp_path):
+        # An enabled=False headline entry carries baseline-only numbers;
+        # there is no cache win to enforce.
+        argv = self.pair(
+            tmp_path,
+            serving_section(p99_on=30.5, p99_off=30.5, enabled=False),
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_dataplane_entries_without_latency_gate_gini_only(self, tmp_path, capsys):
+        section = serving_section(gini_on=0.50, gini_off=0.34)
+        entry = section["results"]["zipf-serving"]
+        entry["serving_p99_s"] = None
+        entry["serving"]["off"]["serving_p99_s"] = None
+        section["backend"] = "dataplane"
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios": section}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "load Gini" in err and "p99" not in err
+
+    def test_hit_rate_drop_vs_baseline_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": serving_section()}))
+        cand = write(
+            tmp_path, "cand.json",
+            snapshot(extra={"scenarios_message": serving_section(hit_rate=0.3)}),
+        )
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "cache_hit_rate" in capsys.readouterr().err
+
+    def test_stale_rate_rise_vs_baseline_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": serving_section()}))
+        cand = write(
+            tmp_path, "cand.json",
+            snapshot(extra={"scenarios_message": serving_section(stale_rate=0.3)}),
+        )
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "stale_read_rate" in capsys.readouterr().err
+
+    def test_p99_ratio_blowup_vs_baseline_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": serving_section()}))
+        cand = write(
+            tmp_path, "cand.json",
+            snapshot(extra={"scenarios_message": serving_section(
+                p99_on=0.9, p99_off=30.5)}),
+        )
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "serving_p99_s" in capsys.readouterr().err
+
+    def test_serving_rows_reach_the_step_summary(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": serving_section()}))
+        summary = tmp_path / "summary.md"
+        assert check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ]) == 0
+        text = summary.read_text()
+        assert "### Serving" in text
+        assert "gini_on<gini_off" in text

@@ -40,6 +40,7 @@ class TestSpecValidation:
     def test_registry_is_complete(self):
         assert sorted(SCENARIOS) == [
             "asymmetric-partition-writes",
+            "cache-coherence-storm",
             "correlated-churn",
             "datacenter-power-cycle",
             "flash-crowd",
@@ -53,6 +54,7 @@ class TestSpecValidation:
             "rolling-deploy",
             "uniform-baseline",
             "write-hotspot-adversarial",
+            "zipf-serving",
         ]
 
     def test_unknown_scenario_name(self):
