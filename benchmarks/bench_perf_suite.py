@@ -14,6 +14,7 @@ Usage::
     python benchmarks/bench_perf_suite.py --quick    # CI smoke (N<=1024)
     python benchmarks/bench_perf_suite.py --sizes 256 512
     python benchmarks/bench_perf_suite.py --output /tmp/bench.json
+    python benchmarks/bench_perf_suite.py --scale  # + sharded scale matrix
 
 See ``benchmarks/perf_harness.py`` for the methodology and the pinned
 seed baseline the emitted ``speedup_vs_seed`` section compares against.
@@ -46,6 +47,14 @@ def main(argv=None) -> int:
         "--quick default: 256 1024)",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="also run the sharded-kernel scale bench (bench_scale.py): the "
+        "N x shard-count throughput matrix, determinism audit and "
+        "heap-health bounds, merged into the same snapshot's 'scale' "
+        "section",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=DEFAULT_OUTPUT,
@@ -74,6 +83,14 @@ def main(argv=None) -> int:
             suffix = f" ({ratio}x vs seed)" if ratio else ""
             notes.append(f"{metric.split('_')[0]} {value}{unit}{suffix}")
         print(f"  N={n}: " + ", ".join(notes))
+
+    if args.scale:
+        from bench_scale import main as scale_main
+
+        scale_args = ["--output", str(args.output)]
+        if args.quick:
+            scale_args.append("--smoke")
+        return scale_main(scale_args)
     return 0
 
 

@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""Sharded-kernel scale bench: the ``scale`` section of ``BENCH_core.json``.
+
+Measures what the sharded simulation kernel buys and proves what it must
+never cost, in one run:
+
+* **Throughput matrix** -- events/sec and wall-clock for the
+  uniform-baseline scenario at N in {4096, 16384, 65536} crossed with
+  shard counts {1, 4, 8}.  ``shards=1`` runs the classic single-process
+  :class:`~repro.simnet.engine.Simulator`; ``shards>1`` runs worker
+  mode (:func:`~repro.scenarios.message_runner.run_sharded_scenario`):
+  the keyspace sliced into independent per-process populations, merged
+  into one report.  This is the path that makes N=65,536 reachable in
+  one bench run.
+* **Determinism audit** -- the same spec executed on the in-process
+  barrier kernel (:class:`~repro.simnet.shard.ShardedSimulator`) at
+  ``shards=8`` must produce a report digest byte-identical to the
+  ``shards=1`` single-heap run.  The digests and the kernel's
+  cross-shard counters (barriers crossed, events staged, cross-shard
+  wire traffic) are recorded; a mismatch fails the bench.
+* **Heap-health audit** -- every cell records the simulator's
+  pending-event peak, lazy-cancel backlog and compaction count (the
+  observable heap-compaction stats on
+  :class:`~repro.simnet.engine.Simulator`), and the bench fails if any
+  kernel's pending peak exceeds a generous per-peer bound -- the guard
+  against an unbounded-heap regression hiding inside a wall-clock win.
+
+Modes::
+
+    python benchmarks/bench_scale.py             # full matrix, incl. N=65,536
+    python benchmarks/bench_scale.py --nightly   # N=16,384 x shards {1,4,8}
+    python benchmarks/bench_scale.py --smoke     # CI: N=8192, shards=4, budgeted
+
+``--smoke`` is the CI ``scale-smoke`` job's workload: one sharded cell
+plus the determinism audit at a small population, with a hard
+wall-clock budget (``--budget-s``, default 480) enforced in-script on
+top of the job's ``timeout-minutes``.
+
+The section is merged into the snapshot alongside the perf and
+scenario sections (same idiom as ``bench_scenarios.py``), and
+``check_regression.py`` gates it: intra-snapshot digest equality and
+pending bounds, plus events/sec and wall-clock ratios against the
+committed numbers when the populations are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_scenarios import merge_into_snapshot  # noqa: E402
+
+from repro.scenarios import (  # noqa: E402
+    MessageNetConfig,
+    MessageScenarioRunner,
+    run_sharded_scenario,
+    scenario,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+#: The matrix scenario and its knobs.  duration_scale 0.05 keeps the
+#: simulated window short enough that the N=65,536 cell completes in one
+#: bench run while still exercising churn, queries and maintenance.
+SCENARIO = "uniform-baseline"
+SEED = 20050830
+DURATION_SCALE = 0.05
+
+#: (n_peers, shards) cells per profile.  shards=1 -> single process;
+#: shards>1 -> worker mode.  The full profile records at least one
+#: N=65,536 run (worker mode only: the point of sharding is that the
+#: single-process path need not carry that population).
+FULL_CELLS = (
+    (4096, 1), (4096, 4), (4096, 8),
+    (16384, 1), (16384, 4), (16384, 8),
+    (65536, 8),
+)
+NIGHTLY_CELLS = ((16384, 1), (16384, 4), (16384, 8))
+SMOKE_CELLS = ((8192, 4),)
+
+#: Population for the in-process barrier-kernel determinism audit
+#: (small: the audit runs the same spec twice in one process).
+DETERMINISM_N = 1024
+SMOKE_DETERMINISM_N = 256
+DETERMINISM_SHARDS = 8
+
+#: Pending-heap bound: no kernel may ever hold more than this many
+#: live-or-cancelled events per resident peer (plus slack for control
+#: timers).  Measured peaks sit well under 0.1/peer, so 4/peer is an
+#: order of magnitude of headroom while still catching a leak that
+#: re-schedules without cancelling or a compactor that stops firing.
+PENDING_PER_PEER = 4
+PENDING_SLACK = 1024
+
+
+def _digest(report) -> str:
+    return hashlib.sha256(report.to_json().encode()).hexdigest()
+
+
+def run_determinism(n_peers: int, *, seed: int, duration_scale: float) -> dict:
+    """Barrier-kernel audit: shards=8 digest must equal shards=1."""
+    spec = scenario(
+        SCENARIO, n_peers=n_peers, seed=seed, duration_scale=duration_scale
+    )
+    single = MessageScenarioRunner(spec)
+    digest_1 = _digest(single.run())
+    sharded = MessageScenarioRunner(
+        spec, net_config=MessageNetConfig(shards=DETERMINISM_SHARDS)
+    )
+    digest_8 = _digest(sharded.run())
+    sim = sharded.simulator
+    return {
+        "n_peers": n_peers,
+        "shards": DETERMINISM_SHARDS,
+        "digest_shards1": digest_1,
+        "digest_shards8": digest_8,
+        "match": digest_1 == digest_8,
+        "barriers": sim.barriers,
+        "cross_shard_staged": sim.cross_shard_staged,
+        "cross_shard_messages": sharded.transport.cross_shard_messages,
+        "cross_shard_bytes": sharded.transport.cross_shard_bytes,
+    }
+
+
+def run_cell(n_peers: int, shards: int, *, seed: int, duration_scale: float) -> dict:
+    """One throughput cell: run, time, and audit heap health."""
+    spec = scenario(
+        SCENARIO, n_peers=n_peers, seed=seed, duration_scale=duration_scale
+    )
+    start = time.perf_counter()
+    if shards == 1:
+        runner = MessageScenarioRunner(spec)
+        report = runner.run()
+        wall_s = time.perf_counter() - start
+        sim = runner.simulator
+        kernels = [{
+            "events_processed": sim.events_processed,
+            "pending_peak": sim.pending_peak,
+            "pending_cancelled": sim.pending_cancelled,
+            "compactions": sim.compactions,
+            "wall_s": wall_s,
+        }]
+        mode = "single"
+    else:
+        kernels = []
+        report = run_sharded_scenario(spec, shards=shards, kernel_stats=kernels)
+        wall_s = time.perf_counter() - start
+        mode = "workers"
+    events = sum(k["events_processed"] for k in kernels)
+    pending_peak = max(k["pending_peak"] for k in kernels)
+    # The bound applies per kernel: each worker hosts ~n/shards peers.
+    resident = -(-n_peers // shards)
+    pending_bound = PENDING_PER_PEER * resident + PENDING_SLACK
+    return {
+        "n_peers": n_peers,
+        "shards": shards,
+        "mode": mode,
+        "wall_s": round(wall_s, 3),
+        "worker_wall_s": round(max(k["wall_s"] for k in kernels), 3),
+        "events": events,
+        "events_per_s": round(events / wall_s, 1) if wall_s > 0 else None,
+        "queries": report.totals["queries"],
+        "success_rate": report.totals["success_rate"],
+        "n_peers_end": report.n_peers_end,
+        "pending_peak": pending_peak,
+        "pending_bound": pending_bound,
+        "pending_bound_ok": pending_peak <= pending_bound,
+        "pending_cancelled": sum(k["pending_cancelled"] for k in kernels),
+        "compactions": sum(k["compactions"] for k in kernels),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    profile_group = parser.add_mutually_exclusive_group()
+    profile_group.add_argument(
+        "--smoke", action="store_true",
+        help=f"CI mode: one sharded cell at N={SMOKE_CELLS[0][0]}, "
+             f"shards={SMOKE_CELLS[0][1]}, hard wall-clock budget",
+    )
+    profile_group.add_argument(
+        "--nightly", action="store_true",
+        help="nightly mode: the N=16,384 row of the matrix (shards 1/4/8)",
+    )
+    parser.add_argument(
+        "--budget-s", type=float, default=None,
+        help="fail if the bench's total wall time exceeds this many "
+             "seconds (default: 480 in --smoke mode, unlimited otherwise)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--scale", type=float, default=DURATION_SCALE,
+        help=f"duration scale for every cell (default: {DURATION_SCALE})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"perf snapshot to update (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        profile, cells, det_n = "smoke", SMOKE_CELLS, SMOKE_DETERMINISM_N
+    elif args.nightly:
+        profile, cells, det_n = "nightly", NIGHTLY_CELLS, DETERMINISM_N
+    else:
+        profile, cells, det_n = "full", FULL_CELLS, DETERMINISM_N
+    budget_s = args.budget_s
+    if budget_s is None and args.smoke:
+        budget_s = 480.0
+
+    failures = []
+    bench_start = time.perf_counter()
+
+    determinism = run_determinism(
+        det_n, seed=args.seed, duration_scale=args.scale
+    )
+    verdict = "ok" if determinism["match"] else "MISMATCH"
+    print(
+        f"determinism @ N={det_n} shards={DETERMINISM_SHARDS}: {verdict}  "
+        f"barriers {determinism['barriers']}  "
+        f"staged {determinism['cross_shard_staged']}  "
+        f"cross-shard msgs {determinism['cross_shard_messages']}"
+    )
+    if not determinism["match"]:
+        failures.append(
+            f"shards={DETERMINISM_SHARDS} report digest differs from "
+            f"shards=1 at N={det_n}: "
+            f"{determinism['digest_shards8'][:12]}... vs "
+            f"{determinism['digest_shards1'][:12]}..."
+        )
+
+    results = []
+    for n_peers, shards in cells:
+        entry = run_cell(
+            n_peers, shards, seed=args.seed, duration_scale=args.scale
+        )
+        results.append(entry)
+        success = entry["success_rate"]
+        print(
+            f"  N={n_peers:6d} shards={shards}  [{entry['mode']:7s}]  "
+            f"wall {entry['wall_s']:8.2f}s  "
+            f"events {entry['events']:9d}  "
+            f"ev/s {entry['events_per_s']:10.1f}  "
+            f"queries {entry['queries']:6d}  "
+            f"success {'n/a' if success is None else format(success, '.4f')}  "
+            f"pend-peak {entry['pending_peak']}"
+        )
+        if not entry["pending_bound_ok"]:
+            failures.append(
+                f"N={n_peers} shards={shards}: pending peak "
+                f"{entry['pending_peak']} exceeds bound "
+                f"{entry['pending_bound']} "
+                f"({PENDING_PER_PEER}/peer + {PENDING_SLACK})"
+            )
+
+    total_wall = time.perf_counter() - bench_start
+    if budget_s is not None and total_wall > budget_s:
+        failures.append(
+            f"bench wall time {total_wall:.1f}s exceeds the "
+            f"{budget_s:g}s budget"
+        )
+
+    section = {
+        "generated_by": "benchmarks/bench_scale.py",
+        "schema": "scale/v1",
+        "profile": profile,
+        "scenario": SCENARIO,
+        "seed": args.seed,
+        "duration_scale": args.scale,
+        "total_wall_s": round(total_wall, 3),
+        "determinism": determinism,
+        "cells": results,
+    }
+    path = merge_into_snapshot(section, args.output, "scale")
+    print(f"updated {path} (scale @ {profile}, total wall {total_wall:.1f}s)")
+
+    if failures:
+        print("\nscale bench failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

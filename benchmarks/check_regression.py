@@ -64,6 +64,15 @@ False)``) recorded by ``bench_scenarios.py``, and end-to-end query
 success must not drop -- a cache that serves stale garbage fast would
 otherwise look like a win.
 
+The ``scale`` section (written by ``bench_scale.py``) gets both kinds
+of gate: cells matched on ``(n_peers, shards, mode)`` compare
+``wall_s`` growth and ``events_per_s`` shrinkage against the committed
+matrix at the ratio tolerance (:func:`compare_scale`), and two
+intra-snapshot invariants hold on the candidate alone
+(:func:`check_scale`) -- the sharded-kernel determinism audit's
+shards=8 digest must equal the shards=1 digest, and every cell's
+pending-event peak must sit under its recorded bound.
+
 Scenario sections are only compared when both snapshots ran the same
 population and duration scale (the quick CI candidate at N=256 is
 incomparable to the committed N=4096 section and is skipped with a
@@ -78,8 +87,10 @@ Guards: the PR-1 data-plane speedups (sorted key stores, memoized
 inversions, query fast paths), the PR-4 message-level route-repair
 success floor, the PR-5 write-path success/divergence floors, the
 PR-6 persistence/recovery floors (warm-beats-cold, zero loss on clean
-shutdown), and the PR-7 serving-layer floors (cache-on beats cache-off
-on tail latency and load spread, bounded staleness), as committed in
+shutdown), the PR-7 serving-layer floors (cache-on beats cache-off
+on tail latency and load spread, bounded staleness), and the PR-8
+sharded-kernel floors (shard-count-invisible digests, bounded event
+heaps, N=16,384/65,536 throughput), as committed in
 ``BENCH_core.json``.
 """
 
@@ -387,6 +398,122 @@ def check_serving(
     return rows, failures
 
 
+def compare_scale(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float,
+) -> Tuple[List[Tuple[str, str, float, float, float, bool]], List[str], Optional[str]]:
+    """Compare the ``scale`` sections cell by cell.
+
+    Cells are matched on ``(n_peers, shards, mode)`` -- only cells
+    present in both snapshots are compared, so the committed full
+    matrix doubles as the baseline for the nightly's N=16,384 row
+    while the CI smoke cell (N=8192) simply has no counterpart and
+    pins nothing.  Per overlapping cell:
+
+    * ``wall_s`` growth beyond ``tolerance`` fails;
+    * ``events_per_s`` dropping below ``baseline / tolerance`` fails
+      (the sharded kernel's throughput is the tentpole claim).
+
+    Returns ``(rows, failures, skip_reason)``; rows are ``(cell,
+    metric, baseline, candidate, ratio, breached)``.
+    """
+    base = baseline.get("scale")
+    cand = candidate.get("scale")
+    if not base or not cand:
+        return [], [], "no scale section in both snapshots"
+    for knob in ("scenario", "seed", "duration_scale"):
+        if base.get(knob) != cand.get(knob):
+            return [], [], (
+                f"scale sections incomparable: {knob} "
+                f"{base.get(knob)} vs {cand.get(knob)}"
+            )
+
+    def by_cell(section: dict) -> Dict[tuple, dict]:
+        return {
+            (cell["n_peers"], cell["shards"], cell["mode"]): cell
+            for cell in section.get("cells", [])
+        }
+
+    base_cells, cand_cells = by_cell(base), by_cell(cand)
+    rows: List[Tuple[str, str, float, float, float, bool]] = []
+    failures: List[str] = []
+    for key in sorted(set(base_cells) & set(cand_cells)):
+        n_peers, shards, mode = key
+        label = f"N={n_peers}/shards={shards}"
+        for metric, direction in (("wall_s", "ratio"), ("events_per_s", "floor")):
+            base_value = base_cells[key].get(metric)
+            cand_value = cand_cells[key].get(metric)
+            if base_value is None or cand_value is None:
+                continue
+            base_value, cand_value = float(base_value), float(cand_value)
+            if direction == "ratio":  # growth regresses
+                ratio = cand_value / base_value if base_value > 0 else float("inf")
+            else:  # floor: shrinkage regresses
+                ratio = base_value / cand_value if cand_value > 0 else float("inf")
+            breached = ratio > tolerance
+            rows.append((label, metric, base_value, cand_value, ratio, breached))
+            if breached:
+                failures.append(
+                    f"scale/{label} {metric}: {cand_value:g} vs baseline "
+                    f"{base_value:g} ({ratio:.2f}x > {tolerance:g}x tolerance)"
+                )
+    return rows, failures, None
+
+
+def check_scale(candidate: dict) -> Tuple[List[Tuple[str, str, str, bool]], List[str]]:
+    """Intra-snapshot scale gates on the *candidate* alone.
+
+    Two invariants the sharded kernel must always satisfy, checkable
+    without a baseline because ``bench_scale.py`` records them inline:
+
+    * **shards are invisible** -- the determinism audit's shards=8
+      report digest must equal the shards=1 digest (the tentpole
+      acceptance: the barrier kernel is an execution detail, never a
+      semantic one);
+    * **heaps stay bounded** -- every cell's pending-event peak must
+      sit under its recorded per-peer bound (``pending_bound_ok``),
+      so a wall-clock win can't smuggle in an unbounded event heap.
+
+    Returns ``(rows, failures)``; rows are ``(cell, check, detail,
+    breached)`` for printing.
+    """
+    rows: List[Tuple[str, str, str, bool]] = []
+    failures: List[str] = []
+    scale = candidate.get("scale")
+    if not scale:
+        return rows, failures
+    det = scale.get("determinism")
+    if det:
+        where = f"scale/determinism@N={det.get('n_peers')}"
+        match = bool(det.get("match"))
+        rows.append(
+            (where, "digest_shards8==shards1",
+             f"{det.get('digest_shards8', '')[:12]} vs "
+             f"{det.get('digest_shards1', '')[:12]}", not match)
+        )
+        if not match:
+            failures.append(
+                f"{where}: sharded-kernel report digest differs from the "
+                f"single-process digest -- shard count leaked into results"
+            )
+    for cell in scale.get("cells", []):
+        where = f"scale/N={cell.get('n_peers')}/shards={cell.get('shards')}"
+        ok = bool(cell.get("pending_bound_ok", True))
+        rows.append(
+            (where, "pending_peak<=bound",
+             f"{cell.get('pending_peak')} vs {cell.get('pending_bound')}",
+             not ok)
+        )
+        if not ok:
+            failures.append(
+                f"{where}: pending peak {cell.get('pending_peak')} exceeds "
+                f"bound {cell.get('pending_bound')} -- event heap no longer "
+                f"bounded"
+            )
+    return rows, failures
+
+
 def build_step_summary(
     perf_rows: List[Tuple[str, str, float, float, float]],
     tolerance: float,
@@ -395,6 +522,9 @@ def build_step_summary(
     failures: List[str],
     recovery_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
     serving_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
+    scale_rows: Optional[List[Tuple[str, str, float, float, float, bool]]] = None,
+    scale_skip: Optional[str] = None,
+    scale_intra_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
 ) -> str:
     """The gate verdicts as a GitHub-flavored markdown fragment.
 
@@ -457,6 +587,32 @@ def build_step_summary(
         for where, check, detail, breached in serving_rows:
             verdict = "❌ fail" if breached else "✅ ok"
             lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
+    if scale_rows or scale_skip or scale_intra_rows:
+        lines += ["", f"### Scale (sharded kernel, tolerance {tolerance:g}x)", ""]
+        if scale_skip is not None:
+            lines.append(f"_cell comparison skipped: {scale_skip}_")
+        if scale_rows:
+            lines += [
+                "| cell | metric | baseline | candidate | ratio | verdict |",
+                "| --- | --- | ---: | ---: | ---: | :---: |",
+            ]
+            for cell, metric, base_value, cand_value, ratio, breached in scale_rows:
+                verdict = "❌ fail" if breached else (
+                    "✅ ok" if ratio >= 1.0 else "✅ faster"
+                )
+                lines.append(
+                    f"| {cell} | {metric} | {base_value:g} | {cand_value:g} "
+                    f"| {ratio:.2f}x | {verdict} |"
+                )
+        if scale_intra_rows:
+            lines += [
+                "",
+                "| cell | check | values | verdict |",
+                "| --- | --- | ---: | :---: |",
+            ]
+            for where, check, detail, breached in scale_intra_rows:
+                verdict = "❌ fail" if breached else "✅ ok"
+                lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
     if failures:
         lines += ["", "**Regressions beyond tolerance:**", ""]
         lines += [f"- {failure}" for failure in failures]
@@ -567,10 +723,37 @@ def main(argv=None) -> int:
             print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
     failures += serving_failures
 
+    scale_rows, scale_failures, scale_skip = compare_scale(
+        baseline, candidate, args.tolerance
+    )
+    if scale_skip is not None:
+        print(f"scale gate: cell comparison skipped ({scale_skip})")
+    elif scale_rows:
+        print(f"scale gate (tolerance {args.tolerance:g}x)")
+        for cell, metric, base_value, cand_value, ratio, breached in scale_rows:
+            verdict = "FAIL" if breached else (
+                "ok  " if ratio >= 1.0 else "ok ^"
+            )
+            print(
+                f"  [{verdict}] {cell:24s} {metric:14s}  "
+                f"baseline {base_value:10.1f}  candidate {cand_value:10.1f}  "
+                f"ratio {ratio:5.2f}x"
+            )
+    failures += scale_failures
+
+    scale_intra_rows, scale_intra_failures = check_scale(candidate)
+    if scale_intra_rows:
+        print("scale gate (intra-snapshot: digest equality, pending bounds)")
+        for where, check, detail, breached in scale_intra_rows:
+            verdict = "FAIL" if breached else "ok  "
+            print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
+    failures += scale_intra_failures
+
     write_step_summary(
         build_step_summary(
             rows, args.tolerance, scenario_results, args.scenario_tolerance,
             failures, recovery_rows, serving_rows,
+            scale_rows, scale_skip, scale_intra_rows,
         ),
         args.summary or os.environ.get("GITHUB_STEP_SUMMARY"),
     )

@@ -75,8 +75,13 @@ from .invariants import (  # noqa: F401
     live_key_coverage,
 )
 from .library import SCENARIOS, scenario  # noqa: F401
-from .message_runner import MessageNetConfig, MessageScenarioRunner  # noqa: F401
-from .report import ScenarioReport  # noqa: F401
+from .message_runner import (  # noqa: F401
+    MessageNetConfig,
+    MessageScenarioRunner,
+    run_sharded_scenario,
+    slice_spec,
+)
+from .report import ScenarioReport, merge_reports  # noqa: F401
 from .runner import ScenarioRunner  # noqa: F401
 from .spec import (  # noqa: F401
     CachePolicy,
@@ -141,6 +146,9 @@ __all__ = [
     "BACKENDS",
     "runner_for",
     "run_scenario",
+    "run_sharded_scenario",
+    "slice_spec",
+    "merge_reports",
     "ScenarioReport",
     "SCENARIOS",
     "scenario",

@@ -234,23 +234,10 @@ class ScenarioRunnerBase:
 
     def run(self) -> ScenarioReport:
         spec = self.spec
-        master = make_rng(spec.seed)
-        # Fixed derivation order -- append new streams at the end only,
-        # or every golden trace changes.
-        keys_rng = make_rng(master.randrange(2**31))
-        build_rng = make_rng(master.randrange(2**31))
-        query_rng = make_rng(master.randrange(2**31))
-        churn_rng = make_rng(master.randrange(2**31))
-        member_rng = make_rng(master.randrange(2**31))
-        maint_rng = make_rng(master.randrange(2**31))
-        self._derive_extra_streams(master)
-        # The write stream is derived *after* the backend extras so the
-        # seeds of every pre-existing stream -- and with them the
-        # read-only golden traces of both backends -- are untouched.
-        write_rng = make_rng(master.randrange(2**31))
-        # The restart stream comes last, for the same reason: deriving
-        # it cannot shift any stream an existing golden depends on.
-        restart_rng = make_rng(master.randrange(2**31))
+        (
+            keys_rng, build_rng, query_rng, churn_rng,
+            member_rng, maint_rng, write_rng, restart_rng,
+        ) = self._derive_streams()
         #: Backend restart hooks (cold-rejoin placement) draw from the
         #: restart stream too, so restart scheduling and rejoin
         #: randomness live in one stream.
@@ -272,7 +259,7 @@ class ScenarioRunnerBase:
         peer_keys = workload_keys(
             spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
         )
-        sim = Simulator()
+        sim = self._make_simulator()
         self.simulator = sim
         self._setup(peer_keys, build_rng)
         if self._writes_active:
@@ -359,7 +346,54 @@ class ScenarioRunnerBase:
         self._finish(tally)
         return self._assemble(tally, boundaries)
 
+    # -- RNG stream tree ----------------------------------------------------
+
+    def _derive_streams(self):
+        """Derive every RNG stream off the spec's master, in the fixed
+        order -- append new streams at the end only, or every golden
+        trace changes.
+
+        Order: the six shared streams (keys, build, query, churn,
+        member, maintenance), the backend extras
+        (:meth:`_derive_extra_streams`), then write, restart and finally
+        the shard stream root -- each appended after the streams the
+        then-existing goldens depended on, so deriving it could not
+        shift any of them.
+        """
+        master = make_rng(self.spec.seed)
+        keys_rng = make_rng(master.randrange(2**31))
+        build_rng = make_rng(master.randrange(2**31))
+        query_rng = make_rng(master.randrange(2**31))
+        churn_rng = make_rng(master.randrange(2**31))
+        member_rng = make_rng(master.randrange(2**31))
+        maint_rng = make_rng(master.randrange(2**31))
+        self._derive_extra_streams(master)
+        write_rng = make_rng(master.randrange(2**31))
+        restart_rng = make_rng(master.randrange(2**31))
+        #: Root of the shard stream tree: worker-mode sharding
+        #: (:func:`repro.simnet.shard.derive_shard_streams`) seeds its
+        #: per-shard sub-runs from this final draw.
+        self._shard_stream_root = master.randrange(2**31)
+        return (
+            keys_rng, build_rng, query_rng, churn_rng,
+            member_rng, maint_rng, write_rng, restart_rng,
+        )
+
+    def shard_stream_root(self) -> int:
+        """Seed of this spec's shard stream tree (the master chain's
+        final draw -- see :meth:`_derive_streams`), for deriving
+        per-shard worker streams without shifting any existing stream."""
+        self._derive_streams()
+        return self._shard_stream_root
+
     # -- backend hook surface ----------------------------------------------
+
+    def _make_simulator(self) -> Simulator:
+        """The event loop this run executes on.  The message backend
+        swaps in the sharded kernel
+        (:class:`repro.simnet.shard.ShardedSimulator`) when
+        ``MessageNetConfig.shards`` > 1."""
+        return Simulator()
 
     def _derive_extra_streams(self, master) -> None:
         """Derive backend-specific RNG streams (after the six shared ones)."""

@@ -50,10 +50,11 @@ report, golden-trace tested like the data-plane backend.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .._util import make_rng, mean, sample_online
+from ..exceptions import SimulationError
 from ..pgrid.bits import Path
 from ..pgrid.liveness import RouteRepairPolicy
 from ..pgrid.network import PGridNetwork
@@ -62,15 +63,29 @@ from ..pgrid.state import DurabilityPolicy
 from ..pgrid.replication import divergence_stats
 from ..pgrid.routing import RoutingTable
 from ..simnet import protocol as P
+from ..simnet.engine import Simulator
 from ..simnet.node import NodeConfig, PGridNode, QueryOutcome
+from ..simnet.shard import (
+    DEFAULT_MIN_LOOKAHEAD_S,
+    ShardCodec,
+    ShardPlan,
+    ShardedSimulator,
+    derive_shard_streams,
+)
 from ..simnet.stats import StatsCollector
 from ..simnet.transport import LatencyModel, LogNormalLatency, Network
 from ..workloads.queries import POINT, RANGE, QuerySampler
 from .base import ScenarioRunnerBase, _Tally
-from .report import ScenarioReport
-from .spec import Phase, ScenarioSpec
+from .report import ScenarioReport, merge_reports
+from .spec import Hotspot, Phase, ScenarioSpec
 
-__all__ = ["MessageNetConfig", "MessageScenarioRunner", "run_message_scenario"]
+__all__ = [
+    "MessageNetConfig",
+    "MessageScenarioRunner",
+    "run_message_scenario",
+    "run_sharded_scenario",
+    "slice_spec",
+]
 
 
 @dataclass
@@ -119,6 +134,20 @@ class MessageNetConfig:
     #: ``DurabilityPolicy(enabled=False)`` is the cold-rejoin baseline
     #: (every restarted node re-enters via a sponsored join).
     durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
+    #: Event-loop shard count.  ``1`` (default) runs the legacy
+    #: single-heap :class:`~repro.simnet.engine.Simulator`; ``>= 2``
+    #: swaps in the barrier-synchronized sharded kernel
+    #: (:class:`~repro.simnet.shard.ShardedSimulator`), partitioning
+    #: the trie regions across shards via
+    #: :class:`~repro.simnet.shard.ShardPlan`.  The kernel executes in
+    #: globally merged event order, so the report -- and its digest --
+    #: is byte-identical at every shard count.
+    shards: int = 1
+    #: Barrier window of the sharded kernel; ``None`` derives it from
+    #: the latency model's floor (conservative lookahead), clamped to
+    #: :data:`~repro.simnet.shard.DEFAULT_MIN_LOOKAHEAD_S` for
+    #: zero-floor models.
+    lookahead_s: Optional[float] = None
 
 
 class MessageScenarioRunner(ScenarioRunnerBase):
@@ -141,6 +170,8 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         self.nodes: Dict[int, PGridNode] = {}
         self.transport: Optional[Network] = None
         self.stats: Optional[StatsCollector] = None
+        #: Trie-region shard assignment (sharded kernel runs only).
+        self.shard_plan: Optional[ShardPlan] = None
         self._node_tuple: Optional[Tuple[PGridNode, ...]] = None
         #: Query-origin gateway tier (``CachePolicy.front_ends``);
         #: ``None`` = unrestricted random origins.
@@ -166,6 +197,19 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         # Appended after the six shared streams (determinism contract).
         self._transport_rng = make_rng(master.randrange(2**31))
         self._node_seed_rng = make_rng(master.randrange(2**31))
+
+    def _make_simulator(self):
+        cfg = self.net_config
+        if cfg.shards <= 1:
+            return Simulator()
+        lookahead = cfg.lookahead_s
+        if lookahead is None:
+            # Conservative lookahead = the per-link latency floor; a
+            # zero floor (log-normal) falls back to the minimum window.
+            # Either way execution order is provably unchanged -- the
+            # window only sizes how much cross-shard traffic stages.
+            lookahead = max(cfg.latency.floor(), DEFAULT_MIN_LOOKAHEAD_S)
+        return ShardedSimulator(cfg.shards, lookahead=lookahead)
 
     def _setup(self, peer_keys, build_rng) -> None:
         spec, cfg, sim = self.spec, self.net_config, self.simulator
@@ -209,6 +253,18 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 if refs
             }
             node.replicas = set(peer.replicas)
+        if isinstance(sim, ShardedSimulator):
+            # Partition the trie regions across shards and route every
+            # delivery onto its destination's shard; node-local timers
+            # inherit the executing shard, runner control events stay on
+            # shard 0.  Installed after the initial spawn (which sends
+            # nothing); later joiners fall back to the plan's stable
+            # id-hash assignment.
+            self.shard_plan = ShardPlan.from_paths(
+                {pid: node.path for pid, node in self.nodes.items()},
+                cfg.shards,
+            )
+            self.transport.shard_of = self.shard_plan.shard_of
         cache = spec.cache
         if cache is not None and cache.front_ends > 0:
             # Gateway tier: queries enter through a fixed, evenly spaced
@@ -855,3 +911,163 @@ def run_message_scenario(
 ) -> ScenarioReport:
     """One-shot convenience: ``MessageScenarioRunner(spec).run()``."""
     return MessageScenarioRunner(spec, net_config=net_config).run()
+
+
+# -- worker-mode sharding ----------------------------------------------------
+#
+# The second half of the scale story (SNIPPETS #3 shape: independent
+# shards + a thin merge layer).  Where ``MessageNetConfig.shards`` runs
+# ONE spec on a barrier-synchronized kernel inside one process --
+# byte-identical reports at any shard count -- worker mode carves the
+# *population itself* into independent keyspace slices, runs each slice
+# as its own scenario in its own process, and merges the per-shard
+# reports into one with the identical schema.  Each worker's report
+# depends only on its own sub-spec and seed, so the merged result is
+# deterministic regardless of process scheduling; this is what makes
+# N=65,536 reachable in one bench run.
+
+
+def slice_spec(
+    spec: ScenarioSpec, index: int, shards: int, *, seed: int
+) -> ScenarioSpec:
+    """One worker's sub-scenario: the spec confined to keyspace slice
+    ``[index/shards, (index+1)/shards)``.
+
+    The population, arrival/departure waves and traffic rates are
+    divided evenly (remainders spread over the low-index shards, so the
+    totals are preserved exactly); the key workload is confined via a
+    sliced distribution label (``"U@2/8"`` -- the base distribution
+    affinely mapped into the slice, see
+    :mod:`repro.workloads.distributions`) and the query/write mixes via
+    a weight-1.0 hotspot over the slice.  Together these keep every
+    generated key, query target and mutation inside the slice, so the
+    slice's P-Grid is a complete, self-contained overlay over its
+    region -- the per-collection independent index of the exemplar.
+    """
+    if not 0 <= index < shards:
+        raise SimulationError(f"slice index {index} out of range for {shards}")
+    if spec.n_peers < 2 * shards:
+        raise SimulationError(
+            f"{spec.n_peers} peers cannot split into {shards} shards of >= 2"
+        )
+
+    def share(total: int) -> int:
+        return total // shards + (1 if index < total % shards else 0)
+
+    lo, hi = index / shards, (index + 1) / shards
+    confined = Hotspot(lo=lo, hi=hi, weight=1.0)
+    phases = tuple(
+        replace(
+            phase,
+            query_rate=phase.query_rate / shards,
+            join_peers=share(phase.join_peers),
+            leave_peers=share(phase.leave_peers),
+            mix=replace(phase.mix, hotspot=confined),
+            writes=(
+                None
+                if phase.writes is None
+                else replace(
+                    phase.writes,
+                    write_rate=phase.writes.write_rate / shards,
+                    hotspot=confined,
+                )
+            ),
+        )
+        for phase in spec.phases
+    )
+    return replace(
+        spec,
+        name=f"{spec.name}@{index}/{shards}",
+        n_peers=share(spec.n_peers),
+        seed=seed,
+        distribution=f"{spec.distribution}@{index}/{shards}",
+        phases=phases,
+    )
+
+
+def _run_shard_worker(args: Tuple[ScenarioSpec, Optional[MessageNetConfig]]) -> bytes:
+    """Worker entry point: run one slice, return its encoded result.
+
+    Results cross the process boundary through :class:`ShardCodec`
+    (versioned, pinned pickle protocol) so a parent/worker codec
+    mismatch fails loudly instead of silently merging garbage.  The
+    payload pairs the report with the worker's kernel counters
+    (events processed, pending-heap peak, compactions, wall time) so
+    the scale bench can audit heap health without touching the report
+    schema.
+    """
+    import time
+
+    sub_spec, net_config = args
+    runner = MessageScenarioRunner(sub_spec, net_config=net_config)
+    start = time.perf_counter()
+    report = runner.run()
+    wall_s = time.perf_counter() - start
+    sim = runner.simulator
+    kernel = {
+        "events_processed": sim.events_processed,
+        "pending_peak": sim.pending_peak,
+        "pending_cancelled": sim.pending_cancelled,
+        "compactions": sim.compactions,
+        "wall_s": wall_s,
+    }
+    return ShardCodec.encode({"report": report, "kernel": kernel})
+
+
+def run_sharded_scenario(
+    spec: ScenarioSpec,
+    *,
+    shards: int,
+    net_config: Optional[MessageNetConfig] = None,
+    processes: Optional[bool] = None,
+    kernel_stats: Optional[List[dict]] = None,
+) -> ScenarioReport:
+    """Run ``spec`` as ``shards`` independent keyspace slices and merge.
+
+    Per-shard seeds come off the spec's shard stream root (the master
+    chain's final draw -- see
+    :meth:`~repro.scenarios.base.ScenarioRunnerBase.shard_stream_root`),
+    so worker randomness extends the existing stream tree without
+    shifting any stream a golden trace depends on.  ``processes=None``
+    forks one worker per shard when the platform supports it and falls
+    back to sequential in-process execution otherwise; either way the
+    result is identical, because each worker's report is a pure function
+    of its sub-spec.
+
+    Pass a list as ``kernel_stats`` to receive one dict per worker
+    (events processed, pending-heap peak, compactions, per-worker wall
+    time) -- the scale bench's heap-health audit channel, kept off the
+    report so the merged schema stays identical to a single run's.
+    """
+    if shards < 1:
+        raise SimulationError(f"need at least one shard, got {shards}")
+    if shards == 1:
+        return run_message_scenario(spec, net_config=net_config)
+    root = MessageScenarioRunner(spec, net_config=net_config).shard_stream_root()
+    seeds = derive_shard_streams(root, shards)
+    sub_specs = [
+        slice_spec(spec, index, shards, seed=seeds[index])
+        for index in range(shards)
+    ]
+    jobs = [(sub, net_config) for sub in sub_specs]
+    encoded: List[bytes]
+    use_processes = processes
+    if use_processes is None:
+        import multiprocessing
+
+        use_processes = "fork" in multiprocessing.get_all_start_methods()
+    if use_processes:
+        import multiprocessing
+
+        # fork (not spawn): workers inherit the loaded code and the job
+        # objects only cross once, encoded results cross back once.
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(shards, context.cpu_count())) as pool:
+            encoded = pool.map(_run_shard_worker, jobs)
+    else:
+        encoded = [_run_shard_worker(job) for job in jobs]
+    payloads = [ShardCodec.decode(blob) for blob in encoded]
+    if kernel_stats is not None:
+        kernel_stats.extend(payload["kernel"] for payload in payloads)
+    reports = [payload["report"] for payload in payloads]
+    return merge_reports(reports, scenario=spec.name, seed=spec.seed)

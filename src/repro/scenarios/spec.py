@@ -31,7 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..exceptions import DomainError, SimulationError
 from ..pgrid.serving import CachePolicy
 from ..simnet.churn import ChurnConfig
-from ..workloads.distributions import DISTRIBUTIONS
+from ..workloads.distributions import DISTRIBUTIONS, distribution
 from ..workloads.queries import QuerySampler
 
 __all__ = [
@@ -410,11 +410,15 @@ class ScenarioSpec:
             raise SimulationError("scenario needs at least two peers")
         if self.keys_per_peer < 1:
             raise SimulationError("scenario needs at least one key per peer")
-        if self.distribution not in DISTRIBUTIONS:
+        try:
+            # Accepts sliced labels ("U@2/8", worker-mode sharding) on
+            # top of the plain registry names.
+            distribution(self.distribution)
+        except DomainError:
             raise SimulationError(
                 f"unknown key distribution {self.distribution!r}; "
                 f"known: {sorted(DISTRIBUTIONS)}"
-            )
+            ) from None
         if self.d_max <= 0 or self.n_min < 1 or self.max_refs < 1:
             raise SimulationError("d_max, n_min and max_refs must be positive")
         if self.report_bin_s <= 0:

@@ -24,6 +24,12 @@ under controlled, reproducible networking conditions:
     query latency -- exactly the series of Figs. 7, 8 and 9.
 ``experiment``
     The five-phase timeline driver reproducing the Sec. 5 deployment.
+``shard``
+    Sharded simulation kernel: per-shard event heaps merged at
+    deterministic time barriers (conservative lookahead = per-link
+    latency floor), plus the worker-mode protocol pieces (shard plans,
+    per-shard RNG streams, message codec) behind the N=65,536 scale
+    runs.
 """
 
-from . import churn, engine, experiment, node, protocol, stats, topology, transport, vote  # noqa: F401
+from . import churn, engine, experiment, node, protocol, shard, stats, topology, transport, vote  # noqa: F401

@@ -23,6 +23,9 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning shard under a sharded kernel (:mod:`repro.simnet.shard`);
+    #: the single-heap simulator stores but ignores it.
+    shard: int = field(default=0, compare=False)
 
 
 class Simulator:
@@ -41,6 +44,8 @@ class Simulator:
         self._now = 0.0
         self._processed = 0
         self._cancelled = 0
+        self._compactions = 0
+        self._pending_peak = 0
 
     @property
     def now(self) -> float:
@@ -63,23 +68,76 @@ class Simulator:
         """
         return len(self._queue)
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+    @property
+    def pending_live(self) -> int:
+        """Queued events that will actually run (placeholders excluded)."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def pending_cancelled(self) -> int:
+        """Cancelled placeholders still sitting in the heap."""
+        return self._cancelled
+
+    @property
+    def pending_peak(self) -> int:
+        """High-water mark of :attr:`pending` over the run.
+
+        The scale benchmarks assert this stays proportional to the
+        population instead of guessing at heap health from the outside.
+        """
+        return self._pending_peak
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was compacted (see :meth:`cancel`)."""
+        return self._compactions
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        shard: Optional[int] = None,
+    ) -> _Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         Returns a handle whose ``cancelled`` attribute can be set through
         :meth:`cancel`.  Negative delays are rejected -- the simulator
-        never travels back in time.
+        never travels back in time.  ``shard`` names the event's owning
+        shard under a sharded kernel; the single-heap simulator accepts
+        and records it (so callers can be shard-annotated unconditionally)
+        but execution ignores it.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(time=self._now + delay, seq=self._seq, callback=callback)
+        event = _Event(
+            time=self._now + delay, seq=self._seq, callback=callback,
+            shard=self._resolve_shard(shard),
+        )
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._push(event)
         return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+    def _resolve_shard(self, shard: Optional[int]) -> int:
+        """Map an optional shard tag to the event's owning shard (the
+        sharded kernel defaults to the currently executing shard)."""
+        return 0 if shard is None else shard
+
+    def _push(self, event: _Event) -> None:
+        """Enqueue one event (the sharded kernel reroutes this)."""
+        heapq.heappush(self._queue, event)
+        if len(self._queue) > self._pending_peak:
+            self._pending_peak = len(self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        shard: Optional[int] = None,
+    ) -> _Event:
         """Schedule ``callback`` at an absolute simulated time."""
-        return self.schedule(time - self._now, callback)
+        return self.schedule(time - self._now, callback, shard=shard)
 
     def cancel(self, event: _Event) -> None:
         """Cancel a scheduled event.
@@ -93,7 +151,8 @@ class Simulator:
         if not event.cancelled:
             event.cancelled = True
             self._cancelled += 1
-            if self._cancelled * 2 > len(self._queue) and len(self._queue) > 8:
+            pending = self.pending
+            if self._cancelled * 2 > pending and pending > 8:
                 self._compact()
 
     def _compact(self) -> None:
@@ -101,6 +160,7 @@ class Simulator:
         self._queue = [e for e in self._queue if not e.cancelled]
         heapq.heapify(self._queue)
         self._cancelled = 0
+        self._compactions += 1
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""

@@ -658,3 +658,151 @@ class TestServingGate:
         text = summary.read_text()
         assert "### Serving" in text
         assert "gini_on<gini_off" in text
+
+
+def scale_section(
+    wall=6.5,
+    eps=2400.0,
+    *,
+    match=True,
+    pending_peak=935,
+    pending_bound=66560,
+    pending_ok=True,
+    scenario="uniform-baseline",
+    seed=20050830,
+    scale=0.05,
+    cells=None,
+):
+    if cells is None:
+        cells = [
+            {
+                "n_peers": 16384, "shards": 1, "mode": "single",
+                "wall_s": wall, "events": 15456, "events_per_s": eps,
+                "pending_peak": pending_peak, "pending_bound": pending_bound,
+                "pending_bound_ok": pending_ok,
+            },
+            {
+                "n_peers": 16384, "shards": 8, "mode": "workers",
+                "wall_s": wall, "events": 14060, "events_per_s": eps,
+                "pending_peak": 122, "pending_bound": 9216,
+                "pending_bound_ok": True,
+            },
+        ]
+    return {
+        "schema": "scale/v1",
+        "scenario": scenario,
+        "seed": seed,
+        "duration_scale": scale,
+        "determinism": {
+            "n_peers": 1024,
+            "shards": 8,
+            "digest_shards1": "a" * 64,
+            "digest_shards8": ("a" if match else "b") * 64,
+            "match": match,
+        },
+        "cells": cells,
+    }
+
+
+class TestScaleGate:
+    """The sharded-kernel scale gates: cell ratios vs the committed
+    matrix, plus the intra-snapshot digest-equality and bounded-heap
+    invariants that hold on the candidate alone."""
+
+    def pair(self, tmp_path, base_section, cand_section):
+        base = write(tmp_path, "base.json", snapshot(extra={"scale": base_section}))
+        cand = write(tmp_path, "cand.json", snapshot(extra={"scale": cand_section}))
+        return ["--baseline", str(base), "--candidate", str(cand)]
+
+    def test_identical_scale_sections_pass(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, scale_section(), scale_section())
+        assert check_regression.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scale gate" in out and "FAIL" not in out
+
+    def test_wall_clock_blowup_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, scale_section(), scale_section(wall=6.5 * 2))
+        assert check_regression.main(argv) == 1
+        assert "wall_s" in capsys.readouterr().err
+
+    def test_throughput_drop_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, scale_section(), scale_section(eps=2400.0 / 2))
+        assert check_regression.main(argv) == 1
+        assert "events_per_s" in capsys.readouterr().err
+
+    def test_noise_inside_tolerance_passes(self, tmp_path):
+        argv = self.pair(
+            tmp_path, scale_section(), scale_section(wall=6.5 * 1.3, eps=2400.0 / 1.3)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_speedup_never_fails(self, tmp_path):
+        argv = self.pair(
+            tmp_path, scale_section(), scale_section(wall=6.5 / 4, eps=2400.0 * 4)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_digest_mismatch_fails_without_baseline_overlap(self, tmp_path, capsys):
+        # The determinism audit is intra-snapshot: it must trip even when
+        # the baseline has no scale section at all.
+        base = write(tmp_path, "base.json", snapshot())
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scale": scale_section(match=False)}))
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "digest" in capsys.readouterr().err
+
+    def test_pending_bound_breach_fails(self, tmp_path, capsys):
+        argv = self.pair(
+            tmp_path, scale_section(),
+            scale_section(pending_peak=99999, pending_ok=False),
+        )
+        assert check_regression.main(argv) == 1
+        assert "pending peak" in capsys.readouterr().err
+
+    def test_incomparable_sections_skip_cell_ratios(self, tmp_path, capsys):
+        # A different duration scale makes the cells incomparable; the
+        # ratio gate skips with a note, the intra gates stay live.
+        argv = self.pair(
+            tmp_path, scale_section(), scale_section(scale=0.5, wall=65.0)
+        )
+        assert check_regression.main(argv) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_disjoint_cells_pin_nothing(self, tmp_path):
+        # The CI smoke cell (N=8192) has no committed counterpart.
+        smoke_cells = [{
+            "n_peers": 8192, "shards": 4, "mode": "workers",
+            "wall_s": 2.0, "events": 7084, "events_per_s": 3600.0,
+            "pending_peak": 136, "pending_bound": 9216,
+            "pending_bound_ok": True,
+        }]
+        argv = self.pair(
+            tmp_path, scale_section(), scale_section(cells=smoke_cells)
+        )
+        assert check_regression.main(argv) == 0
+
+    def test_missing_candidate_section_skips(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scale": scale_section()}))
+        cand = write(tmp_path, "cand.json", snapshot())
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "no scale section" in capsys.readouterr().out
+
+    def test_scale_rows_reach_the_step_summary(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scale": scale_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scale": scale_section()}))
+        summary = tmp_path / "summary.md"
+        assert check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ]) == 0
+        text = summary.read_text()
+        assert "### Scale" in text
+        assert "digest_shards8==shards1" in text
+        assert "pending_peak<=bound" in text

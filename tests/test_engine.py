@@ -129,3 +129,43 @@ class TestHeapCompaction:
         sim.cancel(first)
         sim.run_until(5.0)
         assert log == ["b"]
+
+
+class TestObservableHeapStats:
+    """The scale bench's heap-health audit channel."""
+
+    def test_pending_live_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle = sim.schedule(3.0, lambda: None)
+        sim.cancel(handle)
+        assert sim.pending_live == 2
+        assert sim.pending_cancelled == 1
+        assert sim.pending == sim.pending_live + sim.pending_cancelled
+
+    def test_pending_peak_tracks_high_water_mark(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(1.0 + i, lambda: None)
+        assert sim.pending_peak == 5
+        sim.run_all()
+        assert sim.pending == 0
+        assert sim.pending_peak == 5  # peak survives the drain
+
+    def test_compactions_counter_increments(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1000.0, lambda: None)
+        assert sim.compactions == 0
+        for i in range(200):
+            sim.cancel(sim.schedule(1.0 + i * 1e-3, lambda: None))
+        assert sim.compactions > 0
+        assert sim.pending_cancelled * 2 <= sim.pending + 2
+
+    def test_counters_start_at_zero(self):
+        sim = Simulator()
+        assert sim.pending_live == 0
+        assert sim.pending_cancelled == 0
+        assert sim.pending_peak == 0
+        assert sim.compactions == 0
