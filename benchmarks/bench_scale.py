@@ -58,6 +58,7 @@ if SRC not in sys.path:
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_scenarios import merge_into_snapshot  # noqa: E402
+from profile_kernel import format_profile  # noqa: E402
 
 from repro.scenarios import (  # noqa: E402
     MessageNetConfig,
@@ -131,6 +132,33 @@ def run_determinism(n_peers: int, *, seed: int, duration_scale: float) -> dict:
     }
 
 
+def run_cell_best(
+    n_peers: int,
+    shards: int,
+    *,
+    seed: int,
+    duration_scale: float,
+    repeats: int = 1,
+) -> dict:
+    """Best-of-``repeats`` runs of one cell (min wall clock kept).
+
+    The workload is deterministic -- every repeat processes the same
+    events and produces the same report -- so repeats differ only in
+    wall clock, and the minimum is the least-noise measurement.  The
+    smoke profile defaults to best-of-2 so a single host-level timing
+    spike cannot trip the CI events/sec ratio gate.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        entry = run_cell(
+            n_peers, shards, seed=seed, duration_scale=duration_scale
+        )
+        if best is None or entry["wall_s"] < best["wall_s"]:
+            best = entry
+    best["repeats"] = max(1, repeats)
+    return best
+
+
 def run_cell(n_peers: int, shards: int, *, seed: int, duration_scale: float) -> dict:
     """One throughput cell: run, time, and audit heap health."""
     spec = scenario(
@@ -202,6 +230,22 @@ def main(argv=None) -> int:
         help=f"duration scale for every cell (default: {DURATION_SCALE})",
     )
     parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="run each cell this many times and keep the fastest wall "
+             "clock (default: 2 in --smoke mode, 1 otherwise); the "
+             "workload is deterministic, so repeats only de-noise the "
+             "timing",
+    )
+    parser.add_argument(
+        "--profile", type=Path, nargs="?", metavar="PATH",
+        const=REPO_ROOT / "bench_scale_profile.txt", default=None,
+        help="run the throughput cells under cProfile and write the "
+             "top-40 cumulative table to PATH (default: "
+             "bench_scale_profile.txt); profiler overhead inflates the "
+             "recorded walls, so don't commit a snapshot from a "
+             "profiled run",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"perf snapshot to update (default: {DEFAULT_OUTPUT})",
     )
@@ -216,6 +260,9 @@ def main(argv=None) -> int:
     budget_s = args.budget_s
     if budget_s is None and args.smoke:
         budget_s = 480.0
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 2 if args.smoke else 1
 
     failures = []
     bench_start = time.perf_counter()
@@ -238,10 +285,18 @@ def main(argv=None) -> int:
             f"{determinism['digest_shards1'][:12]}..."
         )
 
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+
     results = []
     for n_peers, shards in cells:
-        entry = run_cell(
-            n_peers, shards, seed=args.seed, duration_scale=args.scale
+        entry = run_cell_best(
+            n_peers, shards, seed=args.seed, duration_scale=args.scale,
+            repeats=repeats,
         )
         results.append(entry)
         success = entry["success_rate"]
@@ -261,6 +316,12 @@ def main(argv=None) -> int:
                 f"{entry['pending_bound']} "
                 f"({PENDING_PER_PEER}/peer + {PENDING_SLACK})"
             )
+
+    if profiler is not None:
+        profiler.disable()
+        table = format_profile(profiler, top=40, sort="cumulative")
+        args.profile.write_text(table)
+        print(f"wrote cProfile table to {args.profile}")
 
     total_wall = time.perf_counter() - bench_start
     if budget_s is not None and total_wall > budget_s:

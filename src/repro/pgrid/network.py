@@ -14,8 +14,10 @@ query processing together.  Overlays can be obtained three ways:
 
 from __future__ import annotations
 
+import random as _random
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from math import ceil as _ceil, log as _log
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .._util import RngLike, make_rng, mean, sample_online
@@ -198,20 +200,112 @@ class PGridNetwork:
         the paper's randomized reference selection.
         """
         rand = make_rng(rng)
-        by_prefix: Dict[Path, List[int]] = {}
+        # Hot setup sweep (O(N * depth), dominates message-backend
+        # construction): prefixes are keyed by ``(length, bits)`` int
+        # pairs computed with shifts -- no Path allocation or hashing --
+        # and sampled levels are installed directly (``sample`` returns
+        # at most ``max_refs`` unique ids, so this equals add()-ing each
+        # one).  The sample calls see the identical candidate lists in
+        # the identical order as the Path-keyed version, so the RNG
+        # stream -- and every downstream digest -- is unchanged.
+        by_prefix: Dict[Tuple[int, int], List[int]] = {}
         for peer in self.peers.values():
-            for length in range(peer.path.length + 1):
-                by_prefix.setdefault(peer.path.prefix(length), []).append(peer.peer_id)
+            path = peer.path
+            bits = path.bits
+            length = path.length
+            peer_id = peer.peer_id
+            for n in range(length + 1):
+                key = (n, bits >> (length - n))
+                bucket = by_prefix.get(key)
+                if bucket is None:
+                    bucket = by_prefix[key] = []
+                bucket.append(peer_id)
+        # ``random.sample`` inlined below, drawing through the same
+        # ``_randbelow`` in the same order (pool-swap for small
+        # populations, rejection set otherwise -- the exact CPython
+        # algorithm, unchanged across the 3.10-3.13 support window and
+        # pinned by the golden digests), minus the per-call argument
+        # checking that dominates at ~10 samples per peer.  ``k`` is at
+        # most ``max_refs``, so the table-size thresholds are
+        # precomputed per ``k``.
+        randbelow = rand._randbelow
+        # A vanilla Random's _randbelow is rejection sampling over
+        # getrandbits; drawing through getrandbits directly skips one
+        # method call per draw (~10 draws/peer here) and produces the
+        # bit-identical stream.  Subclasses overriding _randbelow keep
+        # their own draw path.
+        fastdraw = type(rand)._randbelow is _random.Random._randbelow
+        getrandbits = rand.getrandbits
+        by_prefix_get = by_prefix.get
+        setsizes = [
+            21 + (4 ** _ceil(_log(k * 3, 4)) if k > 5 else 0)
+            for k in range(max_refs + 1)
+        ]
+        # Peers sharing a path (replica groups) see identical candidate
+        # lists at every level, so the per-level lookup plan (candidate
+        # list, population, draw count, branch choice) is computed once
+        # per unique path and replayed per peer -- only the draws
+        # themselves stay per-peer.
+        plans: Dict[Tuple[int, int], list] = {}
+        plans_get = plans.get
         for peer in self.peers.values():
-            peer.routing = RoutingTable(max_refs_per_level=max_refs)
-            for level in range(peer.path.length):
-                comp = peer.path.prefix(level).extend(1 - peer.path.bit(level))
-                candidates = by_prefix.get(comp, [])
-                if not candidates:
-                    continue
-                chosen = rand.sample(candidates, min(max_refs, len(candidates)))
-                for ref in chosen:
-                    peer.routing.add(level, ref)
+            path = peer.path
+            bits = path.bits
+            length = path.length
+            pkey = (length, bits)
+            plan = plans_get(pkey)
+            if plan is None:
+                plan = plans[pkey] = []
+                for level in range(length):
+                    # The complementary subtree: the (level+1)-bit
+                    # prefix with its last bit flipped.
+                    comp = (level + 1, (bits >> (length - 1 - level)) ^ 1)
+                    candidates = by_prefix_get(comp)
+                    if not candidates:
+                        continue
+                    n = len(candidates)
+                    k = max_refs if n > max_refs else n
+                    plan.append(
+                        (level, candidates, n, k, n <= setsizes[k], n.bit_length())
+                    )
+            table = RoutingTable(max_refs_per_level=max_refs)
+            levels = table.levels
+            for level, candidates, n, k, use_pool, nbits_n in plan:
+                result = [None] * k
+                if use_pool:
+                    pool = list(candidates)
+                    for i in range(k):
+                        m = n - i
+                        if fastdraw:
+                            nbits = m.bit_length()
+                            j = getrandbits(nbits)
+                            while j >= m:
+                                j = getrandbits(nbits)
+                        else:
+                            j = randbelow(m)
+                        result[i] = pool[j]
+                        pool[j] = pool[m - 1]
+                else:
+                    selected = set()
+                    selected_add = selected.add
+                    for i in range(k):
+                        if fastdraw:
+                            j = getrandbits(nbits_n)
+                            while j >= n:
+                                j = getrandbits(nbits_n)
+                        else:
+                            j = randbelow(n)
+                        while j in selected:
+                            if fastdraw:
+                                j = getrandbits(nbits_n)
+                                while j >= n:
+                                    j = getrandbits(nbits_n)
+                            else:
+                                j = randbelow(n)
+                        selected_add(j)
+                        result[i] = candidates[j]
+                levels[level] = result
+            peer.routing = table
 
     def _prune_dangling_routes(self) -> None:
         """Remove references to unknown peer ids (defensive)."""

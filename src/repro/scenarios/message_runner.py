@@ -401,6 +401,9 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         node.liveness.probe_nonce.clear()
         node.liveness.last_confirmed.clear()
         node.liveness.evicted_at.clear()
+        # Wiping the confirmation stamps makes every kept ref stale at
+        # once; the refresh-sweep skip cache must not outlive them.
+        node._route_sweep_min_last = None
         if sponsor is None:
             # Nobody online to sponsor: come back in place and let
             # anti-entropy reconcile whatever state survived in RAM.
@@ -439,7 +442,7 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         return present, live_tombstones
 
     def _run_maintenance(self, tally: _Tally, rng) -> None:
-        online = [pid for pid in sorted(self.nodes) if self.nodes[pid].online]
+        online = [pid for pid, node in sorted(self.nodes.items()) if node.online]
         if len(online) < 2:
             return
         count = max(
@@ -454,8 +457,9 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 node.initiate_exchange(partner)
                 exchanges += 1
         if self.net_config.repair.enabled:
+            nodes = self.nodes
             for pid in online:
-                node = self.nodes[pid]
+                node = nodes[pid]
                 # The periodic half of the route-repair policy: probe
                 # the stalest references (bounded per tick), so dead
                 # references are discovered by maintenance instead of
@@ -466,14 +470,18 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 # whole region) ask for anti-entropy *now*: exchange
                 # gossip is how replacements travel, and waiting for the
                 # sampled cadence would leave them dark for ticks.
-                if pid not in initiators and any(
-                    not node.routing.get(level)
-                    for level in range(node.path.length)
-                ):
-                    partner = self._pick_partner(node, rng)
-                    if partner is not None:
-                        node.initiate_exchange(partner)
-                        exchanges += 1
+                if pid in initiators:
+                    continue
+                routing_get = node.routing.get
+                for level in range(node.path.length):
+                    if not routing_get(level):
+                        break
+                else:
+                    continue  # every level populated: not deficient
+                partner = self._pick_partner(node, rng)
+                if partner is not None:
+                    node.initiate_exchange(partner)
+                    exchanges += 1
         # For this backend "repairs" counts initiated anti-entropy
         # exchanges; bytes are accounted by the transport, not here.
         tally.repairs += exchanges
@@ -502,12 +510,36 @@ class MessageScenarioRunner(ScenarioRunnerBase):
     def _groups(self) -> Dict[Path, List[int]]:
         """Structural replica groups: nodes sharing a path, sorted ids."""
         groups: Dict[Path, List[int]] = {}
-        for pid in sorted(self.nodes):
-            groups.setdefault(self.nodes[pid].path, []).append(pid)
+        # Sorting items() keeps the per-pid dict lookup off this sweep;
+        # pids are unique so the node half of the pair is never compared.
+        for pid, node in sorted(self.nodes.items()):
+            groups.setdefault(node.path, []).append(pid)
         return groups
 
     def _sample_state(self):
-        return self._group_health(self._groups(), lambda pid: self.nodes[pid].online)
+        # One unsorted sweep instead of _group_health over _groups():
+        # every aggregate is order-independent (integer sums are exact,
+        # and the mean of per-group live counts is online / n_groups),
+        # so the sorted member-list build and the per-member liveness
+        # callback of the generic path are skipped.  Runs per sample
+        # tick over every node; groups are keyed by C-hashed
+        # (length, bits) int pairs, not Path objects.
+        live_by_path: Dict[Tuple[int, int], int] = {}
+        get = live_by_path.get
+        online = 0
+        for node in self.nodes.values():
+            path = node.path
+            key = (path.length, path.bits)
+            if node.online:
+                online += 1
+                live_by_path[key] = get(key, 0) + 1
+            elif key not in live_by_path:
+                live_by_path[key] = 0
+        n_groups = len(live_by_path)
+        if not n_groups:
+            return 0, 0.0, 0.0
+        groups_alive = sum(1 for v in live_by_path.values() if v)
+        return online, groups_alive / n_groups, online / n_groups
 
     # -- query issuance (asynchronous) -------------------------------------
 

@@ -1,31 +1,95 @@
-"""Discrete-event simulation core.
+"""Discrete-event simulation core: the kernel fast-path contract.
 
-A minimal, fast event loop: events are ``(time, seq, callback)`` triples
-in a binary heap; ``seq`` breaks ties deterministically so simulations
-are exactly reproducible given a seed.  Time is a float in *seconds* of
-simulated wall-clock.
+A minimal, fast event loop.  Time is a float in *seconds* of simulated
+wall-clock.  This docstring is the **fast-path contract** -- the
+invariants every handler, transport and scenario runner must preserve
+so that report digests stay byte-identical across kernel changes.
+
+Event layout
+------------
+The heap holds ``(time, seq, event)`` tuples, where ``event`` is a
+``__slots__`` :class:`_Event` handle.  ``seq`` is a single global
+counter assigned at schedule time, so
+
+* heap comparisons are pure C tuple comparisons that never reach the
+  event object (``seq`` is unique -- no tie can fall through to it);
+* ties at equal ``time`` break by schedule order, deterministically.
+
+Execution order is therefore exactly global ``(time, seq)`` order --
+the same contract the sharded kernel (:mod:`repro.simnet.shard`)
+preserves across per-shard heaps and staging inboxes.
+
+Lazy deadline timers
+--------------------
+Timeout/retry patterns (query, write, range attempts in
+:mod:`repro.simnet.node`) must **not** schedule one heap entry per
+attempt and cancel or abandon the stale ones: that grows the heap with
+placeholders that live a full timeout window.  Instead they keep one
+:class:`DeadlineTimer` per pending operation:
+
+* every attempt *re-arms* the same timer with its new absolute
+  deadline (``arm`` stores the deadline; at most one heap entry is
+  ever outstanding per timer);
+* when the underlying event fires early -- the deadline has since
+  moved -- the timer silently reschedules itself at the current
+  deadline (via :meth:`Simulator.schedule_at`, which places events at
+  the **exact** absolute float, so the eventual firing time is
+  bit-identical to scheduling at attempt time);
+* a disarmed timer (operation completed) fires into a no-op.
+
+Timers draw no randomness, so arming/rescheduling them never perturbs
+any RNG stream.
+
+What keeps digests stable
+-------------------------
+Handlers may be added, removed or reordered *in source*, but a change
+is digest-neutral only if it preserves, for every event that survives
+it:
+
+1. **relative schedule order** -- ``seq`` is monotonic in schedule
+   order; removing events (e.g. replacing per-attempt timers with one
+   lazy timer) keeps the relative order of all remaining events, while
+   *reordering* two ``schedule`` calls can swap same-time execution;
+2. **exact event times** -- times must be computed by the same float
+   expressions (never algebraically rearranged); absolute deadlines go
+   through :meth:`Simulator.schedule_at` verbatim;
+3. **RNG draw order** -- every stream must see the same draws in the
+   same sequence; draws may not move across an event boundary or
+   behind a data-dependent branch that can flip.
+
+``tests/data/regen_message_digests.py --check`` verifies all three
+empirically against the committed digests and golden traces.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..exceptions import SimulationError
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "DeadlineTimer"]
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Owning shard under a sharded kernel (:mod:`repro.simnet.shard`);
-    #: the single-heap simulator stores but ignores it.
-    shard: int = field(default=0, compare=False)
+    """Schedule handle: lean ``__slots__`` layout, no ordering methods
+    (the heap orders ``(time, seq, event)`` tuples and never compares
+    events)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "shard")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], shard: int):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Owning shard under a sharded kernel (:mod:`repro.simnet.shard`);
+        #: the single-heap simulator stores but ignores it.
+        self.shard = shard
+
+
+#: Heap entry: ``(time, seq, event)``.
+_Entry = Tuple[float, int, _Event]
 
 
 class Simulator:
@@ -39,7 +103,7 @@ class Simulator:
     """
 
     def __init__(self):
-        self._queue: List[_Event] = []
+        self._queue: List[_Entry] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
@@ -110,11 +174,33 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(
-            time=self._now + delay, seq=self._seq, callback=callback,
-            shard=self._resolve_shard(shard),
-        )
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = _Event(self._now + delay, seq, callback, self._resolve_shard(shard))
+        self._push(event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        shard: Optional[int] = None,
+    ) -> _Event:
+        """Schedule ``callback`` at an **exact** absolute simulated time.
+
+        The event's time is ``time`` itself, not ``now + (time - now)``
+        -- the distinction matters to :class:`DeadlineTimer`, whose
+        rescheduled firings must land on the bit-identical float the
+        deadline was computed as.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = _Event(time, seq, callback, self._resolve_shard(shard))
         self._push(event)
         return event
 
@@ -125,19 +211,10 @@ class Simulator:
 
     def _push(self, event: _Event) -> None:
         """Enqueue one event (the sharded kernel reroutes this)."""
-        heapq.heappush(self._queue, event)
-        if len(self._queue) > self._pending_peak:
-            self._pending_peak = len(self._queue)
-
-    def schedule_at(
-        self,
-        time: float,
-        callback: Callable[[], None],
-        *,
-        shard: Optional[int] = None,
-    ) -> _Event:
-        """Schedule ``callback`` at an absolute simulated time."""
-        return self.schedule(time - self._now, callback, shard=shard)
+        queue = self._queue
+        heapq.heappush(queue, (event.time, event.seq, event))
+        if len(queue) > self._pending_peak:
+            self._pending_peak = len(queue)
 
     def cancel(self, event: _Event) -> None:
         """Cancel a scheduled event.
@@ -157,19 +234,20 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled placeholders and re-heapify the live events."""
-        self._queue = [e for e in self._queue if not e.cancelled]
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled = 0
         self._compactions += 1
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self._now = event.time
+            self._now = time
             event.callback()
             self._processed += 1
             return True
@@ -181,15 +259,21 @@ class Simulator:
         ``max_events`` guards against runaway event storms in tests.
         """
         budget = max_events if max_events is not None else float("inf")
-        while self._queue and budget > 0:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and budget > 0:
+            head = queue[0]
+            event = head[2]
+            if event.cancelled:
+                pop(queue)
                 self._cancelled -= 1
                 continue
-            if head.time > end_time:
+            if head[0] > end_time:
                 break
-            self.step()
+            pop(queue)
+            self._now = head[0]
+            event.callback()
+            self._processed += 1
             budget -= 1
         if budget <= 0:
             raise SimulationError(
@@ -205,3 +289,69 @@ class Simulator:
             budget -= 1
             if budget <= 0:
                 raise SimulationError("event budget exhausted in run_all")
+
+
+class DeadlineTimer:
+    """One lazy, re-armable deadline (see the module docstring).
+
+    Replaces the schedule-per-attempt/cancel-or-abandon timeout idiom:
+    the owner keeps one timer per pending operation, re-arms it with
+    each attempt's absolute deadline, and disarms it on completion.  At
+    most one heap entry is outstanding per timer, and the heap never
+    accumulates cancelled placeholders on these paths.
+
+    The callback runs only when the *current* deadline is reached; an
+    event that fires after the deadline moved reschedules itself at the
+    exact stored float (digest-stable, see :meth:`Simulator.schedule_at`)
+    and a disarmed timer's event fires into a no-op.
+    """
+
+    __slots__ = ("_sim", "_callback", "_deadline", "_scheduled")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._deadline: Optional[float] = None
+        self._scheduled = False
+
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is set (the callback will eventually run)."""
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The current absolute deadline, or ``None`` when disarmed."""
+        return self._deadline
+
+    def arm(self, deadline: float) -> None:
+        """Set (or move) the absolute deadline.
+
+        Scheduling happens at most once per outstanding event: moving
+        the deadline only stores the new float -- the in-flight event
+        reschedules itself when it fires early.  Deadlines may only
+        move forward (a retry's deadline is always later than the
+        attempt it supersedes).
+        """
+        self._deadline = deadline
+        if not self._scheduled:
+            self._scheduled = True
+            self._sim.schedule_at(deadline, self._fire)
+
+    def disarm(self) -> None:
+        """Void the timer: the outstanding event (if any) will no-op."""
+        self._deadline = None
+
+    def _fire(self) -> None:
+        self._scheduled = False
+        deadline = self._deadline
+        if deadline is None:
+            return  # disarmed: the operation completed
+        if deadline > self._sim.now:
+            # Superseded: the deadline moved while this event was in
+            # flight.  Chase it at the exact stored float.
+            self._scheduled = True
+            self._sim.schedule_at(deadline, self._fire)
+            return
+        self._deadline = None
+        self._callback()

@@ -27,7 +27,7 @@ from ..pgrid.keyspace import KEY_BITS, bit_at
 from ..pgrid.liveness import LivenessTracker, RouteRepairPolicy
 from ..pgrid.serving import CachePolicy, ResultCache, RouteCache
 from . import protocol as P
-from .engine import Simulator
+from .engine import DeadlineTimer, Simulator
 from .transport import HEADER_BYTES, Message, Network, REF_BYTES
 
 __all__ = ["PGridNode", "NodeConfig", "QueryOutcome"]
@@ -86,6 +86,9 @@ class _PendingQuery:
     direct: Optional[int] = None
     #: Presence flag learned from the answering node (rides QUERY_HIT).
     present: Optional[bool] = None
+    #: Lazy attempt timer: re-armed per attempt, disarmed on completion
+    #: (one heap entry per pending op -- see ``engine.DeadlineTimer``).
+    timer: Optional[DeadlineTimer] = None
 
 
 @dataclass
@@ -101,6 +104,8 @@ class _PendingWrite:
     hops: int = 0
     #: First-hop reference of the current attempt (liveness evidence).
     via: Optional[int] = None
+    #: Lazy attempt timer (see ``_PendingQuery.timer``).
+    timer: Optional[DeadlineTimer] = None
 
 
 @dataclass
@@ -122,6 +127,8 @@ class _PendingRange:
     #: restarts from ``lo`` and keys deduplicate, so all slices are
     #: valid completeness evidence).  Checked before accepting ``done``.
     covered: List[tuple] = field(default_factory=list)
+    #: Lazy attempt timer (see ``_PendingQuery.timer``).
+    timer: Optional[DeadlineTimer] = None
 
 
 def _intervals_cover(intervals: List[tuple], lo: int, hi: int) -> bool:
@@ -199,6 +206,17 @@ class PGridNode:
         # Evidence-driven liveness of routing references (suspect ->
         # probe -> evict -> replace-from-gossip; see pgrid.liveness).
         self.liveness = LivenessTracker(self.config.repair)
+        # Refresh-sweep skip cache: after a sweep that found nothing
+        # stale, no reference can become stale while
+        # ``now - min(last_confirmed) < confirm_interval`` (float
+        # subtraction is monotone in the subtrahend, so the minimum
+        # bounds every ref under the sweep's own expression).  Sweeps
+        # in that window are skipped outright.  INVARIANT: every
+        # mutation that adds/replaces routing refs or lowers a
+        # confirmation stamp must reset this to None (add_route,
+        # _accept_gossip, _evict_ref, probe cancellation, restore,
+        # and the runner's cold-rejoin reset).
+        self._route_sweep_min_last: Optional[float] = None
         # construction activity control
         self.constructing = False
         self.idle_strikes = 0
@@ -335,6 +353,9 @@ class PGridNode:
         restore_node(self, snapshot, self.sim.now)
         self.idle_strikes = 0
         self._inflight_exchange = None
+        # Restored refs come back unconfirmed/rebased: drop the
+        # refresh-sweep skip cache so the next sweep re-evaluates them.
+        self._route_sweep_min_last = None
         # Serving state is transient: caches, grants and the served-load
         # window did not survive the process restart.
         if self._serving is not None:
@@ -374,6 +395,7 @@ class PGridNode:
         if other not in refs:
             refs.append(other)
             del refs[: -self.config.max_refs_per_level]
+            self._route_sweep_min_last = None  # new ref may already be stale
 
     def route_for_key(self, key: int) -> Optional[int]:
         """Next hop for ``key``: a random live-believed reference at the
@@ -384,16 +406,28 @@ class PGridNode:
         the level is suspect, in which case we gamble on one rather
         than dead-end.
         """
-        for level in range(self.path.length):
-            if bit_at(key, level) != self.path.bit(level):
-                refs = self.routing.get(level)
-                if not refs:
-                    return None
-                if self.config.repair.enabled:
-                    trusted = [r for r in refs if not self.liveness.suspected(r)]
-                    refs = trusted or refs
-                return refs[self.rng.randrange(len(refs))]
-        return None  # responsible
+        # Per-hop hot path: the first level whose path bit differs from
+        # the key's is the highest set bit of one XOR, replacing the
+        # per-level bit_at scan.  (strikes holds exactly the suspected
+        # references -- note_failure never leaves a zero count -- so an
+        # empty dict skips the filter without allocating a copy.)
+        path = self.path
+        length = path.length
+        if length == 0:
+            return None  # responsible for everything
+        diff = (key >> (KEY_BITS - length)) ^ path.bits
+        if diff == 0:
+            return None  # responsible
+        level = length - diff.bit_length()
+        refs = self.routing.get(level)
+        if not refs:
+            return None
+        if self.config.repair.enabled:
+            strikes = self.liveness.strikes
+            if strikes:
+                trusted = [r for r in refs if r not in strikes]
+                refs = trusted or refs
+        return refs[self.rng.randrange(len(refs))]
 
     def responsible_for(self, key: int) -> bool:
         """True iff ``key`` lies in this node's partition."""
@@ -454,12 +488,19 @@ class PGridNode:
     def _probe_timeout(self, ref: int, nonce: int) -> None:
         if not self.online:
             # We could never have heard the pong: void, don't strike.
+            # The ref re-enters the refresh sweep with its old (stale)
+            # confirmation, so the sweep skip cache must not stand.
             self.liveness.cancel_probe(ref, nonce)
+            self._route_sweep_min_last = None
             return
         self._probe_verdict(ref, nonce)
 
     def _evict_ref(self, ref: int) -> None:
         """Remove a dead-believed reference from every routing level."""
+        # Shrinking the table can only raise the sweep bound, but the
+        # skip cache no longer count-guards the ref set -- reset it on
+        # any structural change to keep the invariant simple.
+        self._route_sweep_min_last = None
         removed = False
         for refs in self.routing.values():
             if ref in refs:
@@ -512,20 +553,64 @@ class PGridNode:
         policy = self.config.repair
         if not policy.enabled or policy.refresh_probes <= 0 or not self.online:
             return 0
+        # Hot maintenance sweep: this runs every tick over every routing
+        # reference, so ``LivenessTracker.needs_confirmation`` is inlined
+        # with the lookups hoisted (same float expressions, same order).
         now = self.sim.now
+        interval = policy.confirm_interval_s
+        routing = self.routing
+        cached = self._route_sweep_min_last
+        if cached is not None and now - cached < interval:
+            # A previous sweep found nothing stale; while the cached
+            # minimum last-confirmation is still fresh, every swept
+            # reference is too (confirmations only move lasts forward,
+            # and every mutation that could introduce a staler ref
+            # resets the cache -- see the invariant at the field).
+            return 0
+        liveness = self.liveness
+        probe_nonce = liveness.probe_nonce
+        last_confirmed_get = liveness.last_confirmed.get
+        # Level scan order doesn't matter: ``last_confirmed`` is keyed
+        # by reference id, so a reference appearing at several levels
+        # (possible after exchanges move peers) yields the *same*
+        # (last, ref) pair wherever seen, and the sort below totally
+        # orders the result.  That makes a per-ref seen-set redundant --
+        # duplicates land adjacent after sorting and are skipped there,
+        # off the per-reference sweep.
         stale = []
-        seen = set()
-        for level in sorted(self.routing):
-            for ref in self.routing[level]:
-                if ref in seen:
+        stale_append = stale.append
+        min_last = None
+        for refs in routing.values():
+            for ref in refs:
+                if ref in probe_nonce:
                     continue
-                seen.add(ref)
-                if self.liveness.needs_confirmation(ref, now):
-                    stale.append((self.liveness.last_confirmed.get(ref, 0.0), ref))
+                last = last_confirmed_get(ref, 0.0)
+                if now - last >= interval:
+                    stale_append((last, ref))
+                elif min_last is None or last < min_last:
+                    min_last = last
+        if not stale:
+            # Cache the no-op verdict: nothing can go stale before the
+            # least-recently-confirmed swept reference does.  (With no
+            # sweepable ref at all -- everything in-probe -- there is
+            # no bound to cache: a probed ref can re-enter the sweep
+            # with an arbitrarily old confirmation.)
+            self._route_sweep_min_last = min_last
+            return 0
+        self._route_sweep_min_last = None
         stale.sort()
-        for _, ref in stale[: policy.refresh_probes]:
-            self._send_probe(ref)
-        return min(len(stale), policy.refresh_probes)
+        budget = policy.refresh_probes
+        launched = 0
+        prev = None
+        for item in stale:
+            if item == prev:
+                continue
+            prev = item
+            self._send_probe(item[1])
+            launched += 1
+            if launched >= budget:
+                break
+        return launched
 
     def _forward_toward(
         self,
@@ -570,12 +655,15 @@ class PGridNode:
         if not policy.enabled or policy.gossip_refs <= 0:
             return {}
         out = {}
-        for level in sorted(self.routing):
-            refs = [
-                r for r in self.routing[level] if not self.liveness.suspected(r)
-            ]
+        limit = policy.gossip_refs
+        strikes = self.liveness.strikes  # suspected(r) == r in strikes
+        routing = self.routing
+        for level in sorted(routing):
+            refs = routing[level]
+            if strikes:
+                refs = [r for r in refs if r not in strikes]
             if refs:
-                out[level] = refs[: policy.gossip_refs]
+                out[level] = refs[:limit]
         return out
 
     def _accept_gossip(self, their_path: Path, gossip: dict) -> None:
@@ -593,13 +681,28 @@ class PGridNode:
         if not policy.enabled or not gossip:
             return
         max_refs = self.config.max_refs_per_level
+        # Pure int math on (bits, length) pairs: the prefix
+        # ``their_path[:l] + ~their_path[l]`` is one shift-and-flip, and
+        # the common-prefix length with our path one XOR/bit_length --
+        # no intermediate Path objects on the gossip-absorption path.
+        my_bits = self.path.bits
+        my_len = self.path.length
+        their_bits = their_path.bits
+        their_len = their_path.length
         for level in sorted(gossip):
-            if level >= their_path.length:
+            if level >= their_len:
                 continue
-            prefix = their_path.prefix(level).extend(1 - their_path.bit(level))
-            mine = self.path.common_prefix_length(prefix)
-            if mine >= self.path.length or mine >= prefix.length:
+            p_len = level + 1
+            p_bits = (their_bits >> (their_len - p_len)) ^ 1
+            n = p_len if p_len < my_len else my_len
+            diff = (
+                ((my_bits >> (my_len - n)) ^ (p_bits >> (p_len - n))) if n else 0
+            )
+            if diff == 0:
+                # The known prefix does not diverge from our path (it is
+                # a prefix of ours, or vice versa): position unknown.
                 continue
+            mine = n - diff.bit_length()
             refs = self.routing.get(mine)
             if refs is None:
                 refs = self.routing.setdefault(mine, [])
@@ -612,6 +715,7 @@ class PGridNode:
                     and not self.liveness.recently_evicted(ref, self.sim.now)
                 ):
                     refs.append(ref)
+                    self._route_sweep_min_last = None  # may already be stale
                     self.liveness.note_replacement()
 
     # -- message dispatch ----------------------------------------------------
@@ -622,10 +726,23 @@ class PGridNode:
             # Any delivered message is proof of life: refresh the sender
             # and clear whatever suspicion it had accumulated.
             self.liveness.note_alive(message.src, self.sim.now)
-        handler = getattr(self, f"_on_{message.kind}", None)
-        if handler is None:
+        cls = self.__class__
+        table = cls.__dict__.get("_kind_dispatch")
+        if table is None:
+            # Per-class dispatch table (built once, shared by every
+            # node): kind -> precomputed ``_on_<kind>`` attribute name.
+            # Avoids the per-message f-string formatting of the naive
+            # dispatch; resolving through ``getattr`` keeps handlers
+            # overridable per instance (tests patch them) and in
+            # subclasses.
+            table = {
+                name[4:]: name for name in dir(cls) if name.startswith("_on_")
+            }
+            cls._kind_dispatch = table
+        name = table.get(message.kind)
+        if name is None:
             return  # unknown kinds are ignored (forward compatibility)
-        handler(message)
+        getattr(self, name)(message)
 
     # -- bootstrap ------------------------------------------------------------
 
@@ -1282,10 +1399,7 @@ class PGridNode:
                     category=P.QUERY_TRAFFIC,
                 )
                 if cause in (None, "loss", "offline"):
-                    self.sim.schedule(
-                        self.config.query_timeout,
-                        lambda: self._query_timeout(qid, attempt),
-                    )
+                    self._arm_query_timer(qid, pending)
                     return
                 self.serving_stats["route_invalidations"] += 1
                 self.route_cache.invalidate(pending.key)
@@ -1300,12 +1414,25 @@ class PGridNode:
                 "hops": 0,
             }
         )
-        # The timer is bound to *this* attempt: a dead-end reply that
-        # already triggered a retry supersedes it, otherwise stale
-        # timers would burn the retry budget against newer attempts.
-        self.sim.schedule(
-            self.config.query_timeout, lambda: self._query_timeout(qid, attempt)
-        )
+        # The deadline belongs to *this* attempt: a dead-end reply that
+        # already triggered a retry re-armed the timer, so a stale
+        # deadline never burns the retry budget against newer attempts.
+        self._arm_query_timer(qid, pending)
+
+    def _arm_query_timer(self, qid: int, pending: _PendingQuery) -> None:
+        """(Re-)arm the pending query's lazy attempt timer.
+
+        One :class:`DeadlineTimer` per pending operation replaces the
+        schedule-per-attempt idiom: the heap holds at most one entry
+        for the op's whole retry chain and never accumulates cancelled
+        placeholders (see the ``engine`` module docstring).
+        """
+        timer = pending.timer
+        if timer is None:
+            timer = pending.timer = DeadlineTimer(
+                self.sim, lambda: self._query_timeout(qid)
+            )
+        timer.arm(self.sim.now + self.config.query_timeout)
 
     def _finish_query(
         self,
@@ -1319,6 +1446,8 @@ class PGridNode:
         """Terminal bookkeeping shared by every point-query outcome."""
         pending.done = True
         pending.hops = hops
+        if pending.timer is not None:
+            pending.timer.disarm()
         self._queries.pop(qid, None)
         latency = self.sim.now - pending.issued_at
         if not moot:
@@ -1358,12 +1487,13 @@ class PGridNode:
                     wpending.present = pending.present
                     self._finish_query(wqid, wpending, hops, success, moot=moot)
 
-    def _query_timeout(self, qid: int, attempt: int) -> None:
+    def _query_timeout(self, qid: int) -> None:
+        # No attempt guard needed: the lazy timer fires only when the
+        # *current* deadline is reached -- every attempt re-arms it, and
+        # a superseded deadline chases forward instead of firing.
         pending = self._queries.get(qid)
         if pending is None or pending.done:
             return
-        if pending.attempts != attempt:
-            return  # superseded: a newer attempt owns the clock
         pending.timeouts += 1
         if not self.online:
             # The origin itself went offline: the query is moot, not a
@@ -1388,7 +1518,15 @@ class PGridNode:
             self._finish_query(qid, pending, pending.hops, False)
 
     def _route_query(self, payload: dict) -> None:
+        # Hot per-hop handler: payload fields are hoisted once, and the
+        # forward is built as a fresh minimal dict (values shared by
+        # reference) instead of a full ``dict(payload)`` copy -- each
+        # hop owns its container, so mutating a forward can never
+        # corrupt a sibling already on the wire.
         key = payload["key"]
+        origin = payload["origin"]
+        qid = payload["qid"]
+        hops = payload["hops"]
         responsible = self.responsible_for(key)
         grant_present: Optional[bool] = None
         if not responsible and self._serving is not None:
@@ -1399,7 +1537,7 @@ class PGridNode:
             # whether the key is stored is a data property, not a
             # routing outcome.  A grant helper answers for the owner's
             # range the same way (adaptive replication).
-            reply = {"qid": payload["qid"], "hops": payload["hops"]}
+            reply = {"qid": qid, "hops": hops}
             if self._serving is not None:
                 if responsible:
                     self._served_window += 1
@@ -1411,29 +1549,27 @@ class PGridNode:
                     self.serving_stats["grant_hits"] += 1
                     reply["present"] = grant_present
                     reply["targets"] = [self.node_id]
-            if payload["origin"] == self.node_id:
-                self._complete_query(
-                    payload["qid"], payload["hops"], True, info=reply
-                )
+            if origin == self.node_id:
+                self._complete_query(qid, hops, True, info=reply)
             else:
-                self.send(
-                    payload["origin"],
-                    P.QUERY_HIT,
-                    reply,
-                    category=P.QUERY_TRAFFIC,
-                )
+                self.send(origin, P.QUERY_HIT, reply, category=P.QUERY_TRAFFIC)
             return
-        forward = dict(payload)
-        forward["hops"] = payload["hops"] + 1
+        forward = {
+            "key": key,
+            "origin": origin,
+            "qid": qid,
+            "attempt": payload.get("attempt", 0),
+            "hops": hops + 1,
+        }
         used = self._forward_toward(key, P.QUERY, forward)
         if used is None:
-            if payload["origin"] != self.node_id:
+            if origin != self.node_id:
                 self.send(
-                    payload["origin"],
+                    origin,
                     P.QUERY_MISS,
                     {
-                        "qid": payload["qid"],
-                        "hops": payload["hops"],
+                        "qid": qid,
+                        "hops": hops,
                         "attempt": payload.get("attempt", 0),
                     },
                     category=P.QUERY_TRAFFIC,
@@ -1443,13 +1579,13 @@ class PGridNode:
                 # retry or fail now instead of burning the timeout
                 # window (the origin-side twin of the QUERY_MISS path;
                 # ranges get this via their own stuck-slice handling).
-                self._query_dead_end(payload["qid"], payload.get("attempt", 0))
+                self._query_dead_end(qid, payload.get("attempt", 0))
             return
-        if payload["origin"] == self.node_id and payload["hops"] == 0:
+        if origin == self.node_id and hops == 0:
             # Remember the current attempt's first hop: a timeout is
             # failure evidence against it (the only reference the origin
             # knows the attempt used).
-            pending = self._queries.get(payload["qid"])
+            pending = self._queries.get(qid)
             if pending is not None:
                 pending.via = used
 
@@ -1552,14 +1688,27 @@ class PGridNode:
                 "hops": 0,
             }
         )
-        # Attempt-bound timer, like _send_query_attempt.
-        self.sim.schedule(
-            self.config.query_timeout, lambda: self._write_timeout(wid, attempt)
-        )
+        # Lazy attempt timer, like _send_query_attempt.
+        self._arm_write_timer(wid, pending)
+
+    def _arm_write_timer(self, wid: int, pending: _PendingWrite) -> None:
+        """(Re-)arm the pending write's lazy attempt timer (see
+        :meth:`_arm_query_timer`)."""
+        timer = pending.timer
+        if timer is None:
+            timer = pending.timer = DeadlineTimer(
+                self.sim, lambda: self._write_timeout(wid)
+            )
+        timer.arm(self.sim.now + self.config.query_timeout)
 
     def _route_write(self, payload: dict) -> None:
+        # Hot per-hop handler: hoisted fields + minimal fresh forward
+        # dict, same scheme as _route_query.
         key = payload["key"]
         op = payload["op"]
+        origin = payload["origin"]
+        qid = payload["qid"]
+        hops = payload["hops"]
         # Write traffic passing through (origin, forwarder or owner)
         # invalidates our cached result for the key: the cheapest
         # coherence signal the serving layer gets for free.
@@ -1567,39 +1716,45 @@ class PGridNode:
         if self.responsible_for(key):
             self.apply_mutation(op, key)
             self._sync_replicas(op, key)
-            if payload["origin"] == self.node_id:
-                self._complete_write(payload["qid"], payload["hops"], True)
+            if origin == self.node_id:
+                self._complete_write(qid, hops, True)
             else:
                 self.send(
-                    payload["origin"],
+                    origin,
                     P.UPDATE_ACK,
-                    {"qid": payload["qid"], "hops": payload["hops"]},
+                    {"qid": qid, "hops": hops},
                     category=P.UPDATE_TRAFFIC,
                 )
             return
-        forward = dict(payload)
-        forward["hops"] = payload["hops"] + 1
+        forward = {
+            "op": op,
+            "key": key,
+            "origin": origin,
+            "qid": qid,
+            "attempt": payload.get("attempt", 0),
+            "hops": hops + 1,
+        }
         kind = P.INSERT if op == "insert" else P.DELETE
         used = self._forward_toward(
             key, kind, forward, category=P.UPDATE_TRAFFIC, n_keys=1
         )
         if used is None:
-            if payload["origin"] != self.node_id:
+            if origin != self.node_id:
                 self.send(
-                    payload["origin"],
+                    origin,
                     P.UPDATE_MISS,
                     {
-                        "qid": payload["qid"],
-                        "hops": payload["hops"],
+                        "qid": qid,
+                        "hops": hops,
                         "attempt": payload.get("attempt", 0),
                     },
                     category=P.UPDATE_TRAFFIC,
                 )
             else:
-                self._write_dead_end(payload["qid"], payload.get("attempt", 0))
+                self._write_dead_end(qid, payload.get("attempt", 0))
             return
-        if payload["origin"] == self.node_id and payload["hops"] == 0:
-            pending = self._writes.get(payload["qid"])
+        if origin == self.node_id and hops == 0:
+            pending = self._writes.get(qid)
             if pending is not None:
                 pending.via = used  # liveness evidence, like point queries
 
@@ -1812,12 +1967,12 @@ class PGridNode:
         else:
             self._finish_write(wid, pending, pending.hops, False)
 
-    def _write_timeout(self, wid: int, attempt: int) -> None:
+    def _write_timeout(self, wid: int) -> None:
+        # Lazy timer: fires only at the current attempt's deadline (see
+        # _query_timeout).
         pending = self._writes.get(wid)
         if pending is None or pending.done:
             return
-        if pending.attempts != attempt:
-            return  # superseded: a newer attempt owns the clock
         pending.timeouts += 1
         if not self.online:
             # The origin itself went offline mid-write: moot, like a
@@ -1849,6 +2004,8 @@ class PGridNode:
         moot: bool = False,
     ) -> None:
         pending.done = True
+        if pending.timer is not None:
+            pending.timer.disarm()
         self._writes.pop(wid, None)
         outcome = QueryOutcome(
             issued_at=pending.issued_at,
@@ -1907,22 +2064,42 @@ class PGridNode:
                 "hops": 0,
             }
         )
-        # Attempt-bound timer, like _send_query_attempt.
-        self.sim.schedule(
-            self.config.query_timeout, lambda: self._range_timeout(qid, attempt)
-        )
+        # Lazy attempt timer, like _send_query_attempt.
+        self._arm_range_timer(qid, pending)
+
+    def _arm_range_timer(self, qid: int, pending: _PendingRange) -> None:
+        """(Re-)arm the pending range query's lazy attempt timer (see
+        :meth:`_arm_query_timer`)."""
+        timer = pending.timer
+        if timer is None:
+            timer = pending.timer = DeadlineTimer(
+                self.sim, lambda: self._range_timeout(qid)
+            )
+        timer.arm(self.sim.now + self.config.query_timeout)
 
     def _route_range(self, payload: dict) -> None:
+        # Hot per-hop handler: hoisted fields + minimal fresh forward
+        # dicts, same scheme as _route_query.  The stuck paths build
+        # the RANGE_PART from the *incoming* payload, so the forward
+        # must never alias or mutate it.
         cursor = payload["cursor"]
         origin = payload["origin"]
+        hops = payload["hops"]
         if not self.responsible_for(cursor):
-            forward = dict(payload)
-            forward["hops"] = payload["hops"] + 1
+            forward = {
+                "lo": payload["lo"],
+                "hi": payload["hi"],
+                "cursor": cursor,
+                "origin": origin,
+                "qid": payload["qid"],
+                "attempt": payload.get("attempt", 0),
+                "hops": hops + 1,
+            }
             used = self._forward_toward(cursor, P.RANGE_QUERY, forward)
             if used is None:
                 self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
                 return
-            if origin == self.node_id and payload["hops"] == 0:
+            if origin == self.node_id and hops == 0:
                 pending = self._ranges.get(payload["qid"])
                 if pending is not None:
                     pending.via = used  # liveness evidence, like point queries
@@ -1939,9 +2116,15 @@ class PGridNode:
             slice_bounds=(cursor, upper),
         )
         if not done:
-            forward = dict(payload)
-            forward["cursor"] = part_hi
-            forward["hops"] = payload["hops"] + 1
+            forward = {
+                "lo": payload["lo"],
+                "hi": hi,
+                "cursor": part_hi,
+                "origin": origin,
+                "qid": payload["qid"],
+                "attempt": payload.get("attempt", 0),
+                "hops": payload["hops"] + 1,
+            }
             if self._forward_toward(part_hi, P.RANGE_QUERY, forward) is None:
                 self._send_range_part(origin, payload, keys=[], done=False, stuck=True)
 
@@ -2013,12 +2196,12 @@ class PGridNode:
         else:
             self._finish_range(qid, pending, False)
 
-    def _range_timeout(self, qid: int, attempt: int) -> None:
+    def _range_timeout(self, qid: int) -> None:
+        # Lazy timer: fires only at the current attempt's deadline (see
+        # _query_timeout).
         pending = self._ranges.get(qid)
         if pending is None or pending.done:
             return
-        if pending.attempts != attempt:
-            return  # superseded: a newer attempt owns the clock
         pending.timeouts += 1
         if not self.online:
             self._finish_range(qid, pending, False, moot=True)
@@ -2034,6 +2217,8 @@ class PGridNode:
         self, qid: int, pending: _PendingRange, success: bool, *, moot: bool = False
     ) -> None:
         pending.done = True
+        if pending.timer is not None:
+            pending.timer.disarm()
         self._ranges.pop(qid, None)
         outcome = QueryOutcome(
             issued_at=pending.issued_at,

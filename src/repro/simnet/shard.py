@@ -48,7 +48,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from .._util import make_rng
 from ..exceptions import SimulationError
-from .engine import Simulator, _Event
+from .engine import Simulator, _Entry, _Event
 from .transport import Message
 
 __all__ = [
@@ -141,8 +141,8 @@ class ShardedSimulator(Simulator):
             raise SimulationError(f"lookahead must be positive, got {lookahead}")
         self.n_shards = n_shards
         self.lookahead = lookahead
-        self._heaps: List[List[_Event]] = [[] for _ in range(n_shards)]
-        self._staged: List[List[_Event]] = [[] for _ in range(n_shards)]
+        self._heaps: List[List[_Entry]] = [[] for _ in range(n_shards)]
+        self._staged: List[List[_Entry]] = [[] for _ in range(n_shards)]
         self._staged_count = 0
         self._current_shard = 0
         #: End of the currently open barrier window.
@@ -184,23 +184,24 @@ class ShardedSimulator(Simulator):
         # cannot run in the open window goes through the inbox.  An
         # event inside the window is pushed straight into its heap, so
         # the merged pop below always sees every in-window event.
+        entry = (event.time, event.seq, event)
         if event.shard != self._current_shard and event.time >= self._barrier:
-            self._staged[event.shard].append(event)
+            self._staged[event.shard].append(entry)
             self._staged_count += 1
             self.cross_shard_staged += 1
         else:
-            heapq.heappush(self._heaps[event.shard], event)
+            heapq.heappush(self._heaps[event.shard], entry)
         total = self.pending
         if total > self._pending_peak:
             self._pending_peak = total
 
     def _compact(self) -> None:
         for shard in range(self.n_shards):
-            heap = [e for e in self._heaps[shard] if not e.cancelled]
+            heap = [e for e in self._heaps[shard] if not e[2].cancelled]
             heapq.heapify(heap)
             self._heaps[shard] = heap
             self._staged[shard] = [
-                e for e in self._staged[shard] if not e.cancelled
+                e for e in self._staged[shard] if not e[2].cancelled
             ]
         self._staged_count = sum(len(inbox) for inbox in self._staged)
         self._cancelled = 0
@@ -208,12 +209,12 @@ class ShardedSimulator(Simulator):
 
     # -- the merged pop loop ------------------------------------------------
 
-    def _peek_shard(self, shard: int) -> Optional[_Event]:
+    def _peek_shard(self, shard: int) -> Optional[_Entry]:
         """Live head of one shard's heap (drops cancelled placeholders)."""
         heap = self._heaps[shard]
         while heap:
             head = heap[0]
-            if head.cancelled:
+            if head[2].cancelled:
                 heapq.heappop(heap)
                 self._cancelled -= 1
                 continue
@@ -227,11 +228,11 @@ class ShardedSimulator(Simulator):
                 continue
             self._staged[shard] = []
             heap = self._heaps[shard]
-            for event in inbox:
-                if event.cancelled:
+            for entry in inbox:
+                if entry[2].cancelled:
                     self._cancelled -= 1
                     continue
-                heapq.heappush(heap, event)
+                heapq.heappush(heap, entry)
         self._staged_count = 0
 
     def _advance_barrier(self) -> bool:
@@ -241,8 +242,8 @@ class ShardedSimulator(Simulator):
         earliest: Optional[float] = None
         for shard in range(self.n_shards):
             head = self._peek_shard(shard)
-            if head is not None and (earliest is None or head.time < earliest):
-                earliest = head.time
+            if head is not None and (earliest is None or head[0] < earliest):
+                earliest = head[0]
         if earliest is None:
             return False
         # Jump straight to the window containing the earliest event
@@ -254,7 +255,7 @@ class ShardedSimulator(Simulator):
         self.barriers += 1
         return True
 
-    def _pop_next(self, end_time: Optional[float] = None) -> Optional[_Event]:
+    def _pop_next(self, end_time: Optional[float] = None) -> Optional[_Entry]:
         """The globally earliest live event, advancing barriers as
         needed; ``None`` when drained or the next event is past
         ``end_time``."""
@@ -262,15 +263,18 @@ class ShardedSimulator(Simulator):
             best_shard = -1
             best_time = 0.0
             best_seq = 0
+            barrier = self._barrier
             for shard in range(self.n_shards):
                 head = self._peek_shard(shard)
-                if head is None or head.time >= self._barrier:
+                if head is None or head[0] >= barrier:
                     continue
+                time, seq = head[0], head[1]
                 if (
                     best_shard < 0
-                    or (head.time, head.seq) < (best_time, best_seq)
+                    or time < best_time
+                    or (time == best_time and seq < best_seq)
                 ):
-                    best_shard, best_time, best_seq = shard, head.time, head.seq
+                    best_shard, best_time, best_seq = shard, time, seq
             if best_shard >= 0:
                 if end_time is not None and best_time > end_time:
                     return None
@@ -278,26 +282,27 @@ class ShardedSimulator(Simulator):
             if not self._advance_barrier():
                 return None
 
-    def _execute(self, event: _Event) -> None:
-        self._now = event.time
+    def _execute(self, entry: _Entry) -> None:
+        event = entry[2]
+        self._now = entry[0]
         self._current_shard = event.shard
         event.callback()
         self._processed += 1
 
     def step(self) -> bool:
-        event = self._pop_next()
-        if event is None:
+        entry = self._pop_next()
+        if entry is None:
             return False
-        self._execute(event)
+        self._execute(entry)
         return True
 
     def run_until(self, end_time: float, *, max_events: Optional[int] = None) -> None:
         budget = max_events if max_events is not None else float("inf")
         while budget > 0:
-            event = self._pop_next(end_time)
-            if event is None:
+            entry = self._pop_next(end_time)
+            if entry is None:
                 break
-            self._execute(event)
+            self._execute(entry)
             budget -= 1
         if budget <= 0:
             raise SimulationError(

@@ -30,13 +30,24 @@ class QueryRecord:
 
 
 class StatsCollector:
-    """Accumulates per-bin counters during a simulation run."""
+    """Accumulates per-bin counters during a simulation run.
+
+    Byte accounting is the per-message hot path (one
+    :meth:`record_bytes` per send), so it accumulates into flat
+    per-category bin arrays indexed by bin number instead of nested
+    defaultdicts; :attr:`bytes_by_category` materializes the classic
+    ``{category: {bin: bytes}}`` view on demand (cached between
+    records).  Zero-padded bins are skipped in the view -- a recorded
+    message is never smaller than the fixed header, so a genuinely
+    recorded bin can never hold zero bytes and the view's key set
+    matches the nested-dict scheme exactly.
+    """
 
     def __init__(self, bin_seconds: float = 60.0):
         self.bin_seconds = bin_seconds
-        self.bytes_by_category: Dict[str, Dict[int, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
+        self._category_bins: Dict[str, List[int]] = {}
+        self._bytes_view: Dict[str, Dict[int, int]] = {}
+        self._bytes_view_dirty = False
         self.population_samples: Dict[int, int] = {}
         self.queries: List[QueryRecord] = []
 
@@ -45,9 +56,27 @@ class StatsCollector:
     def _bin(self, t: float) -> int:
         return int(t // self.bin_seconds)
 
+    @property
+    def bytes_by_category(self) -> Dict[str, Dict[int, int]]:
+        """``{category: {bin: bytes}}`` view of the flat bin arrays."""
+        if self._bytes_view_dirty:
+            self._bytes_view = {
+                category: {b: v for b, v in enumerate(bins) if v}
+                for category, bins in self._category_bins.items()
+            }
+            self._bytes_view_dirty = False
+        return self._bytes_view
+
     def record_bytes(self, t: float, category: str, size: int) -> None:
         """Attribute ``size`` bytes of ``category`` traffic to time ``t``."""
-        self.bytes_by_category[category][self._bin(t)] += size
+        b = int(t // self.bin_seconds)
+        bins = self._category_bins.get(category)
+        if bins is None:
+            bins = self._category_bins[category] = []
+        if b >= len(bins):
+            bins.extend([0] * (b + 1 - len(bins)))
+        bins[b] += size
+        self._bytes_view_dirty = True
 
     def record_population(self, t: float, online: int) -> None:
         """Record the online peer count at time ``t`` (last sample per bin

@@ -182,9 +182,10 @@ class PerLinkLatency(LatencyModel):
         return base
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One message on the wire."""
+    """One message on the wire (lean ``slots`` layout: one instance per
+    send is the kernel's dominant allocation)."""
 
     src: int
     dst: int
@@ -321,17 +322,22 @@ class Network:
         *after* the send still drops at delivery time, invisible to the
         sender, which only ever learns about it through timeouts.
         """
-        size = HEADER_BYTES + n_keys * KEY_BYTES + n_refs * REF_BYTES
-        message = Message(
-            src=src, dst=dst, kind=kind, payload=payload, size_bytes=size,
-            category=category,
-        )
+        # Hot path: most messages carry no keys or refs, so the size
+        # collapses to the precomputed header constant.
+        if n_keys or n_refs:
+            size = HEADER_BYTES + n_keys * KEY_BYTES + n_refs * REF_BYTES
+        else:
+            size = HEADER_BYTES
+        message = Message(src, dst, kind, payload, size, category)
         self.messages_sent += 1
-        if self.stats is not None:
-            self.stats.record_bytes(self.sim.now, category, size)
+        stats = self.stats
+        if stats is not None:
+            stats.record_bytes(self.sim.now, category, size)
         link = (src, dst)
-        self.link_bytes[link] = self.link_bytes.get(link, 0) + size
-        sender = self.nodes.get(src)
+        link_bytes = self.link_bytes
+        link_bytes[link] = link_bytes.get(link, 0) + size
+        nodes = self.nodes
+        sender = nodes.get(src)
         if sender is not None and not sender.online:
             # A node that just went offline cannot transmit.
             self.messages_dropped += 1
@@ -341,7 +347,7 @@ class Network:
             self.messages_dropped += 1
             self.drops_partition += 1
             return "partition"
-        receiver = self.nodes.get(dst)
+        receiver = nodes.get(dst)
         if receiver is not None and not receiver.online:
             # The connect is refused outright (the peer's port is
             # closed); messages already in flight when a node dies still

@@ -662,7 +662,7 @@ class TestServingGate:
 
 def scale_section(
     wall=6.5,
-    eps=2400.0,
+    eps=6400.0,
     *,
     match=True,
     pending_peak=935,
@@ -726,19 +726,19 @@ class TestScaleGate:
         assert "wall_s" in capsys.readouterr().err
 
     def test_throughput_drop_fails(self, tmp_path, capsys):
-        argv = self.pair(tmp_path, scale_section(), scale_section(eps=2400.0 / 2))
+        argv = self.pair(tmp_path, scale_section(), scale_section(eps=6400.0 / 2))
         assert check_regression.main(argv) == 1
         assert "events_per_s" in capsys.readouterr().err
 
     def test_noise_inside_tolerance_passes(self, tmp_path):
         argv = self.pair(
-            tmp_path, scale_section(), scale_section(wall=6.5 * 1.3, eps=2400.0 / 1.3)
+            tmp_path, scale_section(), scale_section(wall=6.5 * 1.3, eps=6400.0 / 1.3)
         )
         assert check_regression.main(argv) == 0
 
     def test_speedup_never_fails(self, tmp_path):
         argv = self.pair(
-            tmp_path, scale_section(), scale_section(wall=6.5 / 4, eps=2400.0 * 4)
+            tmp_path, scale_section(), scale_section(wall=6.5 / 4, eps=6400.0 * 4)
         )
         assert check_regression.main(argv) == 0
 
@@ -791,6 +791,47 @@ class TestScaleGate:
             ["--baseline", str(base), "--candidate", str(cand)]
         ) == 0
         assert "no scale section" in capsys.readouterr().out
+
+    def test_ratchet_trips_below_pre_fast_path_floor(self, tmp_path, capsys):
+        # Both snapshots agree at eps=3000, so the baseline ratio gate is
+        # silent -- but 3000 ev/s is under 1.5x the pinned pre-fast-path
+        # floors for the N=16384 cells, and the ratchet must catch it.
+        argv = self.pair(tmp_path, scale_section(eps=3000.0),
+                         scale_section(eps=3000.0))
+        assert check_regression.main(argv) == 1
+        assert "pre-fast-path floor" in capsys.readouterr().err
+
+    def test_ratchet_skips_non_canonical_knobs(self, tmp_path):
+        # A scale section run at a different seed is incomparable to the
+        # pinned floors: the ratchet (and the cell ratio gate) skip.
+        argv = self.pair(tmp_path, scale_section(seed=1, eps=100.0),
+                         scale_section(seed=1, eps=100.0))
+        assert check_regression.main(argv) == 0
+
+    def test_ratchet_ignores_unpinned_cells(self, tmp_path):
+        # The CI smoke cell (N=8192) has no pre-fast-path counterpart;
+        # even a slow one pins nothing.
+        smoke_cells = [{
+            "n_peers": 8192, "shards": 4, "mode": "workers",
+            "wall_s": 2.0, "events": 7084, "events_per_s": 100.0,
+            "pending_peak": 136, "pending_bound": 9216,
+            "pending_bound_ok": True,
+        }]
+        argv = self.pair(tmp_path, scale_section(cells=smoke_cells),
+                         scale_section(cells=smoke_cells))
+        assert check_regression.main(argv) == 0
+
+    def test_ratchet_rows_reach_the_step_summary(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scale": scale_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scale": scale_section()}))
+        summary = tmp_path / "summary.md"
+        assert check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ]) == 0
+        assert "pre-fast-path" in summary.read_text()
 
     def test_scale_rows_reach_the_step_summary(self, tmp_path):
         base = write(tmp_path, "base.json",

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import DeadlineTimer, Simulator
 
 
 class TestScheduling:
@@ -168,4 +168,86 @@ class TestObservableHeapStats:
         assert sim.pending_live == 0
         assert sim.pending_cancelled == 0
         assert sim.pending_peak == 0
+        assert sim.compactions == 0
+
+
+class TestDeadlineTimer:
+    """Lazy-timer semantics: the schedule-then-supersede-heavy timeout
+    idiom must neither fire stale deadlines nor touch the cancel path."""
+
+    def test_fires_at_the_armed_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = DeadlineTimer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        sim.run_all()
+        assert fired == [5.0]
+        assert not timer.armed
+
+    def test_superseded_deadline_is_a_no_op_then_rearms(self):
+        # The retry pattern: each attempt moves the deadline forward.
+        # The single in-flight event fires early, sees the moved
+        # deadline, and chases it -- the callback runs once, at the
+        # *latest* deadline only.
+        sim = Simulator()
+        fired = []
+        timer = DeadlineTimer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        timer.arm(9.0)  # supersedes before the 5.0 event fires
+        sim.run_until(6.0)
+        assert fired == []  # the stale fire at 5.0 no-opped
+        sim.run_all()
+        assert fired == [9.0]
+
+    def test_disarmed_timer_never_fires(self):
+        sim = Simulator()
+        fired = []
+        timer = DeadlineTimer(sim, lambda: fired.append(sim.now))
+        timer.arm(5.0)
+        timer.disarm()
+        sim.run_all()
+        assert fired == []
+        assert timer.deadline is None
+
+    def test_callback_never_runs_twice_per_arm(self):
+        # Supersede storm: many re-arms, one outstanding event, exactly
+        # one callback -- the waiter can never be resolved twice.
+        sim = Simulator()
+        fired = []
+        timer = DeadlineTimer(sim, lambda: fired.append(sim.now))
+        for i in range(50):
+            timer.arm(1.0 + i * 0.5)
+        sim.run_all()
+        assert fired == [1.0 + 49 * 0.5]
+
+    def test_rearm_from_the_callback_schedules_the_next_cycle(self):
+        # Completion handlers re-arm the same timer for the next
+        # attempt; each cycle fires exactly once.
+        sim = Simulator()
+        fired = []
+        timer = DeadlineTimer(sim, lambda: fired.append(sim.now))
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.arm(sim.now + 2.0)
+
+        timer._callback = chain
+        timer.arm(1.0)
+        sim.run_all()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_lazy_timers_never_touch_the_cancel_path(self):
+        # The point of the lazy scheme: a supersede-heavy workload keeps
+        # pending_cancelled at 0 and at most one heap entry per timer --
+        # no cancelled placeholders for the compactor to chew through.
+        sim = Simulator()
+        timers = [DeadlineTimer(sim, lambda: None) for _ in range(8)]
+        for round_ in range(100):
+            for timer in timers:
+                timer.arm(1.0 + round_ * 0.1)
+            assert sim.pending <= len(timers)
+        assert sim.pending_cancelled == 0
+        sim.run_all()
+        assert sim.pending_cancelled == 0
         assert sim.compactions == 0

@@ -236,6 +236,36 @@ QUADRANTS = [
 ]
 
 
+class TestLazyTimerHeapHygiene:
+    """A timeout storm must leave no cancelled heap placeholders: the
+    lazy-timer scheme re-arms one event per pending op instead of
+    cancel-and-reschedule, so ``pending_cancelled`` stays 0 even when
+    the timers actually fire."""
+
+    def test_wire_level_timeout_storm_never_cancels(self):
+        # 60% loss: most attempts die on the wire, so their deadline
+        # timers genuinely expire instead of being superseded.
+        sim, net, nodes = build_wire(QUADRANTS, loss=0.6)
+        outcomes = []
+        nodes[0].on_query_done = lambda nid, qid, out: outcomes.append(out)
+        for i in range(40):
+            nodes[0].issue_query(float_to_key(0.55 + i * 0.01))
+        sim.run_until(400.0)
+        assert len(outcomes) == 40  # every query resolved, pass or fail
+        assert sum(out.timeouts for out in outcomes) > 10  # a real storm
+        assert sim.pending_cancelled == 0
+        assert sim.compactions == 0
+
+    def test_lossy_scenario_keeps_the_heap_clean_end_to_end(self):
+        spec = scenario("uniform-baseline", n_peers=32, seed=5, duration_scale=0.1)
+        runner = MessageScenarioRunner(
+            spec, net_config=MessageNetConfig(loss_rate=0.3)
+        )
+        report = runner.run()
+        assert report.message_level["timeouts"] > 0  # storm premise
+        assert runner.simulator.pending_cancelled == 0
+
+
 class TestRangeProtocol:
     def test_range_traverses_partitions_in_key_order(self):
         sim, net, nodes = build_wire(QUADRANTS)

@@ -334,6 +334,35 @@ class TestOfflineTimerHygiene:
         fresh = done[1]
         assert fresh.success and not fresh.moot and fresh.attempts == 1
 
+    def test_armed_lazy_timers_survive_abort_without_double_resolution(self):
+        # Lazy-timer extension of the exactly-once suite: let the
+        # zero-delay attempts actually go out so every pending op's
+        # DeadlineTimer is armed with one outstanding heap event, then
+        # abort.  The disarmed events fire into no-ops when the stale
+        # deadlines pass -- exactly one (moot) outcome per op, no
+        # timeout charged, and nothing ever cancelled in the heap.
+        sim, net, nodes = build_wire()
+        origin = nodes[0]
+        done = {"query": [], "write": [], "range": []}
+        origin.on_query_done = lambda nid, qid, out: done["query"].append(out)
+        origin.on_write_done = lambda nid, wid, out: done["write"].append(out)
+        origin.on_range_done = lambda nid, qid, out: done["range"].append(out)
+        qid = origin.issue_query(float_to_key(0.9))
+        wid = origin.issue_insert(float_to_key(0.85))
+        rid = origin.issue_range_query(float_to_key(0.3), float_to_key(0.9))
+        sim.run_until(0.001)  # attempts sent: all three timers armed
+        assert origin._queries[qid].timer.armed
+        assert origin._writes[wid].timer.armed
+        assert origin._ranges[rid].timer.armed
+        origin.abort_inflight()
+        origin.set_online(False)
+        # Well past every stale deadline: the fires must all no-op.
+        sim.run_until(60.0)
+        for kind, outcomes in done.items():
+            assert len(outcomes) == 1, f"{kind} resolved {len(outcomes)} times"
+            assert outcomes[0].moot and outcomes[0].timeouts == 0
+        assert sim.pending_cancelled == 0
+
     def test_warm_rejoin_initiates_one_replica_exchange(self):
         sim, net, nodes = build_wire()
         owner = nodes[3]

@@ -332,6 +332,32 @@ class TestNodeDedup:
         sim.run_until(30.0)
         assert all(len(fired) == 1 for fired in outcomes.values())
 
+    def test_abort_after_armed_lazy_timer_never_double_resolves(self):
+        # Lazy-timer twin of the waiter-leak test: abort *after* the
+        # attempt went out, so the primary's DeadlineTimer is armed and
+        # its one heap event is outstanding.  The abort disarms it (no
+        # cancel: pending_cancelled stays 0); when the stale deadline
+        # passes, the fire must no-op -- each observer resolves exactly
+        # once, and no timeout is ever charged to the aborted attempt.
+        sim, net, nodes = build_wire(policy=POLICY)
+        outcomes = {}
+        nodes[0].on_query_done = (
+            lambda nid, qid, out: outcomes.setdefault(qid, []).append(out)
+        )
+        key = float_to_key(0.87)
+        qid_a = nodes[0].issue_query(key)
+        qid_b = nodes[0].issue_query(key)
+        sim.run_until(0.001)  # zero-delay attempt sent, timer armed
+        assert nodes[0]._queries[qid_a].timer.armed
+        nodes[0].abort_inflight()
+        assert sorted(outcomes) == sorted([qid_a, qid_b])
+        sim.run_until(30.0)  # the stale 5s deadline fires into a no-op
+        for qid, fired in outcomes.items():
+            assert len(fired) == 1, f"qid {qid} resolved {len(fired)} times"
+            assert fired[0].moot and not fired[0].success
+            assert fired[0].timeouts == 0
+        assert sim.pending_cancelled == 0
+
 
 class TestWriteInvalidation:
     def test_write_at_origin_drops_its_cached_result(self):
