@@ -12,7 +12,10 @@ baseline, recorded inline under ``recovery.cold``, plus the
 serving-layer scenarios zipf-serving and cache-coherence-storm --
 likewise run twice, once with caches on and once with
 ``CachePolicy(enabled=False)``, recorded inline under
-``serving.off``) on one or both execution backends and
+``serving.off`` -- plus the multi-dimensional scenarios
+geo-box-serving and correlated-hotspot-2d, whose entries carry the
+box-recall audit and z-order decomposition stats under ``mdim``) on
+one or both execution backends and
 merges the results into the repo's perf snapshot, so the stress
 trajectory travels with the perf trajectory:
 
@@ -212,6 +215,25 @@ def run_all(n_peers: int, *, seed: int, duration_scale: float, backend: str) -> 
                     "latency_s": off["latency_s"],
                 },
             }
+        if report.mdim is not None:
+            # Multi-dimensional box-query metrics (gated by
+            # check_regression.py): recall against the brute-force
+            # oracle and z-order decomposition efficiency.
+            md = report.mdim
+            entry["box_recall"] = md["box_recall"]
+            entry["ranges_per_box"] = md["ranges_per_box_mean"]
+            entry["mdim"] = {
+                "dims": md["dims"],
+                "bits_per_dim": md["bits_per_dim"],
+                "split_budget": md["split_budget"],
+                "boxes": md["boxes"],
+                "box_success_rate": md["box_success_rate"],
+                "ranges_total": md["ranges_total"],
+                "ranges_per_box_max": md["ranges_per_box_max"],
+                "recall_expected": md["recall_expected"],
+                "recall_found": md["recall_found"],
+                "selectivity_per_dim": md["selectivity_per_dim"],
+            }
         if report.message_level is not None:
             ml = report.message_level
             entry["message_level"] = {
@@ -334,6 +356,16 @@ def main(argv=None) -> int:
                     f"p99 {'n/a' if p99_on is None else format(p99_on, '.2f')}s"
                     f"/off {'n/a' if p99_off is None else format(p99_off, '.2f')}s  "
                     f"gini {entry['load_gini']:.3f}/off {srv['off']['load_gini']:.3f}"
+                )
+            md = entry.get("mdim")
+            if md:
+                recall = entry["box_recall"]
+                rpb = entry["ranges_per_box"]
+                line += (
+                    f"  boxes {md['boxes']:5d}  "
+                    f"recall {'n/a' if recall is None else format(recall, '.4f')}  "
+                    f"rpb {'n/a' if rpb is None else format(rpb, '.2f')}"
+                    f"/max {md['ranges_per_box_max']}"
                 )
             rec = entry.get("recovery")
             if rec:

@@ -46,7 +46,13 @@ instead of silently ignoring unknown keys:
   fails: coherence (write invalidation + TTL) regressing silently;
 * ``serving_p99_s`` -- ratio growth fails: the cached tail latency is
   the headline serving win and must not drift back to the uncached
-  timeout band.
+  timeout band;
+* ``box_recall`` -- an absolute drop beyond the scenario tolerance
+  fails: the z-order box decomposition losing keys it used to find
+  means multi-dimensional queries silently under-cover;
+* ``ranges_per_box`` -- growth beyond the ratio ``--tolerance`` fails:
+  the litmax/bigmin splitter fragmenting boxes it used to cover
+  cheaply is a routing-cost regression even when recall holds.
 
 Restart scenarios additionally get an **intra-snapshot** recovery gate
 (:func:`check_recovery`, candidate only, no baseline needed): warm
@@ -63,6 +69,14 @@ per-peer load Gini must be strictly better than the inline
 False)``) recorded by ``bench_scenarios.py``, and end-to-end query
 success must not drop -- a cache that serves stale garbage fast would
 otherwise look like a win.
+
+Multi-dimensional scenarios get their own **intra-snapshot** gate
+(:func:`check_mdim`): the box-recall audit must stay within the
+scenario tolerance of 1.0 (exactly 1.0 on maintenance-free specs like
+``geo-box-serving``), and both the mean and max ranges-per-box must
+respect the codec's pinned ``split_budget`` -- the litmax/bigmin
+decomposition is defined to stop splitting at the budget, so a breach
+means the knob stopped being wired through.
 
 The ``scale`` section (written by ``bench_scale.py``) gets both kinds
 of gate: cells matched on ``(n_peers, shards, mode)`` compare
@@ -96,8 +110,9 @@ PR-6 persistence/recovery floors (warm-beats-cold, zero loss on clean
 shutdown), the PR-7 serving-layer floors (cache-on beats cache-off
 on tail latency and load spread, bounded staleness), and the PR-8
 sharded-kernel floors (shard-count-invisible digests, bounded event
-heaps, N=16,384/65,536 throughput), as committed in
-``BENCH_core.json``.
+heaps, N=16,384/65,536 throughput), and the PR-10 multi-dimensional
+floors (box recall, budget-bounded z-order decomposition), as
+committed in ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -171,6 +186,13 @@ SCENARIO_METRICS = (
     ("cache_hit_rate", "drop"),
     ("stale_read_rate", "rise"),
     ("serving_p99_s", "ratio"),
+    # Multi-dimensional box-query metrics (mdim scenarios only; written
+    # by bench_scenarios.py from the report's ``mdim`` section).  Box
+    # recall sliding means the z-order decomposition stopped covering
+    # the boxes it claims to serve; ranges-per-box growing means the
+    # litmax/bigmin splitter fragments boxes it used to cover cheaply.
+    ("box_recall", "drop"),
+    ("ranges_per_box", "ratio"),
 )
 
 
@@ -404,6 +426,73 @@ def check_serving(
     return rows, failures
 
 
+def check_mdim(
+    candidate: dict, tolerance: float = DEFAULT_SCENARIO_TOLERANCE
+) -> Tuple[List[Tuple[str, str, str, bool]], List[str]]:
+    """Intra-snapshot multi-dimensional gates on the *candidate* alone.
+
+    Two invariants the z-order box-query layer must always satisfy,
+    checkable without a baseline because ``bench_scenarios.py`` records
+    the codec geometry (dims, split budget) inline under ``mdim``:
+
+    * **boxes stay covered** -- the recall audit (keys the issued
+      ranges were obligated to find vs keys actually found) must not
+      drop more than ``tolerance`` below 1.0; on maintenance-free specs
+      like ``geo-box-serving`` it is exactly 1.0, and anything below
+      the floor means the decomposition under-covers or the range
+      plumbing drops sub-ranges;
+    * **decomposition honors its budget** -- both the mean and the max
+      ranges-per-box must sit within the codec's ``split_budget``; the
+      litmax/bigmin splitter is *defined* to stop splitting at the
+      budget, so a breach means the budget knob stopped being wired
+      through.
+
+    Returns ``(rows, failures)``; rows are ``(section/scenario, check,
+    detail, breached)`` for printing.
+    """
+    rows: List[Tuple[str, str, str, bool]] = []
+    failures: List[str] = []
+    floor = 1.0 - tolerance
+    for section in SCENARIO_SECTIONS:
+        results = (candidate.get(section) or {}).get("results", {})
+        for name in sorted(results):
+            entry = results[name]
+            md = entry.get("mdim")
+            if not md or not md.get("boxes"):
+                continue
+            where = f"{section}/{name}"
+            recall = entry.get("box_recall")
+            if recall is not None:
+                ok = recall >= floor
+                rows.append(
+                    (where, f"recall>={floor:g}", f"{recall:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: box recall {recall:g} below floor "
+                        f"{floor:g} -- z-order decomposition no longer "
+                        f"covers its boxes"
+                    )
+            budget = md.get("split_budget")
+            for metric, value in (
+                ("ranges_per_box", entry.get("ranges_per_box")),
+                ("ranges_per_box_max", md.get("ranges_per_box_max")),
+            ):
+                if budget is None or value is None:
+                    continue
+                ok = value <= budget
+                rows.append(
+                    (where, f"{metric}<=budget",
+                     f"{value:g} vs {budget:g}", not ok)
+                )
+                if not ok:
+                    failures.append(
+                        f"{where}: {metric} {value:g} exceeds the codec "
+                        f"split budget {budget:g}"
+                    )
+    return rows, failures
+
+
 def compare_scale(
     baseline: dict,
     candidate: dict,
@@ -603,6 +692,7 @@ def build_step_summary(
     failures: List[str],
     recovery_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
     serving_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
+    mdim_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
     scale_rows: Optional[List[Tuple[str, str, float, float, float, bool]]] = None,
     scale_skip: Optional[str] = None,
     scale_intra_rows: Optional[List[Tuple[str, str, str, bool]]] = None,
@@ -666,6 +756,17 @@ def build_step_summary(
             "| --- | --- | ---: | :---: |",
         ]
         for where, check, detail, breached in serving_rows:
+            verdict = "❌ fail" if breached else "✅ ok"
+            lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
+    if mdim_rows:
+        lines += [
+            "",
+            "### Mdim (intra-snapshot: box recall floor, split budget)",
+            "",
+            "| scenario | check | values | verdict |",
+            "| --- | --- | ---: | :---: |",
+        ]
+        for where, check, detail, breached in mdim_rows:
             verdict = "❌ fail" if breached else "✅ ok"
             lines.append(f"| {where} | `{check}` | {detail} | {verdict} |")
     if scale_rows or scale_skip or scale_intra_rows:
@@ -804,6 +905,14 @@ def main(argv=None) -> int:
             print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
     failures += serving_failures
 
+    mdim_rows, mdim_failures = check_mdim(candidate, args.scenario_tolerance)
+    if mdim_rows:
+        print("mdim gate (box recall floor, ranges-per-box vs split budget)")
+        for where, check, detail, breached in mdim_rows:
+            verdict = "FAIL" if breached else "ok  "
+            print(f"  [{verdict}] {where:40s} {check:26s}  {detail}")
+    failures += mdim_failures
+
     scale_rows, scale_failures, scale_skip = compare_scale(
         baseline, candidate, args.tolerance
     )
@@ -844,7 +953,7 @@ def main(argv=None) -> int:
     write_step_summary(
         build_step_summary(
             rows, args.tolerance, scenario_results, args.scenario_tolerance,
-            failures, recovery_rows, serving_rows,
+            failures, recovery_rows, serving_rows, mdim_rows,
             scale_rows, scale_skip, scale_intra_rows + ratchet_rows,
         ),
         args.summary or os.environ.get("GITHUB_STEP_SUMMARY"),

@@ -33,15 +33,20 @@ This package turns the repo's stress ingredients -- churn processes
     message/bandwidth totals, per-peer load imbalance and replication
     health over time, with byte-stable JSON for golden-trace testing.
 ``library``
-    Sixteen named scenarios (uniform-baseline, pareto-hotspot,
+    Eighteen named scenarios (uniform-baseline, pareto-hotspot,
     flash-crowd, mass-join, mass-leave, paper-sec51-churn,
     regional-outage, correlated-churn, the write workloads
     read-write-balanced, write-hotspot-adversarial and
     asymmetric-partition-writes, the persistence/restart
     scenarios restart-storm, rolling-deploy and
-    datacenter-power-cycle, plus the serving-layer scenarios
-    zipf-serving and cache-coherence-storm) runnable at N=4096 on
-    either backend.
+    datacenter-power-cycle, the serving-layer scenarios
+    zipf-serving and cache-coherence-storm, plus the
+    multi-dimensional scenarios geo-box-serving and
+    correlated-hotspot-2d) runnable at N=4096 on either backend.
+    Multi-dimensional specs carry a
+    :class:`~repro.scenarios.spec.ZOrderCodec` (``ScenarioSpec.codec``)
+    that interleaves d attributes into one key and decomposes box
+    queries into z-order ranges -- see :mod:`repro.pgrid.mdim`.
     Restart phases (:class:`RestartSpec`) drive the persistence &
     recovery subsystem (:mod:`repro.pgrid.state`): warm rejoins from
     checkpoints when durability is on
@@ -87,12 +92,15 @@ from .spec import (  # noqa: F401
     CachePolicy,
     ChurnSpec,
     Hotspot,
+    KeyCodec,
     PartitionSpec,
     Phase,
     QueryMix,
     RestartSpec,
+    ScalarCodec,
     ScenarioSpec,
     WriteMix,
+    ZOrderCodec,
 )
 
 from ..exceptions import DomainError
@@ -133,6 +141,9 @@ __all__ = [
     "QueryMix",
     "WriteMix",
     "CachePolicy",
+    "KeyCodec",
+    "ScalarCodec",
+    "ZOrderCodec",
     "Hotspot",
     "ChurnSpec",
     "PartitionSpec",

@@ -229,6 +229,33 @@ class ScenarioRunnerBase:
         self._serving_auth: Optional[Set[int]] = None
         self._audited_hits = 0
         self._stale_reads = 0
+        #: The spec's multi-dimensional codec, or ``None`` for the
+        #: classic one-dimensional keyspace (scalar codecs included) --
+        #: gates every mdim branch so scalar runs stay bit-identical to
+        #: the pre-codec engine (golden-trace contract).
+        self._mdim = (
+            spec.codec
+            if spec.codec is not None and spec.codec.dims > 1
+            else None
+        )
+        #: Box-query accumulators (see :meth:`_mdim_section`).
+        self._mdim_stats: Optional[Dict[str, object]] = None
+        if self._mdim is not None:
+            self._mdim_stats = {
+                "boxes": 0,
+                "box_successes": 0,
+                "ranges": 0,
+                "max_ranges": 0,
+                "oracle_expected": 0,
+                "oracle_found": 0,
+                "sel_sums": [0.0] * self._mdim.dims,
+            }
+        #: Sorted workload-key universe (oracle ground truth for the
+        #: box recall audit; only kept when mdim is active).
+        self._universe: Optional[List[int]] = None
+        #: key -> per-dimension cells memo for the oracle's membership
+        #: filter (universe keys repeat across boxes).
+        self._cell_cache: Dict[int, Tuple[int, ...]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -257,21 +284,31 @@ class ScenarioRunnerBase:
             }
 
         peer_keys = workload_keys(
-            spec.distribution, spec.n_peers, spec.keys_per_peer, seed=keys_rng
+            spec.distribution,
+            spec.n_peers,
+            spec.keys_per_peer,
+            seed=keys_rng,
+            codec=spec.codec,
         )
         sim = self._make_simulator()
         self.simulator = sim
         self._setup(peer_keys, build_rng)
         if self._writes_active:
             self._key_pool = sorted({k for keys in peer_keys for k in keys})
-        # Zipf point draws and the stale-read audit both need the
-        # workload-key universe; only built when something asks for it
-        # so cache-free runs allocate nothing new.
+        # Zipf point draws, the stale-read audit and the box-recall
+        # oracle all need the workload-key universe; only built when
+        # something asks for it so plain runs allocate nothing new.
         universe: Optional[List[int]] = None
-        if self._cache is not None or any(p.mix.zipf_keys > 0 for p in spec.phases):
+        if (
+            self._cache is not None
+            or self._mdim is not None
+            or any(p.mix.zipf_keys > 0 for p in spec.phases)
+        ):
             universe = sorted({k for keys in peer_keys for k in keys})
         if self._cache is not None:
             self._serving_auth = set(universe)
+        if self._mdim is not None:
+            self._universe = universe
 
         tally = _Tally(spec.report_bin_s, len(spec.phases))
         departed: Set[int] = set()
@@ -291,7 +328,7 @@ class ScenarioRunnerBase:
 
         # -- per-phase compilation ----------------------------------------
         for idx, (phase, (start, end)) in enumerate(zip(spec.phases, boundaries)):
-            sampler = phase.mix.to_sampler(universe=universe)
+            sampler = phase.mix.to_sampler(universe=universe, codec=spec.codec)
             sim.schedule(
                 start,
                 self._make_phase_start(
@@ -630,7 +667,15 @@ class ScenarioRunnerBase:
                 tally.leaves += len(leaving)
             for _ in range(phase.join_peers):
                 pid = self._alloc_id()
-                keys = dist.sample_keys(spec.keys_per_peer, member_rng)
+                if self._mdim is not None:
+                    keys = [
+                        self._mdim.encode(p)
+                        for p in dist.sample_points(
+                            spec.keys_per_peer, self._mdim.dims, member_rng
+                        )
+                    ]
+                else:
+                    keys = dist.sample_keys(spec.keys_per_peer, member_rng)
                 if self._join(pid, keys, member_rng, tally):
                     tally.joins += 1
                 else:
@@ -704,7 +749,7 @@ class ScenarioRunnerBase:
             # -- write arrival process -------------------------------------
             if phase.writes is not None:
                 wmix = phase.writes
-                wsampler = wmix.to_sampler()
+                wsampler = wmix.to_sampler(codec=spec.codec)
 
                 def write_tick() -> None:
                     if sim.now >= end:
@@ -820,6 +865,85 @@ class ScenarioRunnerBase:
         self._audited_hits += 1
         if self._serving_auth is not None and present != (key in self._serving_auth):
             self._stale_reads += 1
+
+    # -- box-query machinery (multi-dimensional codecs) --------------------
+
+    def _mdim_box_plan(
+        self, lo_cells: Tuple[int, ...], hi_cells: Tuple[int, ...]
+    ) -> Tuple[List[Tuple[int, int]], Set[int]]:
+        """Decompose one box into key ranges and compute its oracle.
+
+        The oracle is the brute-force ground truth the recall audit
+        compares served results against: workload-universe keys inside
+        the issued ranges that pass the cell-level membership predicate
+        (see the recall-audit rules in :mod:`repro.pgrid.mdim`).  Also
+        accumulates ranges-per-box and per-dimension selectivity.
+        """
+        codec = self._mdim
+        stats = self._mdim_stats
+        ranges = codec.box_ranges(lo_cells, hi_cells)
+        stats["boxes"] += 1
+        stats["ranges"] += len(ranges)
+        stats["max_ranges"] = max(stats["max_ranges"], len(ranges))
+        span = codec.cells_per_dim
+        for j in range(codec.dims):
+            stats["sel_sums"][j] += (hi_cells[j] - lo_cells[j] + 1) / span
+        oracle: Set[int] = set()
+        universe = self._universe
+        cache = self._cell_cache
+        dims = codec.dims
+        for lo, hi in ranges:
+            i = bisect_left(universe, lo)
+            j = bisect_left(universe, hi)
+            for key in universe[i:j]:
+                cells = cache.get(key)
+                if cells is None:
+                    cells = codec.cells_of(key)
+                    cache[key] = cells
+                if all(
+                    lo_cells[t] <= cells[t] <= hi_cells[t] for t in range(dims)
+                ):
+                    oracle.add(key)
+        return ranges, oracle
+
+    def _mdim_box_done(
+        self, oracle: Set[int], found_keys, success: bool
+    ) -> None:
+        """Fold one completed box query into the recall audit."""
+        stats = self._mdim_stats
+        if success:
+            stats["box_successes"] += 1
+        if oracle:
+            stats["oracle_expected"] += len(oracle)
+            stats["oracle_found"] += len(oracle.intersection(found_keys))
+
+    def _mdim_section(self) -> dict:
+        """The report's ``mdim`` section (multi-dimensional specs only)."""
+        codec = self._mdim
+        stats = self._mdim_stats
+        boxes = stats["boxes"]
+        expected = stats["oracle_expected"]
+        return {
+            "dims": codec.dims,
+            "bits_per_dim": codec.bits_per_dim,
+            "split_budget": codec.split_budget,
+            "boxes": int(boxes),
+            "box_successes": int(stats["box_successes"]),
+            "box_success_rate": (
+                (stats["box_successes"] / boxes) if boxes else None
+            ),
+            "ranges_total": int(stats["ranges"]),
+            "ranges_per_box_mean": (stats["ranges"] / boxes) if boxes else None,
+            "ranges_per_box_max": int(stats["max_ranges"]),
+            "recall_expected": int(expected),
+            "recall_found": int(stats["oracle_found"]),
+            "box_recall": (
+                (stats["oracle_found"] / expected) if expected else None
+            ),
+            "selectivity_per_dim": [
+                (s / boxes) if boxes else None for s in stats["sel_sums"]
+            ],
+        }
 
     def _draw_write(
         self, mix: WriteMix, sampler: QuerySampler, rng
@@ -989,6 +1113,10 @@ class ScenarioRunnerBase:
         if self._cache is not None:
             serving_section = self._serving_section(loads)
 
+        mdim_section = None
+        if self._mdim is not None:
+            mdim_section = self._mdim_section()
+
         return ScenarioReport(
             scenario=spec.name,
             seed=spec.seed,
@@ -1009,6 +1137,7 @@ class ScenarioRunnerBase:
             writes=writes_section,
             recovery=recovery_section,
             serving=serving_section,
+            mdim=mdim_section,
         )
 
     def _serving_section(self, loads: List[int]) -> dict:

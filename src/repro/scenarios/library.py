@@ -1,7 +1,7 @@
 """Named, ready-to-run stress scenarios (the ISSUE-2 library).
 
-Sixteen scenarios cover the stress axes of the paper's evaluation and the
-ROADMAP's "as many scenarios as you can imagine" ambition:
+Eighteen scenarios cover the stress axes of the paper's evaluation and
+the ROADMAP's "as many scenarios as you can imagine" ambition:
 
 ==================  ====================================================
 ``uniform-baseline``  steady uniform workload, light maintenance -- the
@@ -58,6 +58,16 @@ ROADMAP's "as many scenarios as you can imagine" ambition:
                       population churns -- the adversarial coherence
                       test: invalidation traffic racing cached results,
                       measured as ``serving.stale_read_rate``
+``geo-box-serving``   two-attribute points under a z-order codec,
+                      queried with 2D boxes on a quiet overlay -- the
+                      clean-room recall scenario: every box must come
+                      back complete (``mdim.box_recall == 1.0``)
+``correlated-hotspot-2d``  a correlated-attribute flash-crowd: one
+                      hotspot coin confines *both* attributes of a
+                      point (a hot diagonal block), boxes carry skewed
+                      per-dimension spans (wide x narrow), and an
+                      insert-leaning write stream feeds the 2D index
+                      mid-storm
 ==================  ====================================================
 
 Every factory takes ``n_peers`` (default 4096, the ROADMAP scale point),
@@ -84,6 +94,7 @@ from .spec import (
     RestartSpec,
     ScenarioSpec,
     WriteMix,
+    ZOrderCodec,
 )
 
 __all__ = [
@@ -105,6 +116,8 @@ __all__ = [
     "datacenter_power_cycle",
     "zipf_serving",
     "cache_coherence_storm",
+    "geo_box_serving",
+    "correlated_hotspot_2d",
 ]
 
 #: Default population: the ROADMAP's 4096-peer scale point.
@@ -699,6 +712,101 @@ def cache_coherence_storm(
     )
 
 
+def geo_box_serving(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """2D box queries over z-order keys.
+
+    The multi-dimensional headline: every key interleaves two
+    attributes (think latitude/longitude quantized to the unit square)
+    under a :class:`~repro.scenarios.spec.ZOrderCodec`, and two thirds
+    of the traffic is 2%-per-side *box* queries, each decomposed into
+    at most ``split_budget`` z-order ranges and served through the
+    unchanged range machinery.  A mild hotspot concentrates traffic on
+    a popular region (correlated across both attributes).  No
+    ``CachePolicy``: point targets are fresh continuous draws that
+    never repeat at 26-bit cell resolution, so result caches are
+    structurally hitless here and the serving gate (caches must *earn*
+    their machinery) would rightly reject them.
+
+    Deliberately quiet -- no churn, writes, restarts or maintenance --
+    so the brute-force recall audit has a clean ground truth: the
+    report must show ``mdim.box_recall == 1.0`` (the acceptance gate
+    ``benchmarks/check_regression.py`` enforces) and
+    ``mdim.ranges_per_box_max`` within the codec's split budget.
+    """
+    mix = QueryMix(
+        point_weight=0.35,
+        range_weight=0.65,
+        range_span=0.02,
+        hotspot=Hotspot(lo=0.55, hi=0.60, weight=0.5),
+    )
+    return _build(
+        "geo-box-serving",
+        [
+            Phase(name="warm", duration_s=180.0, query_rate=4.0, mix=mix),
+            Phase(name="geo-serve", duration_s=600.0, query_rate=8.0, mix=mix),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        codec=ZOrderCodec(dims=2),
+    )
+
+
+def correlated_hotspot_2d(
+    n_peers: int = DEFAULT_N_PEERS, *, seed: int = 20050830, duration_scale: float = 1.0
+) -> ScenarioSpec:
+    """A correlated-attribute flash-crowd with skewed box selectivity.
+
+    The stress half of the mdim pair: during the storm one hotspot coin
+    confines *both* attributes of 90% of draws to a 4% interval -- a
+    hot diagonal block whose z-order cells share long prefixes, so a
+    few trie partitions absorb most of the traffic (watch
+    ``load.max_over_mean``).  The box minority carries deliberately
+    skewed per-dimension spans (10% x 0.4%: wide in one attribute,
+    narrow in the other -- the shape that forces litmax/bigmin to
+    split hardest), and an insert-leaning hotspot write stream feeds
+    the 2D index mid-storm.  No deletes: the recall oracle is the
+    initial workload universe, and deleted keys would turn honest
+    misses into phantom recall loss.
+    """
+    hot = Hotspot(lo=0.48, hi=0.52, weight=0.9)
+    storm = QueryMix(
+        point_weight=0.75,
+        range_weight=0.25,
+        range_span=0.02,
+        box_spans=(0.10, 0.004),
+        hotspot=hot,
+    )
+    writes = WriteMix(
+        write_rate=2.0,
+        insert_weight=0.7,
+        delete_weight=0.0,
+        update_weight=0.3,
+        hotspot=hot,
+    )
+    return _build(
+        "correlated-hotspot-2d",
+        [
+            Phase(name="calm", duration_s=240.0, maintenance_interval_s=120.0),
+            Phase(
+                name="hot-storm",
+                duration_s=360.0,
+                query_rate=8.0,
+                mix=storm,
+                writes=writes,
+                maintenance_interval_s=120.0,
+            ),
+            Phase(name="cooldown", duration_s=240.0, maintenance_interval_s=120.0),
+        ],
+        n_peers,
+        seed,
+        duration_scale,
+        codec=ZOrderCodec(dims=2),
+    )
+
+
 #: Registry iterated by ``benchmarks/bench_scenarios.py`` and the tests.
 SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "uniform-baseline": uniform_baseline,
@@ -717,6 +825,8 @@ SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     "datacenter-power-cycle": datacenter_power_cycle,
     "zipf-serving": zipf_serving,
     "cache-coherence-storm": cache_coherence_storm,
+    "geo-box-serving": geo_box_serving,
+    "correlated-hotspot-2d": correlated_hotspot_2d,
 }
 
 

@@ -150,6 +150,25 @@ class MessageNetConfig:
     lookahead_s: Optional[float] = None
 
 
+@dataclass
+class _PendingBox:
+    """One in-flight box query: ``n_ranges`` concurrent range queries
+    from the same origin, folded into a single RANGE tally record when
+    the last sub-range resolves (see ``_box_sub_done``)."""
+
+    idx: int
+    issued_at: float
+    remaining: int
+    #: Brute-force ground truth for the recall audit
+    #: (``ScenarioRunnerBase._mdim_box_plan``).
+    oracle: Set[int]
+    success: bool = True
+    moot: bool = False
+    messages: int = 0
+    latency: float = 0.0
+    found: Set[int] = field(default_factory=set)
+
+
 class MessageScenarioRunner(ScenarioRunnerBase):
     """Executes one :class:`ScenarioSpec` over message-passing nodes.
 
@@ -178,6 +197,12 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         self._gateways: Optional[Tuple[PGridNode, ...]] = None
         # qid -> (phase index, query kind, issue time)
         self._meta: Dict[int, Tuple[int, str, float]] = {}
+        # Box queries (multi-dimensional specs): box id -> fold state,
+        # and sub-range qid -> box id (sub-ranges bypass self._meta so
+        # each box tallies exactly once).
+        self._boxes: Dict[int, _PendingBox] = {}
+        self._box_of: Dict[int, int] = {}
+        self._next_box = 0
         # wid -> (phase index, write op, key, issue time); the key rides
         # along so write acks can feed the durability audit.
         self._wmeta: Dict[int, Tuple[int, str, int, float]] = {}
@@ -571,6 +596,33 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 )
                 return
             qid = origin.issue_query(key)
+        elif sampler.codec is not None:
+            # Box query: decompose into z-order key ranges (see
+            # repro.pgrid.mdim) and put every range on the wire at once
+            # from one origin; _box_sub_done folds the sub-outcomes into
+            # a single RANGE record when the last one resolves.
+            lo_cells, hi_cells = sampler.draw_box(rng)
+            ranges, oracle = self._mdim_box_plan(lo_cells, hi_cells)
+            origin = self._query_origin(rng)
+            if origin is None:
+                self._mdim_box_done(oracle, frozenset(), False)
+                tally.range_incomplete += 1
+                tally.record_query(
+                    self.simulator.now, idx, kind=RANGE, success=False,
+                    hops=0, messages=0, size=0,
+                )
+                return
+            box_id = self._next_box
+            self._next_box += 1
+            self._boxes[box_id] = _PendingBox(
+                idx=idx,
+                issued_at=self.simulator.now,
+                remaining=len(ranges),
+                oracle=oracle,
+            )
+            for lo, hi in ranges:
+                self._box_of[origin.issue_range_query(lo, hi)] = box_id
+            return
         else:
             lo, hi = sampler.draw_range(rng)
             origin = self._query_origin(rng)
@@ -609,6 +661,10 @@ class MessageScenarioRunner(ScenarioRunnerBase):
         )
 
     def _range_done(self, node_id: int, qid: int, outcome: QueryOutcome) -> None:
+        box_id = self._box_of.pop(qid, None)
+        if box_id is not None:
+            self._box_sub_done(box_id, outcome)
+            return
         meta = self._meta.pop(qid, None)
         if meta is None:
             return
@@ -627,6 +683,44 @@ class MessageScenarioRunner(ScenarioRunnerBase):
             success=outcome.success,
             hops=outcome.messages,
             messages=outcome.messages,
+            size=0,
+        )
+
+    def _box_sub_done(self, box_id: int, outcome: QueryOutcome) -> None:
+        """Fold one sub-range outcome into its box; tally the box as a
+        single RANGE query when the last sub-range resolves.
+
+        A box succeeds iff *every* sub-range completed; its latency is
+        the slowest sub-range's (all were issued at the same instant)
+        and its message count the sum.  A moot sub-outcome (the shared
+        origin churned offline) voids the whole box, mirroring the
+        scalar path -- the overlay never failed it.
+        """
+        box = self._boxes[box_id]
+        self._observe(outcome)
+        box.remaining -= 1
+        box.messages += outcome.messages
+        box.latency = max(box.latency, outcome.latency)
+        box.found.update(outcome.found_keys)
+        box.moot = box.moot or outcome.moot
+        box.success = box.success and outcome.success
+        if box.remaining:
+            return
+        del self._boxes[box_id]
+        if box.moot:
+            return
+        if box.success:
+            self._range_latencies.append(box.latency)
+        else:
+            self._tally.range_incomplete += 1
+        self._mdim_box_done(box.oracle, box.found, box.success)
+        self._tally.record_query(
+            box.issued_at,
+            box.idx,
+            kind=RANGE,
+            success=box.success,
+            hops=box.messages,
+            messages=box.messages,
             size=0,
         )
 
@@ -721,6 +815,17 @@ class MessageScenarioRunner(ScenarioRunnerBase):
                 hops=0, messages=0, size=0,
             )
         self._meta.clear()
+        # Boxes with unresolved sub-ranges fail as a whole, with
+        # whatever partial results arrived feeding the recall audit.
+        for box_id, box in sorted(self._boxes.items()):
+            tally.range_incomplete += 1
+            self._mdim_box_done(box.oracle, box.found, False)
+            tally.record_query(
+                box.issued_at, box.idx, kind=RANGE, success=False,
+                hops=box.messages, messages=box.messages, size=0,
+            )
+        self._boxes.clear()
+        self._box_of.clear()
         for wid, (idx, op, _key, issued_at) in sorted(self._wmeta.items()):
             tally.record_write(
                 issued_at, idx, op=op, success=False, messages=0, size=0
@@ -978,6 +1083,15 @@ def slice_spec(
     """
     if not 0 <= index < shards:
         raise SimulationError(f"slice index {index} out of range for {shards}")
+    if spec.codec is not None and spec.codec.dims > 1:
+        # Slice confinement works by restricting the scalar keyspace
+        # interval; a z-order codec interleaves per-dimension bits, so a
+        # per-dimension hotspot would NOT confine the interleaved keys
+        # to the slice and the sub-overlays would no longer be
+        # self-contained.  Refuse loudly rather than merge garbage.
+        raise SimulationError(
+            "worker-mode sharding does not support multi-dimensional codecs"
+        )
     if spec.n_peers < 2 * shards:
         raise SimulationError(
             f"{spec.n_peers} peers cannot split into {shards} shards of >= 2"

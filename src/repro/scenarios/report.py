@@ -95,6 +95,14 @@ class ScenarioReport:
     #: ``None`` for cache-free specs and *omitted* from the serialized
     #: form then, keeping existing golden traces byte-identical.
     serving: Optional[Dict[str, Any]] = None
+    #: Multi-dimensional keyspace section (box-query counts,
+    #: ranges-per-box, the box recall audit against the brute-force
+    #: oracle, per-dimension selectivity -- see
+    #: :meth:`repro.scenarios.base.ScenarioRunnerBase._mdim_section`
+    #: and :mod:`repro.pgrid.mdim`).  ``None`` for one-dimensional
+    #: specs and *omitted* from the serialized form then, keeping
+    #: existing golden traces byte-identical.
+    mdim: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
 
@@ -120,6 +128,8 @@ class ScenarioReport:
             payload["recovery"] = self.recovery
         if self.serving is not None:
             payload["serving"] = self.serving
+        if self.mdim is not None:
+            payload["mdim"] = self.mdim
         return _canonical(payload)
 
     def to_json(self) -> str:
@@ -199,6 +209,12 @@ class ScenarioReport:
                 ("serving p99 latency (s)", _f(latency.get("p99"))),
                 ("per-peer load Gini", _f(self.serving.get("load_gini"))),
             ]
+        if self.mdim is not None:
+            rows += [
+                ("box queries issued", _f(self.mdim.get("boxes", 0))),
+                ("ranges per box (mean)", _f(self.mdim.get("ranges_per_box_mean"))),
+                ("box recall", _f(self.mdim.get("box_recall"))),
+            ]
         return rows
 
 
@@ -217,7 +233,7 @@ class ScenarioReport:
 #: Keys taking the maximum across shards (peaks, worst cases).
 _MERGE_MAX = frozenset({
     "max", "max_bytes", "max_over_mean", "last_return_min",
-    "time_to_converged_divergence_s",
+    "time_to_converged_divergence_s", "ranges_per_box_max",
 })
 #: Keys taking the minimum (first occurrence across shards).
 _MERGE_MIN = frozenset({"first_shutdown_min"})
@@ -229,9 +245,9 @@ _MERGE_MEAN = frozenset({
     "final_partition_availability", "final_coverage",
     "divergence_baseline", "divergence_final",
 })
-#: Sub-dicts copied from the first shard verbatim (configuration echoes,
+#: Values copied from the first shard verbatim (configuration echoes,
 #: identical across shards by construction).
-_MERGE_FIRST = frozenset({"config", "policy"})
+_MERGE_FIRST = frozenset({"config", "policy", "dims", "bits_per_dim", "split_budget"})
 #: Per-key sibling count fields used as weights for _MERGE_MEAN keys,
 #: tried in order before falling back to the caller-supplied weights.
 _WEIGHT_SIBLINGS = {
@@ -270,6 +286,19 @@ def _merge_value(key: str, values: list, weights: Sequence[float]):
             merged = [row for v in vals for row in v]
             merged.sort(key=lambda row: (-row[2], row[0], row[1]))
             return merged[:5]
+        if key == "selectivity_per_dim":
+            # Element-wise weighted mean across shards.
+            out = []
+            for i in range(len(first)):
+                entries = [
+                    (v[i], w) for v, w in zip(vals, wts) if v[i] is not None
+                ]
+                out.append(
+                    _weighted_mean([e for e, _ in entries], [w for _, w in entries])
+                    if entries
+                    else None
+                )
+            return out
         return first
     if key in _MERGE_MAX:
         return max(vals)
@@ -333,6 +362,19 @@ def _recompute_rates(section: Dict[str, Any]) -> None:
     if "max_over_mean" in section and "max" in section and "mean" in section:
         mean_v = section["mean"]
         section["max_over_mean"] = (section["max"] / mean_v) if mean_v else 0.0
+    if "box_success_rate" in section:
+        boxes = section.get("boxes", 0)
+        section["box_success_rate"] = (
+            section.get("box_successes", 0) / boxes if boxes else None
+        )
+        section["ranges_per_box_mean"] = (
+            section.get("ranges_total", 0) / boxes if boxes else None
+        )
+    if "box_recall" in section:
+        expected = section.get("recall_expected", 0)
+        section["box_recall"] = (
+            section.get("recall_found", 0) / expected if expected else None
+        )
 
 
 def _merge_series(all_series: List[List[dict]]) -> List[dict]:
@@ -485,4 +527,5 @@ def merge_reports(
         writes=optional_section(lambda r: r.writes),
         recovery=optional_section(lambda r: r.recovery),
         serving=optional_section(lambda r: r.serving),
+        mdim=optional_section(lambda r: r.mdim),
     )

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import DomainError, SimulationError
+from ..pgrid.keyspace import KeyCodec, ScalarCodec
+from ..pgrid.mdim import ZOrderCodec
 from ..pgrid.serving import CachePolicy
 from ..simnet.churn import ChurnConfig
 from ..workloads.distributions import DISTRIBUTIONS, distribution
@@ -38,12 +40,15 @@ __all__ = [
     "CachePolicy",
     "ChurnSpec",
     "Hotspot",
+    "KeyCodec",
     "PartitionSpec",
     "QueryMix",
     "RestartSpec",
+    "ScalarCodec",
     "WriteMix",
     "Phase",
     "ScenarioSpec",
+    "ZOrderCodec",
 ]
 
 
@@ -197,8 +202,17 @@ class QueryMix:
     batch_size: int = 1
     zipf_keys: int = 0
     zipf_exponent: float = 0.9
+    #: Per-dimension box side lengths for multi-dimensional scenarios
+    #: (skewed per-dimension selectivity); ``None`` = ``range_span`` on
+    #: every side.  Requires the spec to carry a multi-dimensional
+    #: codec; inert (and invalid) otherwise.
+    box_spans: Optional[Tuple[float, ...]] = None
 
-    def validate(self) -> None:
+    def __post_init__(self):
+        if self.box_spans is not None and not isinstance(self.box_spans, tuple):
+            object.__setattr__(self, "box_spans", tuple(self.box_spans))
+
+    def validate(self, codec: Optional[KeyCodec] = None) -> None:
         if self.batch_size < 1:
             raise SimulationError(
                 f"query batch size must be >= 1, got {self.batch_size}"
@@ -212,18 +226,25 @@ class QueryMix:
                 f"zipf exponent must be positive, got {self.zipf_exponent}"
             )
         # The sampler is the single authority on mix validity (weights,
-        # span, hotspot bounds); surface its verdict as a spec error.
+        # span, hotspot bounds, box spans); surface its verdict as a
+        # spec error.
         try:
-            self.to_sampler()
+            self.to_sampler(codec=codec)
         except DomainError as exc:
             raise SimulationError(str(exc)) from None
 
-    def to_sampler(self, universe: Optional[Sequence[int]] = None) -> QuerySampler:
+    def to_sampler(
+        self,
+        universe: Optional[Sequence[int]] = None,
+        codec: Optional[KeyCodec] = None,
+    ) -> QuerySampler:
         """The :class:`~repro.workloads.queries.QuerySampler` this mix
         configures (raises :class:`~repro.exceptions.DomainError` on an
         invalid mix).  ``universe`` is the sorted workload key set Zipf
         popular keys are drawn from; without one, ``zipf_keys`` is
-        inert and point draws stay uniform."""
+        inert and point draws stay uniform.  ``codec`` is the spec's
+        keyspace codec; a multi-dimensional one switches range draws to
+        box draws."""
         return QuerySampler(
             point_weight=self.point_weight,
             range_weight=self.range_weight,
@@ -232,6 +253,8 @@ class QueryMix:
             universe=universe,
             zipf_keys=self.zipf_keys,
             zipf_exponent=self.zipf_exponent,
+            codec=codec,
+            box_spans=self.box_spans,
         )
 
 
@@ -283,13 +306,15 @@ class WriteMix:
         except DomainError as exc:
             raise SimulationError(str(exc)) from None
 
-    def to_sampler(self) -> QuerySampler:
+    def to_sampler(self, codec: Optional[KeyCodec] = None) -> QuerySampler:
         """The key sampler behind every mutation target (point draws,
-        hotspot-aware)."""
+        hotspot-aware; multi-dimensional codecs make every mutation
+        target an encoded d-attribute point)."""
         return QuerySampler(
             point_weight=1.0,
             range_weight=0.0,
             hotspot=self.hotspot.as_tuple() if self.hotspot is not None else None,
+            codec=codec,
         )
 
 
@@ -323,7 +348,7 @@ class Phase:
     #: the pre-persistence behavior, bit-for-bit).
     restarts: Optional[RestartSpec] = None
 
-    def validate(self) -> None:
+    def validate(self, codec: Optional[KeyCodec] = None) -> None:
         if self.duration_s <= 0:
             raise SimulationError(f"phase {self.name!r} needs a positive duration")
         if self.query_rate < 0:
@@ -334,7 +359,7 @@ class Phase:
             raise SimulationError(
                 f"phase {self.name!r} needs a positive maintenance interval"
             )
-        self.mix.validate()
+        self.mix.validate(codec)
         if self.churn is not None:
             self.churn.validate()
         if self.partitions is not None:
@@ -379,6 +404,14 @@ class ScenarioSpec:
     #: ``CachePolicy(enabled=False)`` = unmodified protocol but the
     #: report still carries the section, for cache on/off A/Bs.
     cache: Optional[CachePolicy] = None
+    #: Keyspace codec (:class:`~repro.pgrid.keyspace.KeyCodec`).
+    #: ``None`` = the classic one-dimensional keyspace, bit-for-bit
+    #: (equivalent to :class:`~repro.pgrid.keyspace.ScalarCodec`).  A
+    #: multi-dimensional codec (:class:`~repro.pgrid.mdim.ZOrderCodec`)
+    #: switches workload keys to encoded d-attribute points, range
+    #: draws to d-dimensional boxes decomposed into key ranges, and
+    #: adds the ``mdim`` report section.
+    codec: Optional[KeyCodec] = None
 
     def __post_init__(self):
         # Accept any sequence of phases but store a hashable tuple.
@@ -432,8 +465,10 @@ class ScenarioSpec:
                 self.cache.validate()
             except DomainError as exc:
                 raise SimulationError(str(exc)) from None
+        if self.codec is not None and self.codec.dims < 1:
+            raise SimulationError("codec must index at least one dimension")
         for phase in self.phases:
-            phase.validate()
+            phase.validate(self.codec)
 
     # -- convenience -------------------------------------------------------
 

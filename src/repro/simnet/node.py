@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .._util import RngLike, make_rng
 from ..core.estimators import (
@@ -163,6 +163,11 @@ class QueryOutcome:
     messages: int = 0
     keys_found: int = 0
     moot: bool = False
+    #: The matching keys themselves (range queries only; empty for
+    #: points).  Box queries fold these across their sub-ranges for the
+    #: recall audit (see :mod:`repro.pgrid.mdim`); sorted so observers
+    #: see a deterministic tuple.
+    found_keys: Tuple[int, ...] = ()
 
 
 class PGridNode:
@@ -2230,6 +2235,7 @@ class PGridNode:
             messages=pending.parts + pending.chain_hops,
             keys_found=len(pending.keys),
             moot=moot,
+            found_keys=tuple(sorted(pending.keys)),
         )
         if not moot:
             self.range_results.append(outcome)

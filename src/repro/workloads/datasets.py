@@ -7,10 +7,11 @@ produce exactly those assignments as lists-of-lists of integer keys.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .._util import RngLike, make_rng
 from ..exceptions import DomainError
+from ..pgrid.keyspace import KeyCodec
 from .distributions import distribution
 
 __all__ = ["workload_keys", "uniform_keys", "flatten"]
@@ -22,17 +23,28 @@ def workload_keys(
     keys_per_peer: int = 10,
     *,
     seed: RngLike = None,
+    codec: Optional[KeyCodec] = None,
 ) -> List[List[int]]:
     """Per-peer integer keys from the distribution with figure label
     ``label`` (``"U"``, ``"P0.5"``, ``"P1.0"``, ``"P1.5"``, ``"N"``,
-    ``"A"``)."""
+    ``"A"``).
+
+    With a multi-dimensional ``codec``, each key encodes a point of
+    ``codec.dims`` attributes drawn i.i.d. from the distribution;
+    without one (or with a scalar codec) the classic one-dimensional
+    sampling is used, draw for draw.
+    """
     if peers < 1:
         raise DomainError(f"need at least one peer, got {peers}")
     if keys_per_peer < 1:
         raise DomainError(f"need at least one key per peer, got {keys_per_peer}")
     rand = make_rng(seed)
     dist = distribution(label)
-    flat = dist.sample_keys(peers * keys_per_peer, rand)
+    n = peers * keys_per_peer
+    if codec is not None and codec.dims > 1:
+        flat = [codec.encode(p) for p in dist.sample_points(n, codec.dims, rand)]
+    else:
+        flat = dist.sample_keys(n, rand)
     return [
         flat[i * keys_per_peer : (i + 1) * keys_per_peer] for i in range(peers)
     ]

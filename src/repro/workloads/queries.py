@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .._util import RngLike, make_rng
 from ..exceptions import DomainError
-from ..pgrid.keyspace import MAX_KEY, float_to_key
+from ..pgrid.keyspace import MAX_KEY, KeyCodec, float_to_key
 
 __all__ = ["QuerySampler", "POINT", "RANGE"]
 
@@ -56,6 +56,16 @@ class QuerySampler:
         never repeat, so without it a result cache can never hit.
         With a hotspot, its ``weight`` still splits traffic between the
         (Zipf) head and the uniform background tail.
+    codec / box_spans:
+        A multi-dimensional :class:`~repro.pgrid.keyspace.KeyCodec`
+        switches point draws to d-attribute points (one hotspot coin
+        per query, then every attribute confined to the hot interval --
+        the *correlated-attribute* hotspot) and range draws to
+        d-dimensional boxes (:meth:`draw_box`).  ``box_spans`` gives
+        each dimension its own side length (skewed per-dimension
+        selectivity); without it every side is ``range_span``.  A
+        scalar codec (or none) leaves every draw byte-identical to the
+        classic one-dimensional sampler.
     """
 
     __slots__ = (
@@ -63,6 +73,8 @@ class QuerySampler:
         "range_weight",
         "range_span",
         "hotspot",
+        "codec",
+        "box_spans",
         "_popular",
         "_zipf_cum",
     )
@@ -77,6 +89,8 @@ class QuerySampler:
         universe: Optional[Sequence[int]] = None,
         zipf_keys: int = 0,
         zipf_exponent: float = 0.9,
+        codec: Optional[KeyCodec] = None,
+        box_spans: Optional[Tuple[float, ...]] = None,
     ):
         if point_weight < 0 or range_weight < 0:
             raise DomainError("query-mix weights must be non-negative")
@@ -96,6 +110,19 @@ class QuerySampler:
             raise DomainError(
                 f"zipf exponent must be positive, got {zipf_exponent}"
             )
+        self.codec = codec if codec is not None and codec.dims > 1 else None
+        if box_spans is not None:
+            if self.codec is None:
+                raise DomainError("box_spans requires a multi-dimensional codec")
+            if len(box_spans) != self.codec.dims:
+                raise DomainError(
+                    f"box_spans needs {self.codec.dims} entries, "
+                    f"got {len(box_spans)}"
+                )
+            for s in box_spans:
+                if not 0 < s <= 1:
+                    raise DomainError(f"box span must lie in (0, 1], got {s}")
+        self.box_spans = tuple(box_spans) if box_spans is not None else None
         self.point_weight = float(point_weight)
         self.range_weight = float(range_weight)
         self.range_span = float(range_span)
@@ -162,6 +189,19 @@ class QuerySampler:
                 return lo + rand.random() * (hi - lo)
         return rand.random()
 
+    def _target_point(self, rand) -> Tuple[float, ...]:
+        """A d-attribute point; one hotspot coin confines *all*
+        attributes to the hot interval (correlated-attribute hotspot)."""
+        d = self.codec.dims
+        if self.hotspot is not None:
+            lo, hi, weight = self.hotspot
+            if rand.random() < weight:
+                return tuple(
+                    min(lo + rand.random() * (hi - lo), _BELOW_ONE)
+                    for _ in range(d)
+                )
+        return tuple(rand.random() for _ in range(d))
+
     def draw_point_key(self, rng: RngLike = None) -> int:
         """An integer key for one exact-match lookup."""
         rand = make_rng(rng)
@@ -170,8 +210,14 @@ class QuerySampler:
                 _, _, weight = self.hotspot
                 if rand.random() < weight:
                     return self._draw_popular(rand)
+                if self.codec is not None:
+                    return self.codec.encode(
+                        tuple(rand.random() for _ in range(self.codec.dims))
+                    )
                 return float_to_key(min(rand.random(), _BELOW_ONE))
             return self._draw_popular(rand)
+        if self.codec is not None:
+            return self.codec.encode(self._target_point(rand))
         return float_to_key(min(self._target_float(rand), _BELOW_ONE))
 
     def draw_range(self, rng: RngLike = None) -> Tuple[int, int]:
@@ -181,6 +227,28 @@ class QuerySampler:
         lo = float_to_key(max(lo_f, 0.0))
         hi = min(lo + max(int(self.range_span * MAX_KEY), 1), MAX_KEY)
         return lo, hi
+
+    def draw_box(
+        self, rng: RngLike = None
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Inclusive per-dimension cell bounds of one box query.
+
+        The box is anchored at a point draw (hotspot-aware, so hot
+        boxes are correlated across attributes) with per-dimension side
+        lengths from ``box_spans`` (default: ``range_span`` on every
+        side).  Requires a multi-dimensional codec.
+        """
+        if self.codec is None:
+            raise DomainError("draw_box requires a multi-dimensional codec")
+        rand = make_rng(rng)
+        spans = self.box_spans or (self.range_span,) * self.codec.dims
+        anchor = self._target_point(rand)
+        lows, highs = [], []
+        for x, span in zip(anchor, spans):
+            lo = max(min(x, 1.0 - span), 0.0)
+            lows.append(lo)
+            highs.append(min(lo + span, 1.0))
+        return self.codec.box_cells(lows, highs)
 
 
 #: Largest float strictly below 1.0 accepted by :func:`float_to_key`.

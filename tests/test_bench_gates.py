@@ -660,6 +660,121 @@ class TestServingGate:
         assert "gini_on<gini_off" in text
 
 
+def mdim_section(
+    recall=1.0,
+    rpb=10.8,
+    *,
+    rpb_max=15,
+    budget=16,
+    boxes=46,
+):
+    """A scenario section carrying one multi-dimensional box entry."""
+    section = scenario_section()
+    section["results"]["geo-box-serving"] = {
+        "success_rate": 0.99,
+        "queries": 4200,
+        "box_recall": recall,
+        "ranges_per_box": rpb,
+        "mdim": {
+            "dims": 2,
+            "bits_per_dim": 26,
+            "split_budget": budget,
+            "boxes": boxes,
+            "box_success_rate": 1.0,
+            "ranges_total": boxes * 10,
+            "ranges_per_box_max": rpb_max,
+        },
+    }
+    return section
+
+
+class TestMdimGate:
+    """The multi-dimensional gate: box recall must hold its floor and
+    the z-order decomposition must respect its split budget --
+    intra-snapshot checks that run even without a comparable baseline."""
+
+    def pair(self, tmp_path, cand_section):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": cand_section}))
+        return ["--baseline", str(base), "--candidate", str(cand)]
+
+    def test_healthy_mdim_passes(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, mdim_section())
+        assert check_regression.main(argv) == 0
+        assert "mdim gate" in capsys.readouterr().out
+
+    def test_recall_below_floor_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, mdim_section(recall=0.90))
+        assert check_regression.main(argv) == 1
+        assert "box recall" in capsys.readouterr().err
+
+    def test_recall_inside_tolerance_passes(self, tmp_path):
+        argv = self.pair(tmp_path, mdim_section(recall=0.96))
+        assert check_regression.main(argv) == 0
+
+    def test_mean_rpb_above_budget_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, mdim_section(rpb=17.2))
+        assert check_regression.main(argv) == 1
+        assert "split budget" in capsys.readouterr().err
+
+    def test_max_rpb_above_budget_fails(self, tmp_path, capsys):
+        argv = self.pair(tmp_path, mdim_section(rpb_max=17))
+        assert check_regression.main(argv) == 1
+        assert "ranges_per_box_max" in capsys.readouterr().err
+
+    def test_boxless_entries_are_not_gated(self, tmp_path):
+        # A run whose phases issued no boxes pins nothing: recall and
+        # ranges-per-box are vacuous without boxes behind them.
+        argv = self.pair(tmp_path, mdim_section(recall=0.0, boxes=0))
+        assert check_regression.main(argv) == 0
+
+    def test_recall_drop_vs_baseline_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": mdim_section()}))
+        cand = write(
+            tmp_path, "cand.json",
+            snapshot(extra={"scenarios_message": mdim_section(recall=0.80)}),
+        )
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        # The cross-snapshot drop gate trips by metric name (the intra
+        # floor fires too -- a real recall loss should fail loudly).
+        assert "box_recall:" in capsys.readouterr().err
+
+    def test_rpb_ratio_blowup_vs_baseline_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": mdim_section(rpb=2.0)}))
+        cand = write(
+            tmp_path, "cand.json",
+            snapshot(extra={"scenarios_message": mdim_section(rpb=8.0)}),
+        )
+        assert check_regression.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "ranges_per_box" in capsys.readouterr().err
+
+    def test_mdim_rows_reach_the_step_summary(self, tmp_path):
+        base = write(tmp_path, "base.json",
+                     snapshot(extra={"scenarios_message": scenario_section()}))
+        cand = write(tmp_path, "cand.json",
+                     snapshot(extra={"scenarios_message": mdim_section()}))
+        summary = tmp_path / "summary.md"
+        assert check_regression.main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--summary", str(summary),
+        ]) == 0
+        text = summary.read_text()
+        assert "### Mdim" in text
+        assert "ranges_per_box<=budget" in text
+
+    def test_recall_exactly_at_floor_passes(self, tmp_path):
+        argv = self.pair(tmp_path, mdim_section(recall=0.95))
+        assert check_regression.main(argv) == 0
+
+
 def scale_section(
     wall=6.5,
     eps=6400.0,

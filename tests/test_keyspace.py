@@ -1,5 +1,7 @@
 """Tests for key-space encodings."""
 
+import random
+
 import pytest
 
 from repro.exceptions import DomainError
@@ -48,6 +50,61 @@ class TestStringKeys:
     def test_rejects_degenerate_alphabet(self):
         with pytest.raises(DomainError):
             ks.string_to_key("abc", alphabet="x")
+
+    def test_out_of_alphabet_clamps_to_nearest_rank(self):
+        # '{' is the code point after 'z', '!' sits below the leading
+        # blank: both clamp onto the nearest in-alphabet character.
+        assert ks.string_to_key("{") == ks.string_to_key("z")
+        assert ks.string_to_key("!") == ks.string_to_key(" ")
+
+    def test_monotone_property_on_arbitrary_text(self):
+        """Round-trip monotonicity property: encoding any string equals
+        encoding its clamped normalization, and lexicographic order of
+        normalized strings implies (non-strict) key order."""
+        alphabet = ks.DEFAULT_ALPHABET
+
+        def norm(text: str) -> str:
+            out = []
+            for ch in text.lower():
+                if ch in alphabet:
+                    out.append(ch)
+                else:
+                    out.append(min(alphabet, key=lambda a: abs(ord(a) - ord(ch))))
+            return "".join(out)
+
+        rng = random.Random(20050830)
+        charset = alphabet + "ABCXYZ0129-_!{}~"
+        words = [
+            "".join(rng.choice(charset) for _ in range(rng.randrange(0, 12)))
+            for _ in range(300)
+        ]
+        for w in words:
+            assert ks.string_to_key(w) == ks.string_to_key(norm(w))
+        pairs = sorted((norm(w), ks.string_to_key(w)) for w in words)
+        keys = [key for _, key in pairs]
+        assert keys == sorted(keys)
+
+
+class TestScalarCodec:
+    def test_float_matches_module_function(self):
+        codec = ks.ScalarCodec()
+        for x in (0.0, 0.125, 0.5, 0.999):
+            assert codec.encode(x) == ks.float_to_key(x)
+            assert codec.encode((x,)) == ks.float_to_key(x)
+        assert codec.decode(codec.encode(0.25)) == (0.25,)
+
+    def test_string_matches_module_function(self):
+        codec = ks.ScalarCodec()
+        assert codec.encode("zebra") == ks.string_to_key("zebra")
+
+    def test_rejects_multi_attribute_points(self):
+        with pytest.raises(DomainError):
+            ks.ScalarCodec().encode((0.1, 0.2))
+
+    def test_protocol_fields(self):
+        codec = ks.ScalarCodec()
+        assert codec.dims == 1
+        assert codec.name == "scalar"
 
 
 class TestBitHelpers:

@@ -42,8 +42,10 @@ class TestSpecValidation:
             "asymmetric-partition-writes",
             "cache-coherence-storm",
             "correlated-churn",
+            "correlated-hotspot-2d",
             "datacenter-power-cycle",
             "flash-crowd",
+            "geo-box-serving",
             "mass-join",
             "mass-leave",
             "paper-sec51-churn",
